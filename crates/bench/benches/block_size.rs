@@ -1,0 +1,28 @@
+//! §5.3 ablation: compression speed across block sizes (the quality side is
+//! covered by the fig8 binary). Larger blocks amortize per-block overhead;
+//! the paper picks 128 as the quality/performance sweet spot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szx_core::SzxConfig;
+use szx_data::{Application, Scale};
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let ds = Application::Miranda.generate(Scale::Small, 42);
+    let f = ds.field("density").unwrap();
+    let eb = 1e-3 * f.value_range();
+    let bytes = f.data.len() * 4;
+
+    let mut g = c.benchmark_group("block-size");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.sample_size(20);
+    for bs in [8usize, 16, 32, 64, 128, 224] {
+        let cfg = SzxConfig::absolute(eb).with_block_size(bs);
+        g.bench_function(BenchmarkId::new("compress", bs), |b| {
+            b.iter(|| szx_core::compress(&f.data, &cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_sizes);
+criterion_main!(benches);

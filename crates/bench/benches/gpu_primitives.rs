@@ -1,0 +1,77 @@
+//! §6.2 ablation on the execution model: the recursive-doubling index
+//! propagation vs naive sequential chain resolution, and the two-level
+//! warp prefix scan vs a sequential scan. These measure simulator (host)
+//! time, but the interesting output is the *counted parallel depth*: the
+//! propagation needs O(log n) rounds where the chain walk needs O(n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use szx_gpu_sim::machine::{block_exclusive_scan, block_propagate_max};
+use szx_gpu_sim::Cost;
+
+fn chain_input(n: usize) -> Vec<i64> {
+    // Owners every 5 lanes: realistic leading-byte chains.
+    (0..n).map(|i| if i % 5 == 0 { i as i64 } else { i64::MIN }).collect()
+}
+
+fn sequential_resolve(idx: &[i64]) -> Vec<i64> {
+    let mut out = idx.to_vec();
+    for i in 1..out.len() {
+        if out[i] < out[i - 1] {
+            out[i] = out[i - 1];
+        }
+    }
+    out
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index-propagation");
+    g.sample_size(30);
+    for n in [128usize, 1024] {
+        let idx = chain_input(n);
+        g.bench_function(BenchmarkId::new("recursive-doubling", n), |b| {
+            b.iter(|| {
+                let mut cost = Cost::default();
+                block_propagate_max(&idx, &mut cost)
+            });
+        });
+        g.bench_function(BenchmarkId::new("sequential-walk", n), |b| {
+            b.iter(|| sequential_resolve(&idx));
+        });
+        // Depth check (printed once per size): log2 rounds vs n steps.
+        let mut cost = Cost::default();
+        let a = block_propagate_max(&idx, &mut cost);
+        assert_eq!(a, sequential_resolve(&idx), "propagation must be correct");
+        eprintln!(
+            "index-propagation n={n}: {} parallel rounds (sequential: {n} steps)",
+            cost.barriers
+        );
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix-scan");
+    g.sample_size(30);
+    let vals: Vec<u32> = (0..128u32).map(|i| i % 4 + 1).collect();
+    g.bench_function("two-level-warp-scan-128", |b| {
+        b.iter(|| {
+            let mut cost = Cost::default();
+            block_exclusive_scan(&vals, &mut cost)
+        });
+    });
+    g.bench_function("sequential-scan-128", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            let mut out = Vec::with_capacity(vals.len());
+            for &v in &vals {
+                out.push(acc);
+                acc += v;
+            }
+            out
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_propagation, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 1: visual demonstration of the high smoothness of scientific
+//! datasets. Renders the same four slices the paper shows — Miranda
+//! pressure, Nyx temperature, QMCPack orbital slice, Hurricane U — as PPM
+//! heatmaps under results/.
+
+use bench::{results_path, scale_from_env, seed_for};
+use szx_data::Application;
+use szx_metrics::to_ppm;
+
+fn main() {
+    let scale = scale_from_env();
+    let panels: [(Application, &str, &str); 4] = [
+        (Application::Miranda, "pressure", "fig1a_miranda_pressure.ppm"),
+        (Application::Nyx, "temperature", "fig1b_nyx_temperature.ppm"),
+        (Application::QmcPack, "inspline", "fig1c_qmcpack_slice.ppm"),
+        (Application::Hurricane, "U", "fig1d_hurricane_u.ppm"),
+    ];
+    println!("Figure 1: smoothness visualization ({scale:?})");
+    for (app, field_name, file) in panels {
+        let ds = app.generate(scale, seed_for(app));
+        let field = ds.field(field_name).unwrap_or_else(|| &ds.fields[0]);
+        // Mid-depth slice, like the paper's slice128/slice500/slice60.
+        let z = field.dims[2] / 2;
+        let (w, h, slice) = field.slice_z(z);
+        let path = results_path(file);
+        std::fs::write(&path, to_ppm(&slice, w, h)).expect("write ppm");
+        println!(
+            "  {:<10} {:<12} slice z={:<4} {}x{} -> {}",
+            ds.name,
+            field.name,
+            z,
+            w,
+            h,
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Figures 14 & 15: GPU compression/decompression throughput per
+//! application on A100-like and V100-like devices — evaluated on the SIMT
+//! execution model. cuSZx bars come from executing the simulated kernels
+//! and counting operations; cuSZ/cuZFP bars come from the operation-count
+//! models in `szx_gpu_sim::models` (see EXPERIMENTS.md for the caveats).
+
+use bench::{scale_from_env, seed_for};
+use szx_data::Application;
+use szx_gpu_sim::models::{cusz_model, cuszx_model, cuzfp_model, ModelResult};
+use szx_gpu_sim::{A100, V100};
+
+fn main() {
+    let scale = scale_from_env();
+    let rel = 1e-3;
+    println!("Figures 14/15: modeled GPU throughput per application (REL={rel:.0e}, {scale:?})");
+    for gpu in [A100, V100] {
+        for decomp in [false, true] {
+            let label = if decomp { "decompression (Fig 15)" } else { "compression (Fig 14)" };
+            println!("\n  {} — {label} (GB/s)", gpu.name);
+            print!("  {:<8}", "codec");
+            for app in Application::ALL {
+                print!(" {:>9}", app.short_name());
+            }
+            println!();
+            let mut rows: Vec<(&str, Vec<f64>)> =
+                vec![("cuSZx", Vec::new()), ("cuSZ", Vec::new()), ("cuZFP", Vec::new())];
+            for app in Application::ALL {
+                let ds = app.generate(scale, seed_for(app));
+                // Aggregate model costs over all fields of the app.
+                let mut totals: Vec<(usize, f64)> = vec![(0, 0.0); 3];
+                for f in &ds.fields {
+                    let eb = (rel * f.value_range()).max(1e-30);
+                    let results: [ModelResult; 3] = [
+                        cuszx_model(&f.data, eb),
+                        cusz_model(&f.data, f.dims, eb),
+                        cuzfp_model(&f.data, f.dims, eb),
+                    ];
+                    for (slot, r) in totals.iter_mut().zip(&results) {
+                        let cost = if decomp { &r.decomp } else { &r.comp };
+                        slot.0 += r.raw_len;
+                        slot.1 += gpu.time(cost);
+                    }
+                }
+                for (row, &(bytes, time)) in rows.iter_mut().zip(&totals) {
+                    row.1.push(bytes as f64 / time / 1e9);
+                }
+            }
+            for (name, vals) in rows {
+                print!("  {name:<8}");
+                for v in vals {
+                    print!(" {v:>9.0}");
+                }
+                println!();
+            }
+        }
+    }
+    println!("\n(paper, A100: cuSZx 150-264 GB/s compress & 150-446 decompress;");
+    println!(" cuSZ/cuZFP 9.8-86 GB/s — cuSZx wins by 2-16x)");
+}

@@ -1,0 +1,57 @@
+//! Figure 16: data dumping/loading performance on a ThetaGPU-like system
+//! (Nyx dataset, 64-1024 ranks, REL 1e-2/1e-3/1e-4). Compression is
+//! measured; the PFS transfer is modeled (szx-io-sim).
+
+use bench::{scale_from_env, seed_for, REL_BOUNDS};
+use szx_data::Application;
+use szx_io_sim::{dump, load, IoCodec, PfsConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let ds = Application::Nyx.generate(scale, seed_for(Application::Nyx));
+    // Per-rank payload: the Nyx baryon-density field, tiled up to >= 32 MB
+    // so the codec-vs-io proportions at laptop scale mirror the paper's
+    // 512 MB-per-rank runs (weak scaling: every rank compresses its own
+    // copy of the Nyx data).
+    let base = ds.field("baryon-density").expect("field");
+    let copies = (32usize << 20).div_ceil(base.raw_bytes()).max(1);
+    let mut data = Vec::with_capacity(base.data.len() * copies);
+    for _ in 0..copies {
+        data.extend_from_slice(&base.data);
+    }
+    let dims = [base.dims[0], base.dims[1], base.dims[2] * copies];
+    let field = szx_data::Field::new(base.name.clone(), dims, data);
+    let pfs = PfsConfig::theta_like();
+    let ranks = [64usize, 128, 256, 512, 1024];
+
+    for rel in REL_BOUNDS {
+        let eb = rel * field.value_range();
+        for (label, loading) in [("dumping", false), ("loading", true)] {
+            println!("\nFigure 16: {label} elapsed time (s), REL={rel:.0e} ({scale:?})");
+            print!("{:<6}", "codec");
+            for &r in &ranks {
+                print!(" {:>16}", format!("{r} ranks"));
+            }
+            println!();
+            println!(
+                "{:<6} {}",
+                "",
+                ranks.map(|_| format!("{:>8} {:>7}", "codec", "io")).join(" ")
+            );
+            for codec in [IoCodec::Szx, IoCodec::SzLike, IoCodec::ZfpLike] {
+                print!("{:<6}", codec.name());
+                for &r in &ranks {
+                    let b = if loading {
+                        load(&field.data, field.dims, eb, codec, r, &pfs)
+                    } else {
+                        dump(&field.data, field.dims, eb, codec, r, &pfs)
+                    };
+                    print!(" {:>8.3} {:>7.3}", b.codec_time, b.io_time);
+                }
+                println!();
+            }
+        }
+    }
+    println!("\n(paper: SZx takes ~1/3 to 1/2 the dump/load time of SZ and ZFP because");
+    println!(" compression dominates end-to-end time at ThetaGPU's I/O bandwidth)");
+}

@@ -1,0 +1,61 @@
+//! Figure 2: CDF of per-block relative value range for block sizes
+//! 8..128, on the same four fields as Figure 1. Prints the CDF series and
+//! writes CSVs under results/.
+
+use std::fmt::Write as _;
+
+use bench::{results_path, scale_from_env, seed_for};
+use szx_data::Application;
+use szx_metrics::block_range_cdf;
+
+fn main() {
+    let scale = scale_from_env();
+    let panels: [(Application, &str, f64); 4] = [
+        (Application::Miranda, "pressure", 0.1),
+        (Application::Nyx, "temperature", 0.4),
+        (Application::QmcPack, "inspline", 0.1),
+        (Application::Hurricane, "U", 0.3),
+    ];
+    let block_sizes = [8usize, 16, 32, 64, 128];
+    println!("Figure 2: CDF of block relative value range ({scale:?})");
+    for (app, field_name, xmax) in panels {
+        let ds = app.generate(scale, seed_for(app));
+        let field = ds.field(field_name).unwrap_or_else(|| &ds.fields[0]);
+        println!("\n  {} ({}), x in [0, {xmax}]", ds.name, field.name);
+        let points: Vec<f64> = (0..=20).map(|i| xmax * i as f64 / 20.0).collect();
+        let mut csv = String::from("range");
+        for &bs in &block_sizes {
+            write!(csv, ",bs{bs}").unwrap();
+        }
+        csv.push('\n');
+        let series: Vec<Vec<f64>> = block_sizes
+            .iter()
+            .map(|&bs| block_range_cdf(&field.data, bs, &points))
+            .collect();
+        print!("  {:>8}", "range");
+        for &bs in &block_sizes {
+            print!(" {:>7}", format!("bs={bs}"));
+        }
+        println!();
+        for (pi, &p) in points.iter().enumerate() {
+            write!(csv, "{p:.5}").unwrap();
+            print!("  {p:>8.4}");
+            for s in &series {
+                print!(" {:>6.1}%", s[pi] * 100.0);
+                write!(csv, ",{:.4}", s[pi]).unwrap();
+            }
+            println!();
+            csv.push('\n');
+        }
+        let path = results_path(&format!(
+            "fig2_{}_{}.csv",
+            ds.name.to_lowercase(),
+            field.name.replace('-', "_")
+        ));
+        std::fs::write(&path, csv).expect("write csv");
+        // The paper's qualitative claim: smaller blocks dominate the CDF.
+        let small = series[0][2];
+        let large = series[4][2];
+        println!("  (bs=8 CDF at {:.3}: {:.0}%  >=  bs=128: {:.0}%)", points[2], small * 100.0, large * 100.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 6: space overhead of the bitwise right-shift optimization
+//! (Solution C vs exact-bit Solutions A/B), per Formula (6). For Hurricane
+//! and Miranda at REL 1e-3/1e-4/1e-5 and block sizes 8..128, prints the
+//! min / 2nd-min / mean / 2nd-max / max overhead across fields.
+
+use bench::{scale_from_env, seed_for};
+use szx_core::analysis::shift_overhead;
+use szx_core::SzxConfig;
+use szx_data::Application;
+
+fn main() {
+    let scale = scale_from_env();
+    let block_sizes = [8usize, 16, 32, 64, 128];
+    println!("Figure 6: space overhead of bitwise right shifting ({scale:?})");
+    for app in [Application::Hurricane, Application::Miranda] {
+        let ds = app.generate(scale, seed_for(app));
+        for rel in [1e-3, 1e-4, 1e-5] {
+            println!("\n  {} (REL={rel:.0e})", ds.name);
+            println!(
+                "  {:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "bs", "min", "2nd-min", "mean", "2nd-max", "max"
+            );
+            for &bs in &block_sizes {
+                let mut overheads: Vec<f64> = ds
+                    .fields
+                    .iter()
+                    .map(|f| {
+                        let cfg = SzxConfig::relative(rel).with_block_size(bs);
+                        shift_overhead(&f.data, &cfg).expect("overhead").overhead_ratio()
+                    })
+                    .collect();
+                overheads.sort_by(|a, b| a.total_cmp(b));
+                let n = overheads.len();
+                let mean = overheads.iter().sum::<f64>() / n as f64;
+                println!(
+                    "  {:>6} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
+                    bs,
+                    overheads[0] * 100.0,
+                    overheads[1.min(n - 1)] * 100.0,
+                    mean * 100.0,
+                    overheads[n.saturating_sub(2)] * 100.0,
+                    overheads[n - 1] * 100.0
+                );
+            }
+        }
+    }
+    println!("\n  (paper: max overhead < 12%, mean around or below 5%)");
+}

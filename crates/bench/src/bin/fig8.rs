@@ -1,0 +1,40 @@
+//! Figure 8: compression quality of Miranda under various block sizes —
+//! CR and PSNR per field for block sizes 8..224 at REL 1e-3 and 1e-4.
+
+use bench::{scale_from_env, seed_for};
+use szx_core::SzxConfig;
+use szx_data::Application;
+use szx_metrics::distortion;
+
+fn main() {
+    let scale = scale_from_env();
+    let ds = Application::Miranda.generate(scale, seed_for(Application::Miranda));
+    let block_sizes = [8usize, 16, 32, 64, 128, 224];
+    for rel in [1e-3, 1e-4] {
+        for metric in ["CR", "PSNR"] {
+            println!("\nFigure 8: Miranda {metric} (REL={rel:.0e}, {scale:?})");
+            print!("{:<14}", "field");
+            for &bs in &block_sizes {
+                print!(" {:>8}", format!("bs={bs}"));
+            }
+            println!();
+            for field in &ds.fields {
+                print!("{:<14}", field.name);
+                for &bs in &block_sizes {
+                    let cfg = SzxConfig::relative(rel).with_block_size(bs);
+                    let bytes = szx_core::compress(&field.data, &cfg).expect("compress");
+                    if metric == "CR" {
+                        let cr = (field.raw_bytes()) as f64 / bytes.len() as f64;
+                        print!(" {cr:>8.2}");
+                    } else {
+                        let back: Vec<f32> = szx_core::decompress(&bytes).expect("decompress");
+                        let stats = distortion(&field.data, &back);
+                        print!(" {:>8.1}", stats.psnr);
+                    }
+                }
+                println!();
+            }
+        }
+    }
+    println!("\n(paper: CR grows then saturates around bs=128; PSNR flat across bs)");
+}

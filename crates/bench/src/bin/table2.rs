@@ -1,0 +1,27 @@
+//! Table 2: the application datasets. Prints the registry metadata plus the
+//! dimensions actually generated at the selected scale.
+
+use bench::{scale_from_env, seed_for};
+use szx_data::Application;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Table 2: Applications (synthetic stand-ins; scale {scale:?})");
+    println!(
+        "{:<12} {:>8}  {:<18} {:<18} {}",
+        "Application", "#fields", "full size/field", "generated size", "description"
+    );
+    for app in Application::ALL {
+        let (count, dims, desc) = app.spec();
+        let ds = app.generate_limited(scale, seed_for(app), 1);
+        let g = ds.fields[0].dims;
+        println!(
+            "{:<12} {:>8}  {:<18} {:<18} {}",
+            app.short_name(),
+            count,
+            format!("{}x{}x{}", dims[0], dims[1], dims[2]),
+            format!("{}x{}x{}", g[0], g[1], g[2]),
+            desc
+        );
+    }
+}

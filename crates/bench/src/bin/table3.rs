@@ -1,0 +1,73 @@
+//! Table 3: compression ratios (min / overall harmonic mean / max across
+//! fields) for SZx, ZFP-like, SZ-like, and the lossless LZ baseline, on all
+//! six applications at REL 1e-2 / 1e-3 / 1e-4.
+
+use bench::{scale_from_env, seed_for, REL_BOUNDS};
+use szx_baselines::{lzlike, szlike, zfplike};
+use szx_core::SzxConfig;
+use szx_data::{Application, Field};
+use szx_metrics::aggregate;
+
+fn field_cr(field: &Field, compressed_len: usize) -> f64 {
+    field.raw_bytes() as f64 / compressed_len as f64
+}
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Table 3: compression ratios (min/avg/max per app; scale {scale:?})");
+    println!(
+        "{:<6} {:>5} | {}",
+        "codec",
+        "REL",
+        Application::ALL.map(|a| format!("{:>20}", a.short_name())).join(" ")
+    );
+
+    let datasets: Vec<_> = Application::ALL
+        .iter()
+        .map(|app| app.generate(scale, seed_for(*app)))
+        .collect();
+
+    for codec in ["SZx", "ZFP", "SZ"] {
+        for rel in REL_BOUNDS {
+            print!("{codec:<6} {rel:>5.0e} |");
+            for ds in &datasets {
+                let ratios: Vec<f64> = ds
+                    .fields
+                    .iter()
+                    .map(|f| {
+                        let eb = rel * f.value_range();
+                        let len = match codec {
+                            "SZx" => szx_core::compress(&f.data, &SzxConfig::absolute(eb))
+                                .expect("szx")
+                                .len(),
+                            "ZFP" => {
+                                // zfp accuracy mode needs eb > 0; constant
+                                // fields degrade to a tiny positive bound.
+                                let eb = if eb > 0.0 { eb } else { 1e-30 };
+                                zfplike::compress(&f.data, f.dims, eb).expect("zfp").len()
+                            }
+                            _ => szlike::compress(&f.data, f.dims, eb).expect("sz").len(),
+                        };
+                        field_cr(f, len)
+                    })
+                    .collect();
+                let s = aggregate(&ratios);
+                print!(" {:>5.1}/{:>5.1}/{:>6.1}", s.min, s.harmonic_mean, s.max);
+            }
+            println!();
+        }
+    }
+    // Lossless reference row (bound-independent).
+    print!("{:<6} {:>5} |", "zstd", "-");
+    for ds in &datasets {
+        let ratios: Vec<f64> = ds
+            .fields
+            .iter()
+            .map(|f| field_cr(f, lzlike::compress_f32(&f.data).expect("lz").len()))
+            .collect();
+        let s = aggregate(&ratios);
+        print!(" {:>5.2}/{:>5.2}/{:>6.2}", s.min, s.harmonic_mean, s.max);
+    }
+    println!();
+    println!("\n(paper shape: CR(SZ) > CR(ZFP) > CR(SZx) >> CR(zstd at 1.1-1.5))");
+}

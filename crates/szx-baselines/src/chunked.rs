@@ -1,0 +1,230 @@
+//! OpenMP-style multicore wrappers for the baseline codecs (omp-SZ /
+//! omp-ZFP in Tables 6–7): the grid is split into contiguous slabs along
+//! its slowest non-trivial axis, each slab is compressed independently in
+//! parallel, and the container records per-slab stream sizes.
+
+use rayon::prelude::*;
+
+use crate::error::{BaselineError, Result};
+use crate::{szlike, zfplike};
+
+const MAGIC: [u8; 4] = *b"CHK1";
+
+/// Which serial codec the chunks use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    SzLike,
+    ZfpLike,
+}
+
+impl Codec {
+    fn code(self) -> u8 {
+        match self {
+            Codec::SzLike => 0,
+            Codec::ZfpLike => 1,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Codec> {
+        match c {
+            0 => Ok(Codec::SzLike),
+            1 => Ok(Codec::ZfpLike),
+            _ => Err(BaselineError::Corrupt(format!("unknown codec {c}"))),
+        }
+    }
+
+    fn compress(self, data: &[f32], dims: [usize; 3], eb: f64) -> Result<Vec<u8>> {
+        match self {
+            Codec::SzLike => szlike::compress(data, dims, eb),
+            Codec::ZfpLike => zfplike::compress(data, dims, eb),
+        }
+    }
+
+    fn decompress(self, bytes: &[u8]) -> Result<(Vec<f32>, [usize; 3])> {
+        match self {
+            Codec::SzLike => szlike::decompress(bytes),
+            Codec::ZfpLike => zfplike::decompress(bytes),
+        }
+    }
+}
+
+/// Split `dims` into up to `n_chunks` slabs along the slowest non-trivial
+/// axis. Returns (axis, slab extents).
+fn split(dims: [usize; 3], n_chunks: usize) -> (usize, Vec<usize>) {
+    let axis = if dims[2] > 1 {
+        2
+    } else if dims[1] > 1 {
+        1
+    } else {
+        0
+    };
+    let len = dims[axis];
+    let k = n_chunks.max(1).min(len);
+    let base = len / k;
+    let rem = len % k;
+    let extents = (0..k).map(|i| base + usize::from(i < rem)).collect();
+    (axis, extents)
+}
+
+/// Parallel compression with `n_chunks` independent slabs (use the rayon
+/// thread count for the paper's omp experiments).
+pub fn compress_par(
+    data: &[f32],
+    dims: [usize; 3],
+    eb: f64,
+    codec: Codec,
+    n_chunks: usize,
+) -> Result<Vec<u8>> {
+    let n = dims[0] * dims[1] * dims[2];
+    if n == 0 || data.len() != n {
+        return Err(BaselineError::Invalid(format!(
+            "dims {dims:?} do not match {} elements",
+            data.len()
+        )));
+    }
+    let (axis, extents) = split(dims, n_chunks);
+    let plane: usize = dims[..axis].iter().product::<usize>().max(1);
+    let row = plane * dims[axis - usize::from(axis > 0)].max(1); // unused; kept simple below
+
+    let _ = row;
+    // Elements per unit along the split axis.
+    let unit: usize = match axis {
+        0 => 1,
+        1 => dims[0],
+        _ => dims[0] * dims[1],
+    };
+    let mut slabs = Vec::with_capacity(extents.len());
+    let mut off = 0usize;
+    for &e in &extents {
+        let elems = e * unit;
+        let mut sub = dims;
+        sub[axis] = e;
+        slabs.push((off, elems, sub));
+        off += elems;
+    }
+
+    let streams: Vec<Result<Vec<u8>>> = slabs
+        .par_iter()
+        .map(|&(off, elems, sub)| codec.compress(&data[off..off + elems], sub, eb))
+        .collect();
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.push(codec.code());
+    out.push(axis as u8);
+    out.extend_from_slice(&(streams.len() as u32).to_le_bytes());
+    for d in dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    let mut bodies = Vec::with_capacity(streams.len());
+    for s in streams {
+        bodies.push(s?);
+    }
+    for b in &bodies {
+        out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+    }
+    for b in &bodies {
+        out.extend_from_slice(b);
+    }
+    Ok(out)
+}
+
+/// Parallel decompression of a [`compress_par`] container.
+pub fn decompress_par(bytes: &[u8]) -> Result<(Vec<f32>, [usize; 3])> {
+    if bytes.len() < 34 || bytes[0..4] != MAGIC {
+        return Err(BaselineError::Corrupt("bad container header".into()));
+    }
+    let codec = Codec::from_code(bytes[4])?;
+    let _axis = bytes[5];
+    let k = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+    let mut dims = [0usize; 3];
+    for (i, d) in dims.iter_mut().enumerate() {
+        *d = u64::from_le_bytes(bytes[10 + 8 * i..18 + 8 * i].try_into().unwrap()) as usize;
+    }
+    let mut pos = 34;
+    if bytes.len() < pos + 8 * k {
+        return Err(BaselineError::Corrupt("size table truncated".into()));
+    }
+    let mut sizes = Vec::with_capacity(k);
+    for _ in 0..k {
+        sizes.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize);
+        pos += 8;
+    }
+    let total: usize = sizes.iter().sum();
+    if bytes.len() < pos + total {
+        return Err(BaselineError::Corrupt("chunk bodies truncated".into()));
+    }
+    let mut slices = Vec::with_capacity(k);
+    for &s in &sizes {
+        slices.push(&bytes[pos..pos + s]);
+        pos += s;
+    }
+    let parts: Vec<Result<(Vec<f32>, [usize; 3])>> =
+        slices.par_iter().map(|s| codec.decompress(s)).collect();
+    let mut out = Vec::with_capacity(dims[0] * dims[1] * dims[2]);
+    for p in parts {
+        out.extend_from_slice(&p?.0);
+    }
+    if out.len() != dims[0] * dims[1] * dims[2] {
+        return Err(BaselineError::Corrupt("reassembled size mismatch".into()));
+    }
+    Ok((out, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(nx: usize, ny: usize, nz: usize) -> (Vec<f32>, [usize; 3]) {
+        let mut v = Vec::with_capacity(nx * ny * nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    v.push((x as f32 * 0.1).sin() + (y as f32 * 0.05).cos() + z as f32 * 0.02);
+                }
+            }
+        }
+        (v, [nx, ny, nz])
+    }
+
+    #[test]
+    fn parallel_roundtrip_both_codecs() {
+        let (data, dims) = grid(32, 24, 12);
+        for codec in [Codec::SzLike, Codec::ZfpLike] {
+            let bytes = compress_par(&data, dims, 1e-3, codec, 8).unwrap();
+            let (back, bdims) = decompress_par(&bytes).unwrap();
+            assert_eq!(bdims, dims);
+            for (&a, &b) in data.iter().zip(&back) {
+                assert!((a as f64 - b as f64).abs() <= 1e-3, "{codec:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_count_variants() {
+        let (data, dims) = grid(16, 16, 5);
+        for k in [1, 2, 5, 64] {
+            let bytes = compress_par(&data, dims, 1e-4, Codec::SzLike, k).unwrap();
+            let (back, _) = decompress_par(&bytes).unwrap();
+            assert!(data.iter().zip(&back).all(|(a, b)| (a - b).abs() as f64 <= 1e-4));
+        }
+    }
+
+    #[test]
+    fn one_d_data_splits_along_x() {
+        let (data, dims) = grid(2000, 1, 1);
+        let bytes = compress_par(&data, dims, 1e-3, Codec::ZfpLike, 4).unwrap();
+        let (back, _) = decompress_par(&bytes).unwrap();
+        assert!(data.iter().zip(&back).all(|(a, b)| (a - b).abs() as f64 <= 1e-3));
+    }
+
+    #[test]
+    fn corrupt_container_errors() {
+        let (data, dims) = grid(16, 8, 2);
+        let bytes = compress_par(&data, dims, 1e-3, Codec::SzLike, 2).unwrap();
+        assert!(decompress_par(&bytes[..12]).is_err());
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(decompress_par(&bad).is_err());
+    }
+}

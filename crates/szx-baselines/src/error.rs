@@ -1,0 +1,35 @@
+//! Shared error type for the baseline codecs.
+
+use core::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Bad arguments (dims/data mismatch, non-finite bound, ...).
+    Invalid(String),
+    /// Malformed or truncated compressed stream.
+    Corrupt(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Invalid(m) => write!(f, "invalid input: {m}"),
+            BaselineError::Corrupt(m) => write!(f, "corrupt stream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+pub type Result<T> = core::result::Result<T, BaselineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(BaselineError::Invalid("x".into()).to_string().contains("invalid"));
+        assert!(BaselineError::Corrupt("y".into()).to_string().contains("corrupt"));
+    }
+}

@@ -1,0 +1,401 @@
+//! Canonical Huffman coding over `u32` symbols, built from scratch.
+//!
+//! Used by the SZ-like codec (quantization bins) and the LZ-like lossless
+//! codec (literals/lengths). Encoding uses canonical codes so the table
+//! serializes as one code length per symbol; decoding uses a two-level
+//! lookup (fast table for short codes, fallback walk for long ones).
+
+use szx_core::bitio::{BitReader, BitWriter};
+
+/// Maximum admissible code length. Lengths are limited by flattening the
+/// tree (see `limit_lengths`), which keeps the decoder table small.
+const MAX_LEN: u32 = 24;
+/// Width of the fast decode table.
+const FAST_BITS: u32 = 10;
+
+/// A canonical Huffman code for `n` symbols.
+#[derive(Debug, Clone)]
+pub struct HuffmanCode {
+    /// Code length per symbol (0 = symbol absent).
+    pub lengths: Vec<u8>,
+    /// Canonical code bits per symbol (MSB-first, `lengths[i]` bits).
+    codes: Vec<u32>,
+}
+
+impl HuffmanCode {
+    /// Build from symbol frequencies. At least one frequency must be
+    /// nonzero. A single-symbol alphabet gets a 1-bit code.
+    pub fn from_frequencies(freqs: &[u64]) -> HuffmanCode {
+        assert!(!freqs.is_empty(), "empty alphabet");
+        let n = freqs.len();
+        // Heap-based tree construction over (weight, node) pairs.
+        // Nodes: 0..n are leaves, then internal.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut parent: Vec<usize> = vec![usize::MAX; n];
+        for (i, &f) in freqs.iter().enumerate() {
+            if f > 0 {
+                heap.push(Reverse((f, i)));
+            }
+        }
+        if heap.is_empty() {
+            panic!("all symbol frequencies are zero");
+        }
+        if heap.len() == 1 {
+            let Reverse((_, sym)) = heap.pop().unwrap();
+            let mut lengths = vec![0u8; n];
+            lengths[sym] = 1;
+            let mut code = HuffmanCode { lengths, codes: vec![0; n] };
+            code.assign_canonical();
+            return code;
+        }
+        let mut next = n;
+        while heap.len() > 1 {
+            let Reverse((wa, a)) = heap.pop().unwrap();
+            let Reverse((wb, b)) = heap.pop().unwrap();
+            parent.resize(next + 1, usize::MAX);
+            parent[a] = next;
+            parent[b] = next;
+            heap.push(Reverse((wa + wb, next)));
+            next += 1;
+        }
+        // Depth of each leaf = code length.
+        let mut lengths = vec![0u8; n];
+        for (i, length) in lengths.iter_mut().enumerate() {
+            if freqs[i] == 0 {
+                continue;
+            }
+            let mut d = 0u32;
+            let mut node = i;
+            while parent[node] != usize::MAX {
+                node = parent[node];
+                d += 1;
+            }
+            *length = d.max(1) as u8;
+        }
+        limit_lengths(&mut lengths, MAX_LEN as u8);
+        let mut code = HuffmanCode { lengths, codes: vec![0; n] };
+        code.assign_canonical();
+        code
+    }
+
+    /// Rebuild from serialized lengths (the decoder side).
+    pub fn from_lengths(lengths: Vec<u8>) -> Option<HuffmanCode> {
+        // Validate Kraft inequality and the length cap.
+        let mut kraft = 0u64;
+        let mut any = false;
+        for &l in &lengths {
+            if l > MAX_LEN as u8 {
+                return None;
+            }
+            if l > 0 {
+                any = true;
+                kraft += 1u64 << (MAX_LEN - l as u32);
+            }
+        }
+        if !any || kraft > 1u64 << MAX_LEN {
+            return None;
+        }
+        let mut code = HuffmanCode { codes: vec![0; lengths.len()], lengths };
+        code.assign_canonical();
+        Some(code)
+    }
+
+    fn assign_canonical(&mut self) {
+        // Count lengths, assign first code per length, then per-symbol codes
+        // in symbol order (canonical form).
+        let mut count = [0u32; (MAX_LEN + 1) as usize];
+        for &l in &self.lengths {
+            count[l as usize] += 1;
+        }
+        // Absent symbols (length 0) take part in no code space.
+        count[0] = 0;
+        let mut next = [0u32; (MAX_LEN + 2) as usize];
+        let mut code = 0u32;
+        for len in 1..=MAX_LEN {
+            code = (code + count[(len - 1) as usize]) << 1;
+            next[len as usize] = code;
+        }
+        for (i, &l) in self.lengths.iter().enumerate() {
+            if l > 0 {
+                self.codes[i] = next[l as usize];
+                next[l as usize] += 1;
+            }
+        }
+    }
+
+    /// Append the code for `symbol` to the writer.
+    #[inline]
+    pub fn encode(&self, symbol: usize, w: &mut BitWriter) {
+        let len = self.lengths[symbol];
+        debug_assert!(len > 0, "encoding absent symbol {symbol}");
+        w.write_bits(self.codes[symbol] as u64, len as u32);
+    }
+
+    /// Serialize the table. Large alphabets with few used symbols (the
+    /// normal case for quantization bins) are stored sparsely as
+    /// (symbol, length) pairs so the table does not dominate the stream.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        let n = self.lengths.len();
+        let used = self.lengths.iter().filter(|&&l| l > 0).count();
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        if used * 5 < n {
+            out.push(1); // sparse
+            out.extend_from_slice(&(used as u32).to_le_bytes());
+            for (sym, &l) in self.lengths.iter().enumerate() {
+                if l > 0 {
+                    out.extend_from_slice(&(sym as u32).to_le_bytes());
+                    out.push(l);
+                }
+            }
+        } else {
+            out.push(0); // dense
+            out.extend_from_slice(&self.lengths);
+        }
+    }
+
+    /// Deserialize a table; returns (code, bytes consumed).
+    pub fn deserialize(bytes: &[u8]) -> Option<(HuffmanCode, usize)> {
+        if bytes.len() < 5 {
+            return None;
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        if n == 0 || n > 1 << 24 {
+            return None;
+        }
+        match bytes[4] {
+            0 => {
+                if bytes.len() < 5 + n {
+                    return None;
+                }
+                let lengths = bytes[5..5 + n].to_vec();
+                HuffmanCode::from_lengths(lengths).map(|c| (c, 5 + n))
+            }
+            1 => {
+                if bytes.len() < 9 {
+                    return None;
+                }
+                let used = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+                if bytes.len() < 9 + used * 5 {
+                    return None;
+                }
+                let mut lengths = vec![0u8; n];
+                for k in 0..used {
+                    let off = 9 + k * 5;
+                    let sym =
+                        u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+                    if sym >= n {
+                        return None;
+                    }
+                    lengths[sym] = bytes[off + 4];
+                }
+                HuffmanCode::from_lengths(lengths).map(|c| (c, 9 + used * 5))
+            }
+            _ => None,
+        }
+    }
+
+    /// Build a decoder for this code.
+    pub fn decoder(&self) -> HuffmanDecoder {
+        let mut fast = vec![(0u32, 0u8); 1 << FAST_BITS];
+        let mut slow: Vec<(u8, u32, u32)> = Vec::new(); // (len, code, symbol)
+        for (sym, (&len, &code)) in self.lengths.iter().zip(&self.codes).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let len32 = len as u32;
+            if len32 <= FAST_BITS {
+                // All FAST_BITS-bit patterns with this prefix decode to sym.
+                let shift = FAST_BITS - len32;
+                let base = code << shift;
+                for fill in 0..(1u32 << shift) {
+                    fast[(base | fill) as usize] = (sym as u32, len);
+                }
+            } else {
+                slow.push((len, code, sym as u32));
+            }
+        }
+        slow.sort_unstable();
+        HuffmanDecoder { fast, slow }
+    }
+}
+
+/// Table-driven decoder.
+#[derive(Debug)]
+pub struct HuffmanDecoder {
+    /// Indexed by the next `FAST_BITS` bits: (symbol, code length); length 0
+    /// marks a long code that needs the slow path.
+    fast: Vec<(u32, u8)>,
+    /// Long codes, sorted by (length, code) for binary search.
+    slow: Vec<(u8, u32, u32)>,
+}
+
+impl HuffmanDecoder {
+    /// Decode one symbol; `None` on malformed/truncated input.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<u32> {
+        let avail = r.remaining().min(FAST_BITS as usize) as u32;
+        if avail == 0 {
+            return None;
+        }
+        let peek = (r.peek_bits(avail)? << (FAST_BITS - avail)) as u32;
+        let (sym, len) = self.fast[peek as usize];
+        if len > 0 && len as u32 <= avail {
+            r.skip_bits(len as u32);
+            return Some(sym);
+        }
+        // Long code: accumulate bits and search the sorted (len, code) list.
+        let mut code = 0u32;
+        let mut len = 0u8;
+        while (len as u32) < MAX_LEN {
+            code = (code << 1) | r.read_bits(1)? as u32;
+            len += 1;
+            if len as u32 > FAST_BITS {
+                if let Ok(i) = self.slow.binary_search_by(|e| (e.0, e.1).cmp(&(len, code))) {
+                    return Some(self.slow[i].2);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Flatten over-long codes to `max` bits, preserving the Kraft inequality
+/// (simple heuristic: clamp, then repair by lengthening the shortest codes).
+fn limit_lengths(lengths: &mut [u8], max: u8) {
+    let mut kraft: i64 = 0;
+    let unit = 1i64 << max;
+    for l in lengths.iter_mut() {
+        if *l > max {
+            *l = max;
+        }
+        if *l > 0 {
+            kraft += unit >> *l;
+        }
+    }
+    // If over-subscribed, lengthen the shortest codes until it fits.
+    while kraft > unit {
+        // Find the symbol with the smallest length > 0 that can grow.
+        let mut best: Option<usize> = None;
+        for (i, &l) in lengths.iter().enumerate() {
+            if l > 0 && l < max && best.map_or(true, |b| l < lengths[b]) {
+                best = Some(i);
+            }
+        }
+        let i = best.expect("cannot repair Huffman lengths");
+        kraft -= unit >> lengths[i];
+        lengths[i] += 1;
+        kraft += unit >> lengths[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32], alphabet: usize) {
+        let mut freqs = vec![0u64; alphabet];
+        for &s in symbols {
+            freqs[s as usize] += 1;
+        }
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        for &s in symbols {
+            code.encode(s as usize, &mut w);
+        }
+        let bytes = w.into_bytes();
+
+        let mut ser = Vec::new();
+        code.serialize(&mut ser);
+        let (code2, used) = HuffmanCode::deserialize(&ser).unwrap();
+        assert_eq!(used, ser.len());
+        assert_eq!(code2.lengths, code.lengths);
+
+        let dec = code2.decoder();
+        let mut r = BitReader::new(&bytes);
+        for &s in symbols {
+            assert_eq!(dec.decode(&mut r), Some(s));
+        }
+    }
+
+    #[test]
+    fn roundtrip_small_alphabet() {
+        roundtrip(&[0, 1, 2, 1, 0, 0, 0, 3, 2, 1, 0], 4);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        roundtrip(&[5; 100], 8);
+    }
+
+    #[test]
+    fn roundtrip_skewed_distribution() {
+        // Geometric-ish: symbol i has frequency 2^(16-i).
+        let mut symbols = Vec::new();
+        for i in 0..16u32 {
+            for _ in 0..(1 << (16 - i)) {
+                symbols.push(i);
+            }
+        }
+        roundtrip(&symbols, 16);
+    }
+
+    #[test]
+    fn roundtrip_large_alphabet() {
+        let symbols: Vec<u32> = (0..5000u32).map(|i| (i * i) % 1024).collect();
+        roundtrip(&symbols, 1024);
+    }
+
+    #[test]
+    fn skewed_code_is_shorter_than_uniform() {
+        let mut freqs = vec![1u64; 256];
+        freqs[0] = 1_000_000;
+        let code = HuffmanCode::from_frequencies(&freqs);
+        assert!(code.lengths[0] < 4, "hot symbol must get a short code");
+        assert!(code.lengths[255] > 4, "cold symbols get long codes");
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(HuffmanCode::deserialize(&[]).is_none());
+        assert!(HuffmanCode::deserialize(&[1, 0, 0, 0]).is_none(), "truncated lengths");
+        // Kraft violation: three 1-bit codes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[1, 1, 1]);
+        assert!(HuffmanCode::deserialize(&bytes).is_none());
+        // All-zero lengths.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0]);
+        assert!(HuffmanCode::deserialize(&bytes).is_none());
+    }
+
+    #[test]
+    fn decode_truncated_stream_is_none() {
+        let freqs = vec![1u64, 1, 1, 1];
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        code.encode(0, &mut w);
+        let bytes = w.into_bytes();
+        let dec = code.decoder();
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.decode(&mut r).is_some());
+        // Bits are exhausted (only padding remains, which may or may not
+        // decode); drain and ensure we eventually get None without panicking.
+        let mut guard = 0;
+        while dec.decode(&mut r).is_some() {
+            guard += 1;
+            assert!(guard < 16, "decoder must run out of bits");
+        }
+    }
+
+    #[test]
+    fn limit_lengths_repairs_kraft() {
+        let mut lengths = vec![30u8, 30, 2, 2, 2, 2];
+        limit_lengths(&mut lengths, 24);
+        let kraft: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (24 - l as u32)).sum();
+        assert!(kraft <= 1 << 24);
+    }
+}

@@ -1,0 +1,284 @@
+//! Zstd-like lossless byte compressor: LZ77 with hash-chain match finding
+//! followed by a canonical-Huffman entropy stage over the token stream.
+//!
+//! Stands in for the paper's "zstd" row in Table 3: on floating-point
+//! scientific data, byte-oriented lossless compression only reaches CR
+//! ≈ 1.1–1.5 — the motivation for error-bounded lossy compression.
+
+use szx_core::bitio::{BitReader, BitWriter};
+
+use crate::error::{BaselineError, Result};
+use crate::huffman::HuffmanCode;
+
+const MAGIC: [u8; 4] = *b"LZL1";
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 255 + MIN_MATCH;
+const WINDOW: usize = 1 << 16;
+const HASH_BITS: u32 = 16;
+const CHAIN_DEPTH: usize = 16;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Tokenize `input` into an intermediate byte stream:
+/// `[lit_len u8][literals...][match_len u8][offset u16]`-style records where
+/// `lit_len`/`match_len` 255 escapes extend with continuation bytes;
+/// `match_len == 0` terminates (no match, end of input).
+fn lz_tokenize(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut head = vec![u32::MAX; 1 << HASH_BITS];
+    let mut chain = vec![u32::MAX; input.len()];
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+
+    let emit_len = |out: &mut Vec<u8>, mut len: usize| {
+        while len >= 255 {
+            out.push(255);
+            len -= 255;
+        }
+        out.push(len as u8);
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        // Walk the chain for the best (longest) match in the window.
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        let mut cand = head[h];
+        let mut depth = 0;
+        while cand != u32::MAX && depth < CHAIN_DEPTH {
+            let c = cand as usize;
+            if i - c > WINDOW {
+                break;
+            }
+            let limit = (input.len() - i).min(MAX_MATCH);
+            let mut l = 0usize;
+            while l < limit && input[c + l] == input[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_off = i - c;
+            }
+            cand = chain[c];
+            depth += 1;
+        }
+        if best_len >= MIN_MATCH {
+            // Flush pending literals, then the match.
+            emit_len(&mut out, i - lit_start);
+            out.extend_from_slice(&input[lit_start..i]);
+            emit_len(&mut out, best_len - MIN_MATCH + 1); // 0 reserved for EOF
+            out.extend_from_slice(&(best_off as u16).to_le_bytes());
+            // Insert hash entries for the matched region (sparsely, every
+            // other position, to bound the cost).
+            let end = i + best_len;
+            while i < end && i + MIN_MATCH <= input.len() {
+                let h = hash4(&input[i..]);
+                chain[i] = head[h];
+                head[h] = i as u32;
+                i += 2;
+            }
+            i = end;
+            lit_start = i;
+        } else {
+            chain[i] = head[h];
+            head[h] = i as u32;
+            i += 1;
+        }
+    }
+    // Trailing literals + EOF marker (match_len record 0).
+    emit_len(&mut out, input.len() - lit_start);
+    out.extend_from_slice(&input[lit_start..]);
+    out.push(0);
+    out
+}
+
+/// Expand the token stream produced by [`lz_tokenize`].
+fn lz_expand(tokens: &[u8], size_hint: usize) -> Result<Vec<u8>> {
+    // A token byte expands to at most ~260 output bytes; clamp the hint so
+    // a forged header cannot demand an absurd allocation up front.
+    let mut out = Vec::with_capacity(size_hint.min(tokens.len().saturating_mul(260) + 16));
+    let mut p = 0usize;
+    let read_len = |p: &mut usize| -> Result<usize> {
+        let mut len = 0usize;
+        loop {
+            let b = *tokens
+                .get(*p)
+                .ok_or_else(|| BaselineError::Corrupt("token stream truncated".into()))?;
+            *p += 1;
+            len += b as usize;
+            if b != 255 {
+                return Ok(len);
+            }
+        }
+    };
+    loop {
+        let lit_len = read_len(&mut p)?;
+        if p + lit_len > tokens.len() {
+            return Err(BaselineError::Corrupt("literal run truncated".into()));
+        }
+        out.extend_from_slice(&tokens[p..p + lit_len]);
+        p += lit_len;
+        let mlen = read_len(&mut p)?;
+        if mlen == 0 {
+            return Ok(out); // EOF marker
+        }
+        let mlen = mlen - 1 + MIN_MATCH;
+        if p + 2 > tokens.len() {
+            return Err(BaselineError::Corrupt("offset truncated".into()));
+        }
+        let off = u16::from_le_bytes([tokens[p], tokens[p + 1]]) as usize;
+        p += 2;
+        if off == 0 || off > out.len() {
+            return Err(BaselineError::Corrupt(format!("bad match offset {off}")));
+        }
+        // Byte-by-byte copy supports overlapping matches (RLE-style).
+        let start = out.len() - off;
+        for k in 0..mlen {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+}
+
+/// Compress arbitrary bytes losslessly.
+pub fn compress(input: &[u8]) -> Result<Vec<u8>> {
+    if input.is_empty() {
+        return Err(BaselineError::Invalid("empty input".into()));
+    }
+    let tokens = lz_tokenize(input);
+    // Entropy stage over the token bytes.
+    let mut freqs = vec![0u64; 256];
+    for &b in &tokens {
+        freqs[b as usize] += 1;
+    }
+    let code = HuffmanCode::from_frequencies(&freqs);
+    let mut bits = BitWriter::with_capacity(tokens.len());
+    for &b in &tokens {
+        code.encode(b as usize, &mut bits);
+    }
+    let mut out = Vec::with_capacity(tokens.len() / 2 + 300);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(tokens.len() as u64).to_le_bytes());
+    code.serialize(&mut out);
+    out.extend_from_slice(bits.as_bytes());
+    Ok(out)
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>> {
+    if bytes.len() < 20 || bytes[0..4] != MAGIC {
+        return Err(BaselineError::Corrupt("bad header".into()));
+    }
+    let n = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
+    let n_tokens = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    if n_tokens > bytes.len().saturating_mul(64) {
+        return Err(BaselineError::Corrupt("implausible token count".into()));
+    }
+    let (code, used) = HuffmanCode::deserialize(&bytes[20..])
+        .ok_or_else(|| BaselineError::Corrupt("bad Huffman table".into()))?;
+    let decoder = code.decoder();
+    let mut r = BitReader::new(&bytes[20 + used..]);
+    let mut tokens = Vec::with_capacity(n_tokens);
+    for _ in 0..n_tokens {
+        let b = decoder
+            .decode(&mut r)
+            .ok_or_else(|| BaselineError::Corrupt("entropy stream truncated".into()))?;
+        tokens.push(b as u8);
+    }
+    let out = lz_expand(&tokens, n)?;
+    if out.len() != n {
+        return Err(BaselineError::Corrupt(format!(
+            "expanded to {} bytes, header claims {n}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Convenience: compress an f32 slice (little-endian bytes).
+pub fn compress_f32(data: &[f32]) -> Result<Vec<u8>> {
+    let mut bytes = Vec::with_capacity(data.len() * 4);
+    for &v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    compress(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data).unwrap();
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        roundtrip(b"the quick brown fox jumps over the lazy dog, the quick brown fox again");
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let data: Vec<u8> = (0..10_000).map(|i| ((i / 100) % 7) as u8).collect();
+        let c = compress(&data).unwrap();
+        assert!(c.len() < data.len() / 5, "repetitive data must crush: {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        let data: Vec<u8> = (0..5000u32)
+            .map(|i| (i.wrapping_mul(0x9e3779b1) >> 13) as u8)
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_overlapping_matches() {
+        // Classic RLE case: offset 1, long match.
+        let mut data = vec![7u8; 1000];
+        data.extend_from_slice(b"tail");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_single_byte_and_small() {
+        roundtrip(&[42]);
+        roundtrip(&[1, 2, 3]);
+        roundtrip(&[0; 4]);
+    }
+
+    #[test]
+    fn float_data_gets_modest_ratio() {
+        // Smooth f32 data: lossless CR should land in the paper's 1.1–2
+        // band, far below the lossy codecs.
+        let data: Vec<f32> = (0..100_000).map(|i| (i as f32 * 0.001).sin()).collect();
+        let c = compress_f32(&data).unwrap();
+        let cr = (data.len() * 4) as f64 / c.len() as f64;
+        assert!(cr > 1.02 && cr < 4.0, "cr {cr}");
+    }
+
+    #[test]
+    fn long_literal_runs_escape_correctly() {
+        // >255 literals with no matches exercises the length escapes.
+        let data: Vec<u8> = (0..1000u32).map(|i| (i.wrapping_mul(2654435761) >> 9) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_streams_error() {
+        let c = compress(b"hello hello hello hello").unwrap();
+        assert!(decompress(&c[..10]).is_err());
+        let mut bad = c.clone();
+        bad[0] = b'X';
+        assert!(decompress(&bad).is_err());
+        assert!(compress(&[]).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! SZ-like error-bounded lossy compressor: multidimensional Lorenzo
+//! prediction + linear-scale quantization + canonical Huffman coding.
+//!
+//! This reproduces the algorithmic skeleton (and therefore the operation
+//! profile) of the paper's "SZ" comparator: one floating-point *division*
+//! per point for the quantization bin (the cost the SZx paper §1 calls out
+//! explicitly), prediction from previously-reconstructed neighbors, and an
+//! entropy stage whose decoder is branchy and serial — the reason SZ trails
+//! SZx by 5–7× in speed while winning on compression ratio.
+
+use szx_core::bitio::{BitReader, BitWriter};
+
+use crate::error::{BaselineError, Result};
+use crate::huffman::HuffmanCode;
+
+const MAGIC: [u8; 4] = *b"SZL1";
+/// Quantization radius: bins in `(-RADIUS, RADIUS)` are representable;
+/// symbol 0 is the escape code for outliers.
+const RADIUS: i64 = 32768;
+
+/// Compress a `[nx, ny, nz]` grid (x fastest) under absolute error bound
+/// `eb`. `eb == 0` degenerates to storing every point as an outlier
+/// (lossless but expansive), exactly like SZ with an unreachable bound.
+pub fn compress(data: &[f32], dims: [usize; 3], eb: f64) -> Result<Vec<u8>> {
+    let [nx, ny, nz] = dims;
+    let n = nx * ny * nz;
+    if n == 0 || data.len() != n {
+        return Err(BaselineError::Invalid(format!(
+            "dims {dims:?} do not match {} elements",
+            data.len()
+        )));
+    }
+    if !(eb >= 0.0) || !eb.is_finite() {
+        return Err(BaselineError::Invalid(format!("bad error bound {eb}")));
+    }
+    let twice_eb = 2.0 * eb;
+
+    let mut symbols: Vec<u32> = Vec::with_capacity(n);
+    let mut outliers: Vec<u8> = Vec::new();
+    let mut n_outliers = 0u64;
+    let mut recon = vec![0f32; n];
+
+    let plane = nx * ny;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = z * plane + y * nx + x;
+                let pred = lorenzo_pred(&recon, i, x, y, z, nx, plane);
+                let d = data[i];
+                let diff = d as f64 - pred as f64;
+                // The division per point — SZ's signature expensive op.
+                let bin = if twice_eb > 0.0 { (diff / twice_eb).round() } else { f64::NAN };
+                let mut escaped = true;
+                if bin.is_finite() && bin.abs() < (RADIUS - 1) as f64 {
+                    let bin = bin as i64;
+                    let rec = (pred as f64 + bin as f64 * twice_eb) as f32;
+                    // Guard against f32 rounding swallowing the bound.
+                    if (rec as f64 - d as f64).abs() <= eb {
+                        symbols.push((bin + RADIUS) as u32);
+                        recon[i] = rec;
+                        escaped = false;
+                    }
+                }
+                if escaped {
+                    symbols.push(0);
+                    outliers.extend_from_slice(&d.to_le_bytes());
+                    n_outliers += 1;
+                    recon[i] = d;
+                }
+            }
+        }
+    }
+
+    // Entropy stage.
+    let mut freqs = vec![0u64; 2 * RADIUS as usize];
+    for &s in &symbols {
+        freqs[s as usize] += 1;
+    }
+    let code = HuffmanCode::from_frequencies(&freqs);
+    let mut bits = BitWriter::with_capacity(n / 2);
+    for &s in &symbols {
+        code.encode(s as usize, &mut bits);
+    }
+
+    let mut out = Vec::with_capacity(outliers.len() + n / 2 + 64);
+    out.extend_from_slice(&MAGIC);
+    for d in dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&eb.to_le_bytes());
+    out.extend_from_slice(&n_outliers.to_le_bytes());
+    out.extend_from_slice(&outliers);
+    code.serialize(&mut out);
+    let bitbytes = bits.into_bytes();
+    out.extend_from_slice(&(bitbytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&bitbytes);
+    Ok(out)
+}
+
+/// Decompress a stream produced by [`compress`]. Returns the grid and dims.
+pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, [usize; 3])> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, k: usize| -> Result<&[u8]> {
+        if *pos + k > bytes.len() {
+            return Err(BaselineError::Corrupt("truncated stream".into()));
+        }
+        let s = &bytes[*pos..*pos + k];
+        *pos += k;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(BaselineError::Corrupt("bad magic".into()));
+    }
+    let mut dims = [0usize; 3];
+    for d in dims.iter_mut() {
+        *d = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    }
+    let [nx, ny, nz] = dims;
+    let n = nx
+        .checked_mul(ny)
+        .and_then(|v| v.checked_mul(nz))
+        .ok_or_else(|| BaselineError::Corrupt("dims overflow".into()))?;
+    if n == 0 {
+        return Err(BaselineError::Corrupt("zero elements".into()));
+    }
+    // Every element costs at least one Huffman bit, so a stream of B bytes
+    // cannot describe more than ~8B elements; a forged header demanding
+    // more must not trigger a giant allocation.
+    if n > bytes.len().saturating_mul(8) {
+        return Err(BaselineError::Corrupt(format!(
+            "{n} elements implausible for a {}-byte stream",
+            bytes.len()
+        )));
+    }
+    let eb = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let twice_eb = 2.0 * eb;
+    let n_outliers = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    if n_outliers > n {
+        return Err(BaselineError::Corrupt("outlier count exceeds n".into()));
+    }
+    let outlier_bytes = take(&mut pos, n_outliers * 4)?;
+    let (code, used) = HuffmanCode::deserialize(&bytes[pos..])
+        .ok_or_else(|| BaselineError::Corrupt("bad Huffman table".into()))?;
+    pos += used;
+    let bitlen = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    let bitbytes = take(&mut pos, bitlen)?;
+
+    let decoder = code.decoder();
+    let mut r = BitReader::new(bitbytes);
+    let mut recon = vec![0f32; n];
+    let mut next_outlier = 0usize;
+    let plane = nx * ny;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = z * plane + y * nx + x;
+                let sym = decoder
+                    .decode(&mut r)
+                    .ok_or_else(|| BaselineError::Corrupt("bitstream truncated".into()))?;
+                if sym == 0 {
+                    if next_outlier >= n_outliers {
+                        return Err(BaselineError::Corrupt("outlier pool exhausted".into()));
+                    }
+                    let o = &outlier_bytes[next_outlier * 4..next_outlier * 4 + 4];
+                    recon[i] = f32::from_le_bytes([o[0], o[1], o[2], o[3]]);
+                    next_outlier += 1;
+                } else {
+                    let bin = sym as i64 - RADIUS;
+                    let pred = lorenzo_pred(&recon, i, x, y, z, nx, plane);
+                    recon[i] = (pred as f64 + bin as f64 * twice_eb) as f32;
+                }
+            }
+        }
+    }
+    Ok((recon, dims))
+}
+
+/// First-order Lorenzo predictor from previously-visited (reconstructed)
+/// neighbors; out-of-grid neighbors contribute 0, as in SZ.
+#[inline(always)]
+fn lorenzo_pred(recon: &[f32], i: usize, x: usize, y: usize, z: usize, nx: usize, plane: usize) -> f32 {
+    let fx = x > 0;
+    let fy = y > 0;
+    let fz = z > 0;
+    let mut pred = 0f32;
+    if fx {
+        pred += recon[i - 1];
+    }
+    if fy {
+        pred += recon[i - nx];
+    }
+    if fz {
+        pred += recon[i - plane];
+    }
+    if fx && fy {
+        pred -= recon[i - 1 - nx];
+    }
+    if fx && fz {
+        pred -= recon[i - 1 - plane];
+    }
+    if fy && fz {
+        pred -= recon[i - nx - plane];
+    }
+    if fx && fy && fz {
+        pred += recon[i - 1 - nx - plane];
+    }
+    pred
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid3(nx: usize, ny: usize, nz: usize) -> (Vec<f32>, [usize; 3]) {
+        let mut v = Vec::with_capacity(nx * ny * nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    v.push(((x as f32 * 0.1).sin() + (y as f32 * 0.07).cos()) * (1.0 + z as f32 * 0.01));
+                }
+            }
+        }
+        (v, [nx, ny, nz])
+    }
+
+    #[test]
+    fn roundtrip_respects_bound_3d() {
+        let (data, dims) = grid3(40, 30, 20);
+        for eb in [1e-2, 1e-4, 1e-6] {
+            let bytes = compress(&data, dims, eb).unwrap();
+            let (back, bdims) = decompress(&bytes).unwrap();
+            assert_eq!(bdims, dims);
+            for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+                assert!((a as f64 - b as f64).abs() <= eb, "eb={eb} i={i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_1d_and_2d() {
+        let (data, _) = grid3(500, 1, 1);
+        let bytes = compress(&data, [500, 1, 1], 1e-3).unwrap();
+        let (back, _) = decompress(&bytes).unwrap();
+        assert!(data.iter().zip(&back).all(|(a, b)| (a - b).abs() <= 1e-3 + 1e-9));
+
+        let (data, dims) = grid3(64, 48, 1);
+        let bytes = compress(&data, dims, 1e-3).unwrap();
+        let (back, _) = decompress(&bytes).unwrap();
+        assert!(data.iter().zip(&back).all(|(a, b)| (a - b).abs() as f64 <= 1e-3));
+    }
+
+    #[test]
+    fn smooth_data_compresses_much_better_than_szx_would() {
+        // On smooth data the Lorenzo bins concentrate near zero and Huffman
+        // crushes them — the CR advantage Table 3 shows for SZ.
+        let (data, dims) = grid3(64, 64, 16);
+        let bytes = compress(&data, dims, 1e-3).unwrap();
+        let cr = (data.len() * 4) as f64 / bytes.len() as f64;
+        assert!(cr > 10.0, "cr {cr}");
+    }
+
+    #[test]
+    fn outliers_roundtrip_bit_exact() {
+        let mut data = vec![0.5f32; 1000];
+        data[100] = 1e30; // forces an escape
+        data[101] = f32::NAN;
+        data[102] = f32::INFINITY;
+        let bytes = compress(&data, [1000, 1, 1], 1e-4).unwrap();
+        let (back, _) = decompress(&bytes).unwrap();
+        assert_eq!(back[100], 1e30);
+        assert!(back[101].is_nan());
+        assert_eq!(back[102], f32::INFINITY);
+        // Values after the NaN still respect the bound.
+        assert!((back[200] - 0.5).abs() <= 1e-4);
+    }
+
+    #[test]
+    fn zero_bound_is_lossless_via_outliers() {
+        let data: Vec<f32> = (0..500).map(|i| (i as f32).sin()).collect();
+        let bytes = compress(&data, [500, 1, 1], 0.0).unwrap();
+        let (back, _) = decompress(&bytes).unwrap();
+        for (&a, &b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        assert!(compress(&[1.0], [2, 1, 1], 1e-3).is_err());
+        assert!(compress(&[1.0], [1, 1, 1], f64::NAN).is_err());
+        assert!(compress(&[], [0, 1, 1], 1e-3).is_err());
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        let (data, dims) = grid3(16, 16, 4);
+        let bytes = compress(&data, dims, 1e-3).unwrap();
+        for cut in [0, 3, 10, 40, bytes.len() / 2] {
+            assert!(decompress(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(decompress(&bad).is_err());
+    }
+}

@@ -1,0 +1,665 @@
+//! ZFP-like transform codec: 4^d blocks, block-floating-point alignment,
+//! an integer decorrelating lifting transform, negabinary mapping, and
+//! embedded group-tested bitplane coding — fixed-accuracy mode.
+//!
+//! This reproduces the algorithmic skeleton of the paper's "ZFP"
+//! comparator: heavier per-point arithmetic than SZx (a full transform per
+//! block plus bit-granular entropy coding) in exchange for better
+//! compression ratios, and a strictly serial bit-contiguous stream — which
+//! is also why the real omp-ZFP ships no multithreaded *de*compressor
+//! (Table 7's `n/a` row).
+//!
+//! Accuracy-mode caveat (shared with the real library): a block whose
+//! dynamic range spans more than ~22 binary orders of magnitude cannot be
+//! reconstructed below its max-precision granularity `2^(emax−30+2d+2)`
+//! even with every bitplane kept, so the effective guarantee is
+//! `max(tolerance, granularity)`. Scientific fields far from that regime
+//! (all of the paper's datasets) see the plain tolerance.
+
+use szx_core::bitio::{BitReader, BitWriter};
+
+use crate::error::{BaselineError, Result};
+
+const MAGIC: [u8; 4] = *b"ZFL1";
+/// Bits per integer coefficient.
+const INTPREC: u32 = 32;
+/// Negabinary mask for 32-bit ints.
+const NBMASK: u32 = 0xaaaa_aaaa;
+
+/// zfp's forward decorrelating lift on four i32s (exactly invertible).
+#[inline]
+fn fwd_lift(p: &mut [i32], s: usize) {
+    let (mut x, mut y, mut z, mut w) = (p[0], p[s], p[2 * s], p[3 * s]);
+    x = x.wrapping_add(w);
+    x >>= 1;
+    w = w.wrapping_sub(x);
+    z = z.wrapping_add(y);
+    z >>= 1;
+    y = y.wrapping_sub(z);
+    x = x.wrapping_add(z);
+    x >>= 1;
+    z = z.wrapping_sub(x);
+    w = w.wrapping_add(y);
+    w >>= 1;
+    y = y.wrapping_sub(w);
+    w = w.wrapping_add(y >> 1);
+    y = y.wrapping_sub(w >> 1);
+    p[0] = x;
+    p[s] = y;
+    p[2 * s] = z;
+    p[3 * s] = w;
+}
+
+/// Exact inverse of [`fwd_lift`].
+#[inline]
+fn inv_lift(p: &mut [i32], s: usize) {
+    let (mut x, mut y, mut z, mut w) = (p[0], p[s], p[2 * s], p[3 * s]);
+    y = y.wrapping_add(w >> 1);
+    w = w.wrapping_sub(y >> 1);
+    y = y.wrapping_add(w);
+    w <<= 1;
+    w = w.wrapping_sub(y);
+    z = z.wrapping_add(x);
+    x <<= 1;
+    x = x.wrapping_sub(z);
+    y = y.wrapping_add(z);
+    z <<= 1;
+    z = z.wrapping_sub(y);
+    w = w.wrapping_add(x);
+    x <<= 1;
+    x = x.wrapping_sub(w);
+    p[0] = x;
+    p[s] = y;
+    p[2 * s] = z;
+    p[3 * s] = w;
+}
+
+/// Apply the lift along every axis of a 4^d block (x fastest).
+fn fwd_transform(block: &mut [i32], d: usize) {
+    match d {
+        1 => fwd_lift(block, 1),
+        2 => {
+            for y in 0..4 {
+                fwd_lift(&mut block[4 * y..], 1);
+            }
+            for x in 0..4 {
+                fwd_lift(&mut block[x..], 4);
+            }
+        }
+        _ => {
+            for z in 0..4 {
+                for y in 0..4 {
+                    fwd_lift(&mut block[16 * z + 4 * y..], 1);
+                }
+            }
+            for z in 0..4 {
+                for x in 0..4 {
+                    fwd_lift(&mut block[16 * z + x..], 4);
+                }
+            }
+            for y in 0..4 {
+                for x in 0..4 {
+                    fwd_lift(&mut block[4 * y + x..], 16);
+                }
+            }
+        }
+    }
+}
+
+fn inv_transform(block: &mut [i32], d: usize) {
+    match d {
+        1 => inv_lift(block, 1),
+        2 => {
+            for x in 0..4 {
+                inv_lift(&mut block[x..], 4);
+            }
+            for y in 0..4 {
+                inv_lift(&mut block[4 * y..], 1);
+            }
+        }
+        _ => {
+            for y in 0..4 {
+                for x in 0..4 {
+                    inv_lift(&mut block[4 * y + x..], 16);
+                }
+            }
+            for z in 0..4 {
+                for x in 0..4 {
+                    inv_lift(&mut block[16 * z + x..], 4);
+                }
+            }
+            for z in 0..4 {
+                for y in 0..4 {
+                    inv_lift(&mut block[16 * z + 4 * y..], 1);
+                }
+            }
+        }
+    }
+}
+
+/// Sequency-order permutation: coefficients sorted by total frequency
+/// (coordinate sum), low frequencies first — concentrates energy at the
+/// front so the group-tested bitplanes terminate early.
+fn sequency_perm(d: usize) -> Vec<usize> {
+    let size = 1usize << (2 * d);
+    let mut idx: Vec<usize> = (0..size).collect();
+    idx.sort_by_key(|&i| {
+        let (x, y, z) = (i & 3, (i >> 2) & 3, (i >> 4) & 3);
+        (x + y + z, i)
+    });
+    idx
+}
+
+#[inline]
+fn int2uint(i: i32) -> u32 {
+    (i as u32).wrapping_add(NBMASK) ^ NBMASK
+}
+
+#[inline]
+fn uint2int(u: u32) -> i32 {
+    (u ^ NBMASK).wrapping_sub(NBMASK) as i32
+}
+
+/// zfp's embedded bitplane encoder with unary group testing.
+fn encode_ints(coeffs: &[u32], kmin: u32, w: &mut BitWriter) {
+    let size = coeffs.len();
+    let mut n = 0usize;
+    for k in (kmin..INTPREC).rev() {
+        // Gather bitplane k, coefficient i at bit i.
+        let mut x = 0u64;
+        for (i, &c) in coeffs.iter().enumerate() {
+            x |= (((c >> k) & 1) as u64) << i;
+        }
+        // First n coefficients are already significant: verbatim bits.
+        w.write_bits_lsb(x, n as u32);
+        x = if n >= 64 { 0 } else { x >> n };
+        // Unary run-length for the rest.
+        let mut m = n;
+        while m < size {
+            let any = x != 0;
+            w.write_bit(any);
+            if !any {
+                break;
+            }
+            // Emit zeros until the next set bit, then the terminating one.
+            while m < size - 1 && (x & 1) == 0 {
+                w.write_bit(false);
+                x >>= 1;
+                m += 1;
+            }
+            if m < size - 1 {
+                w.write_bit(true);
+            }
+            x >>= 1;
+            m += 1;
+        }
+        n = n.max(m);
+    }
+}
+
+/// Mirror of [`encode_ints`].
+fn decode_ints(size: usize, kmin: u32, r: &mut BitReader<'_>) -> Option<Vec<u32>> {
+    let mut coeffs = vec![0u32; size];
+    let mut n = 0usize;
+    for k in (kmin..INTPREC).rev() {
+        let mut x = r.read_bits_lsb(n as u32)?;
+        let mut m = n;
+        while m < size {
+            if !r.read_bit()? {
+                break;
+            }
+            while m < size - 1 && !r.read_bit()? {
+                m += 1;
+            }
+            x |= 1u64 << m;
+            m += 1;
+        }
+        n = n.max(m);
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c |= (((x >> i) & 1) as u32) << k;
+        }
+    }
+    Some(coeffs)
+}
+
+/// Dimensionality of the block decomposition implied by the grid shape.
+fn block_dim(dims: [usize; 3]) -> usize {
+    if dims[2] > 1 {
+        3
+    } else if dims[1] > 1 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Per-block precision in fixed-accuracy mode (zfp's formula): enough
+/// bitplanes to push the truncation error below `eb`, plus guard bits for
+/// the transform gain.
+fn block_precision(emax: i32, min_exp: i32, d: usize) -> u32 {
+    let p = emax as i64 - min_exp as i64 + 2 * (d as i64 + 1);
+    p.clamp(0, INTPREC as i64) as u32
+}
+
+/// frexp-style exponent of the block's max magnitude (`x = m·2^e`,
+/// `m ∈ [0.5, 1)`), as zfp uses it: quantizing by `2^(30 − e)` keeps
+/// `|q| < 2^30`, leaving two headroom bits for the transform's range
+/// expansion.
+fn max_exponent(block: &[f32]) -> i32 {
+    let mut m = 0f32;
+    for &v in block {
+        let a = v.abs();
+        if a > m {
+            m = a;
+        }
+    }
+    ((m.to_bits() >> 23) & 0xff) as i32 - 126
+}
+
+/// Compress a `[nx, ny, nz]` grid under absolute error bound `eb`.
+pub fn compress(data: &[f32], dims: [usize; 3], eb: f64) -> Result<Vec<u8>> {
+    let [nx, ny, nz] = dims;
+    let n = nx * ny * nz;
+    if n == 0 || data.len() != n {
+        return Err(BaselineError::Invalid(format!(
+            "dims {dims:?} do not match {} elements",
+            data.len()
+        )));
+    }
+    if !(eb > 0.0) || !eb.is_finite() {
+        return Err(BaselineError::Invalid(format!(
+            "zfp-like accuracy mode needs a positive finite bound, got {eb}"
+        )));
+    }
+    let d = block_dim(dims);
+    let perm = sequency_perm(d);
+    let bs = perm.len();
+    let min_exp = eb.log2().floor() as i32;
+
+    let mut w = BitWriter::with_capacity(n * 2);
+    let mut block = vec![0f32; bs];
+    let mut ints = vec![0i32; bs];
+
+    for_each_block(dims, d, |base, gather| {
+        gather_block(data, dims, d, base, &mut block, gather);
+        let finite = block.iter().all(|v| v.is_finite());
+        let emax = max_exponent(&block);
+        if !finite {
+            // Escape hatch zfp lacks: store raw bits so NaN/Inf survive.
+            w.write_bit(true);
+            w.write_bit(true);
+            for &v in &block {
+                w.write_bits(v.to_bits() as u64, 32);
+            }
+            return;
+        }
+        if block.iter().all(|&v| v == 0.0) {
+            w.write_bit(false);
+            return;
+        }
+        w.write_bit(true);
+        w.write_bit(false);
+        w.write_bits((emax + 256) as u64, 9);
+        let prec = block_precision(emax, min_exp, d);
+        if prec == 0 {
+            return;
+        }
+        // Block floating point: align all values to the common exponent.
+        let scale = 2f64.powi(30 - emax);
+        for (q, &v) in ints.iter_mut().zip(block.iter()) {
+            *q = (v as f64 * scale) as i32;
+        }
+        fwd_transform(&mut ints, d);
+        let mut coeffs = vec![0u32; bs];
+        for (slot, &src) in coeffs.iter_mut().zip(perm.iter()) {
+            *slot = int2uint(ints[src]);
+        }
+        encode_ints(&coeffs, INTPREC - prec, &mut w);
+    });
+
+    let mut out = Vec::with_capacity(w.as_bytes().len() + 40);
+    out.extend_from_slice(&MAGIC);
+    for dim in dims {
+        out.extend_from_slice(&(dim as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&eb.to_le_bytes());
+    out.extend_from_slice(w.as_bytes());
+    Ok(out)
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, [usize; 3])> {
+    if bytes.len() < 36 || bytes[0..4] != MAGIC {
+        return Err(BaselineError::Corrupt("bad header".into()));
+    }
+    let mut dims = [0usize; 3];
+    for (i, dim) in dims.iter_mut().enumerate() {
+        *dim = u64::from_le_bytes(bytes[4 + 8 * i..12 + 8 * i].try_into().unwrap()) as usize;
+    }
+    let n = dims[0]
+        .checked_mul(dims[1])
+        .and_then(|v| v.checked_mul(dims[2]))
+        .ok_or_else(|| BaselineError::Corrupt("dims overflow".into()))?;
+    if n == 0 || n > bytes.len().saturating_mul(4096) {
+        return Err(BaselineError::Corrupt("implausible element count".into()));
+    }
+    let eb = f64::from_le_bytes(bytes[28..36].try_into().unwrap());
+    if !(eb > 0.0) || !eb.is_finite() {
+        return Err(BaselineError::Corrupt("bad error bound".into()));
+    }
+    let d = block_dim(dims);
+    let perm = sequency_perm(d);
+    let bs = perm.len();
+    let min_exp = eb.log2().floor() as i32;
+
+    let mut r = BitReader::new(&bytes[36..]);
+    let mut out = vec![0f32; n];
+    let mut block = vec![0f32; bs];
+    let mut err: Option<BaselineError> = None;
+
+    for_each_block(dims, d, |base, _| {
+        if err.is_some() {
+            return;
+        }
+        let mut decode = || -> Option<()> {
+            if !r.read_bit()? {
+                block.fill(0.0);
+                return Some(());
+            }
+            if r.read_bit()? {
+                for v in block.iter_mut() {
+                    *v = f32::from_bits(r.read_bits(32)? as u32);
+                }
+                return Some(());
+            }
+            let emax = r.read_bits(9)? as i32 - 256;
+            let prec = block_precision(emax, min_exp, d);
+            if prec == 0 {
+                block.fill(0.0);
+                return Some(());
+            }
+            let coeffs = decode_ints(bs, INTPREC - prec, &mut r)?;
+            let mut ints = vec![0i32; bs];
+            for (&slot, &dst) in coeffs.iter().zip(perm.iter()) {
+                ints[dst] = uint2int(slot);
+            }
+            inv_transform(&mut ints, d);
+            let scale = 2f64.powi(emax - 30);
+            for (v, &q) in block.iter_mut().zip(ints.iter()) {
+                *v = (q as f64 * scale) as f32;
+            }
+            Some(())
+        };
+        if decode().is_none() {
+            err = Some(BaselineError::Corrupt("bitstream truncated".into()));
+            return;
+        }
+        scatter_block(&mut out, dims, d, base, &block);
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok((out, dims))
+}
+
+/// Iterate block origins in x-fastest order.
+fn for_each_block(dims: [usize; 3], d: usize, mut f: impl FnMut([usize; 3], bool)) {
+    let bx = (dims[0] + 3) / 4;
+    let by = if d >= 2 { (dims[1] + 3) / 4 } else { 1 };
+    let bz = if d >= 3 { (dims[2] + 3) / 4 } else { 1 };
+    // For 1-/2-D decompositions, the unused trailing axes are iterated
+    // plane-by-plane so every sample is covered.
+    let extra_y = if d >= 2 { 1 } else { dims[1] };
+    let extra_z = if d >= 3 { 1 } else { dims[2] };
+    for ez in 0..extra_z {
+        for ey in 0..extra_y {
+            for z in 0..bz {
+                for y in 0..by {
+                    for x in 0..bx {
+                        let base = [
+                            x * 4,
+                            if d >= 2 { y * 4 } else { ey },
+                            if d >= 3 { z * 4 } else { ez },
+                        ];
+                        f(base, true);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn gather_block(data: &[f32], dims: [usize; 3], d: usize, base: [usize; 3], block: &mut [f32], _pad: bool) {
+    let [nx, ny, _nz] = dims;
+    let plane = nx * ny;
+    let ext = |axis_len: usize, v: usize| v.min(axis_len - 1);
+    match d {
+        1 => {
+            for i in 0..4 {
+                let x = ext(nx, base[0] + i);
+                block[i] = data[base[2] * plane + base[1] * nx + x];
+            }
+        }
+        2 => {
+            for j in 0..4 {
+                let y = ext(ny, base[1] + j);
+                for i in 0..4 {
+                    let x = ext(nx, base[0] + i);
+                    block[4 * j + i] = data[base[2] * plane + y * nx + x];
+                }
+            }
+        }
+        _ => {
+            let nz = dims[2];
+            for k in 0..4 {
+                let z = ext(nz, base[2] + k);
+                for j in 0..4 {
+                    let y = ext(ny, base[1] + j);
+                    for i in 0..4 {
+                        let x = ext(nx, base[0] + i);
+                        block[16 * k + 4 * j + i] = data[z * plane + y * nx + x];
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn scatter_block(out: &mut [f32], dims: [usize; 3], d: usize, base: [usize; 3], block: &[f32]) {
+    let [nx, ny, nz] = dims;
+    let plane = nx * ny;
+    match d {
+        1 => {
+            for i in 0..4 {
+                let x = base[0] + i;
+                if x < nx {
+                    out[base[2] * plane + base[1] * nx + x] = block[i];
+                }
+            }
+        }
+        2 => {
+            for j in 0..4 {
+                let y = base[1] + j;
+                if y >= ny {
+                    continue;
+                }
+                for i in 0..4 {
+                    let x = base[0] + i;
+                    if x < nx {
+                        out[base[2] * plane + y * nx + x] = block[4 * j + i];
+                    }
+                }
+            }
+        }
+        _ => {
+            for k in 0..4 {
+                let z = base[2] + k;
+                if z >= nz {
+                    continue;
+                }
+                for j in 0..4 {
+                    let y = base[1] + j;
+                    if y >= ny {
+                        continue;
+                    }
+                    for i in 0..4 {
+                        let x = base[0] + i;
+                        if x < nx {
+                            out[z * plane + y * nx + x] = block[16 * k + 4 * j + i];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lift_inverse_error_is_tiny() {
+        // zfp's lift deliberately drops low bits (the `>> 1` steps), so the
+        // inverse reconstructs within a few integer units — an error the
+        // fixed-accuracy guard bits (`2·(d+1)` in block_precision) absorb.
+        for seed in 0..500u64 {
+            let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s as i32 / 4 // headroom like quantized coefficients
+            };
+            let mut v = [next(), next(), next(), next()];
+            let orig = v;
+            fwd_lift(&mut v, 1);
+            inv_lift(&mut v, 1);
+            for (a, b) in v.iter().zip(&orig) {
+                assert!((*a as i64 - *b as i64).abs() <= 4, "seed {seed}: {orig:?} -> {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_roundtrip_error_bounded_all_dims() {
+        for d in 1..=3usize {
+            let size = 1usize << (2 * d);
+            let mut v: Vec<i32> = (0..size as i32).map(|i| (i * 37 - 500) << 8).collect();
+            let orig = v.clone();
+            fwd_transform(&mut v, d);
+            assert_ne!(v, orig, "transform must do something");
+            inv_transform(&mut v, d);
+            let tol = 1i64 << (2 * d); // grows with nesting depth
+            for (i, (a, b)) in v.iter().zip(&orig).enumerate() {
+                assert!(
+                    (*a as i64 - *b as i64).abs() <= tol,
+                    "d={d} i={i}: {b} -> {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negabinary_roundtrip() {
+        for i in [0i32, 1, -1, i32::MAX / 2, i32::MIN / 2, 12345, -98765] {
+            assert_eq!(uint2int(int2uint(i)), i);
+        }
+    }
+
+    #[test]
+    fn sequency_starts_at_dc() {
+        assert_eq!(sequency_perm(3)[0], 0, "DC coefficient first");
+        assert_eq!(sequency_perm(2).len(), 16);
+        assert_eq!(sequency_perm(1).len(), 4);
+    }
+
+    #[test]
+    fn encode_decode_ints_roundtrip() {
+        let coeffs: Vec<u32> = (0..64u32).map(|i| i.wrapping_mul(0x0101_0101) >> (i % 7)).collect();
+        for kmin in [0u32, 8, 24, 31] {
+            let mut w = BitWriter::new();
+            encode_ints(&coeffs, kmin, &mut w);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let back = decode_ints(64, kmin, &mut r).unwrap();
+            for (i, (&a, &b)) in coeffs.iter().zip(&back).enumerate() {
+                let mask = if kmin == 0 { u32::MAX } else { !((1u32 << kmin) - 1) };
+                assert_eq!(a & mask, b, "kmin={kmin} i={i}");
+            }
+        }
+    }
+
+    fn grid3(nx: usize, ny: usize, nz: usize) -> (Vec<f32>, [usize; 3]) {
+        let mut v = Vec::with_capacity(nx * ny * nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    v.push((x as f32 * 0.2).sin() * (y as f32 * 0.15).cos() + z as f32 * 0.05);
+                }
+            }
+        }
+        (v, [nx, ny, nz])
+    }
+
+    #[test]
+    fn roundtrip_respects_bound() {
+        for (nx, ny, nz) in [(33, 1, 1), (33, 18, 1), (17, 14, 9)] {
+            let (data, dims) = grid3(nx, ny, nz);
+            for eb in [1e-1, 1e-3, 1e-5] {
+                let bytes = compress(&data, dims, eb).unwrap();
+                let (back, bdims) = decompress(&bytes).unwrap();
+                assert_eq!(bdims, dims);
+                for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+                    assert!(
+                        (a as f64 - b as f64).abs() <= eb,
+                        "dims {dims:?} eb={eb} i={i}: {a} vs {b} err {}",
+                        (a as f64 - b as f64).abs()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let (data, dims) = grid3(64, 64, 8);
+        let bytes = compress(&data, dims, 1e-3).unwrap();
+        let cr = (data.len() * 4) as f64 / bytes.len() as f64;
+        assert!(cr > 4.0, "cr {cr}");
+    }
+
+    #[test]
+    fn zero_blocks_are_one_bit() {
+        let data = vec![0.0f32; 4096];
+        let bytes = compress(&data, [16, 16, 16], 1e-3).unwrap();
+        // 64 blocks * 1 bit + header.
+        assert!(bytes.len() < 36 + 16, "len {}", bytes.len());
+        let (back, _) = decompress(&bytes).unwrap();
+        assert!(back.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn nonfinite_blocks_roundtrip_bit_exact() {
+        let mut data = vec![1.0f32; 256];
+        data[5] = f32::NAN;
+        data[6] = f32::INFINITY;
+        let bytes = compress(&data, [256, 1, 1], 1e-3).unwrap();
+        let (back, _) = decompress(&bytes).unwrap();
+        assert!(back[5].is_nan());
+        assert_eq!(back[6], f32::INFINITY);
+        assert_eq!(back[4].to_bits(), data[4].to_bits());
+    }
+
+    #[test]
+    fn invalid_and_corrupt_inputs_error() {
+        assert!(compress(&[1.0], [2, 1, 1], 1e-3).is_err());
+        assert!(compress(&[1.0], [1, 1, 1], 0.0).is_err(), "accuracy mode needs eb > 0");
+        let (data, dims) = grid3(16, 16, 1);
+        let bytes = compress(&data, dims, 1e-3).unwrap();
+        assert!(decompress(&bytes[..20]).is_err());
+        let mut bad = bytes.clone();
+        bad[1] = b'!';
+        assert!(decompress(&bad).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the baseline codecs: error bounds always hold,
+//! lossless really is lossless, and corrupt streams never panic.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use szx_baselines::{huffman::HuffmanCode, lzlike, szlike, zfplike};
+use szx_core::bitio::{BitReader, BitWriter};
+
+fn grids() -> impl Strategy<Value = ([usize; 3], Vec<f32>)> {
+    (1usize..40, 1usize..12, 1usize..6).prop_flat_map(|(nx, ny, nz)| {
+        let n = nx * ny * nz;
+        pvec(prop_oneof![-1e6f32..1e6f32, -1.0f32..1.0, Just(0.0f32)], n..=n)
+            .prop_map(move |v| ([nx, ny, nz], v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn szlike_respects_bound((dims, data) in grids(), eb_exp in -6i32..0) {
+        let eb = 10f64.powi(eb_exp);
+        let bytes = szlike::compress(&data, dims, eb).unwrap();
+        let (back, bdims) = szlike::decompress(&bytes).unwrap();
+        prop_assert_eq!(bdims, dims);
+        for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+            prop_assert!((a as f64 - b as f64).abs() <= eb, "i={}: {} vs {}", i, a, b);
+        }
+    }
+
+    #[test]
+    fn zfplike_respects_bound((dims, data) in grids(), eb_exp in -6i32..0) {
+        let eb = 10f64.powi(eb_exp);
+        let bytes = zfplike::compress(&data, dims, eb).unwrap();
+        let (back, bdims) = zfplike::decompress(&bytes).unwrap();
+        prop_assert_eq!(bdims, dims);
+        // ZFP's accuracy mode (like the real library) cannot push the error
+        // below the max-precision granularity of a block with a huge
+        // dynamic range: with all 32 bitplanes kept, quantization +
+        // transform round-off still cost about 2^(emax-30+2d+2). The
+        // guaranteed bound is therefore max(eb, granularity); compute the
+        // (conservative) global granularity from the data's max magnitude.
+        let d = if dims[2] > 1 { 3 } else if dims[1] > 1 { 2 } else { 1 };
+        let gmax = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let gemax = if gmax > 0.0 { gmax.log2().floor() as i32 + 1 } else { -126 };
+        let floor = 2f64.powi(gemax - 30 + 2 * d + 2);
+        let allowed = eb.max(floor);
+        for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+            prop_assert!(
+                (a as f64 - b as f64).abs() <= allowed,
+                "i={}: {} vs {} (err {}, allowed {})",
+                i, a, b, (a as f64 - b as f64).abs(), allowed
+            );
+        }
+    }
+
+    #[test]
+    fn lzlike_is_lossless(data in pvec(any::<u8>(), 1..4000)) {
+        let c = lzlike::compress(&data).unwrap();
+        prop_assert_eq!(lzlike::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_roundtrips_any_symbol_stream(symbols in pvec(0u32..500, 1..2000)) {
+        let mut freqs = vec![0u64; 500];
+        for &s in &symbols {
+            freqs[s as usize] += 1;
+        }
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            code.encode(s as usize, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let dec = code.decoder();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            prop_assert_eq!(dec.decode(&mut r), Some(s));
+        }
+    }
+
+    #[test]
+    fn corrupt_szlike_streams_never_panic(
+        (dims, data) in grids(),
+        flip in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = szlike::compress(&data, dims, 1e-3).unwrap();
+        let i = flip.index(bytes.len());
+        bytes[i] = byte;
+        let _ = szlike::decompress(&bytes);
+    }
+
+    #[test]
+    fn corrupt_zfplike_streams_never_panic(
+        (dims, data) in grids(),
+        flip in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = zfplike::compress(&data, dims, 1e-3).unwrap();
+        let i = flip.index(bytes.len());
+        bytes[i] = byte;
+        let _ = zfplike::decompress(&bytes);
+    }
+
+    #[test]
+    fn corrupt_lzlike_streams_never_panic(
+        data in pvec(any::<u8>(), 1..2000),
+        flip in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = lzlike::compress(&data).unwrap();
+        let i = flip.index(bytes.len());
+        bytes[i] = byte;
+        let _ = lzlike::decompress(&bytes);
+    }
+
+    #[test]
+    fn szlike_nonfinite_values_roundtrip(
+        (dims, mut data) in grids(),
+        pos in any::<prop::sample::Index>(),
+    ) {
+        let i = pos.index(data.len());
+        data[i] = f32::NAN;
+        let bytes = szlike::compress(&data, dims, 1e-4).unwrap();
+        let (back, _) = szlike::decompress(&bytes).unwrap();
+        prop_assert!(back[i].is_nan());
+    }
+}

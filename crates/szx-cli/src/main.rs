@@ -1,0 +1,326 @@
+//! `szx` — command-line compressor/decompressor/assessor, mirroring the
+//! upstream SZx executable's workflow on raw little-endian f32/f64 files.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use szx_core::{CommitStrategy, ErrorBound, SzxConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") => cmd_decompress(&args[1..]),
+        Some("assess") => cmd_assess(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("archive") => cmd_archive(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("extract") => cmd_extract(&args[1..]),
+        _ => {
+            eprint!("{}", USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+szx — ultrafast error-bounded lossy compression (SZx, HPDC '22)
+
+USAGE:
+  szx compress   <in.f32> <out.szx> --abs <e> | --rel <r>
+                 [--f64] [--block <n>] [--parallel] [--strategy a|b|c]
+  szx decompress <in.szx> <out.f32> [--parallel]
+  szx assess     <orig.f32> <in.szx>
+  szx info       <in.szx>
+  szx gen        <cesm|hurricane|miranda|nyx|qmcpack|scale> <out-dir>
+                 [--scale tiny|small|medium|large|full]
+  szx archive    <out.szxa> <field1.f32> [field2.f32 ...] --abs <e> | --rel <r>
+  szx list       <in.szxa>
+  szx extract    <in.szxa> <field-name> <out.f32>
+";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn read_f32s(path: &Path) -> Result<Vec<f32>, String> {
+    szx_data::io::read_f32_raw(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// First two non-flag tokens, skipping the values of value-taking flags.
+fn io_pair(args: &[String]) -> Result<(PathBuf, PathBuf), String> {
+    let mut cleaned = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            if matches!(a.as_str(), "--abs" | "--rel" | "--block" | "--strategy" | "--scale") {
+                skip = true;
+            }
+            continue;
+        }
+        cleaned.push(a.clone());
+    }
+    if cleaned.len() < 2 {
+        return Err("need input and output paths".into());
+    }
+    Ok((PathBuf::from(&cleaned[0]), PathBuf::from(&cleaned[1])))
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let (input, output) = io_pair(args)?;
+    let bound = if let Some(e) = flag_value(args, "--abs") {
+        ErrorBound::Absolute(e.parse().map_err(|_| "bad --abs value".to_string())?)
+    } else if let Some(r) = flag_value(args, "--rel") {
+        ErrorBound::Relative(r.parse().map_err(|_| "bad --rel value".to_string())?)
+    } else {
+        return Err("need --abs <e> or --rel <r>".into());
+    };
+    let block: usize = flag_value(args, "--block")
+        .map(|b| b.parse().map_err(|_| "bad --block value".to_string()))
+        .transpose()?
+        .unwrap_or(szx_core::DEFAULT_BLOCK_SIZE);
+    let strategy = match flag_value(args, "--strategy").as_deref() {
+        Some("a") => CommitStrategy::BitPack,
+        Some("b") => CommitStrategy::BytePlusResidual,
+        Some("c") | None => CommitStrategy::ByteAligned,
+        Some(other) => return Err(format!("unknown strategy {other}")),
+    };
+    let cfg = SzxConfig { block_size: block, error_bound: bound, strategy };
+
+    let bytes = std::fs::read(&input).map_err(|e| format!("{}: {e}", input.display()))?;
+    let compressed = if has_flag(args, "--f64") {
+        if bytes.len() % 8 != 0 {
+            return Err("input length is not a multiple of 8".into());
+        }
+        let data: Vec<f64> = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        run_compress(&data, &cfg, has_flag(args, "--parallel"))?
+    } else {
+        if bytes.len() % 4 != 0 {
+            return Err("input length is not a multiple of 4 (use --f64 for doubles?)".into());
+        }
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        run_compress(&data, &cfg, has_flag(args, "--parallel"))?
+    };
+    let cr = bytes.len() as f64 / compressed.len() as f64;
+    std::fs::write(&output, &compressed).map_err(|e| format!("{}: {e}", output.display()))?;
+    println!(
+        "{} -> {} ({} -> {} bytes, CR {:.2})",
+        input.display(),
+        output.display(),
+        bytes.len(),
+        compressed.len(),
+        cr
+    );
+    Ok(())
+}
+
+fn run_compress<F: szx_core::SzxFloat>(
+    data: &[F],
+    cfg: &SzxConfig,
+    parallel: bool,
+) -> Result<Vec<u8>, String> {
+    let r = if parallel {
+        szx_core::parallel::compress(data, cfg)
+    } else {
+        szx_core::compress(data, cfg)
+    };
+    r.map_err(|e| e.to_string())
+}
+
+fn cmd_decompress(args: &[String]) -> Result<(), String> {
+    let (input, output) = io_pair(args)?;
+    let bytes = std::fs::read(&input).map_err(|e| format!("{}: {e}", input.display()))?;
+    let header = szx_core::inspect(&bytes).map_err(|e| e.to_string())?;
+    let parallel = has_flag(args, "--parallel");
+    let out: Vec<u8> = if header.dtype == 0 {
+        let data: Vec<f32> = if parallel {
+            szx_core::parallel::decompress(&bytes)
+        } else {
+            szx_core::decompress(&bytes)
+        }
+        .map_err(|e| e.to_string())?;
+        data.iter().flat_map(|v| v.to_le_bytes()).collect()
+    } else {
+        let data: Vec<f64> = if parallel {
+            szx_core::parallel::decompress(&bytes)
+        } else {
+            szx_core::decompress(&bytes)
+        }
+        .map_err(|e| e.to_string())?;
+        data.iter().flat_map(|v| v.to_le_bytes()).collect()
+    };
+    std::fs::write(&output, &out).map_err(|e| format!("{}: {e}", output.display()))?;
+    println!("{} -> {} ({} values)", input.display(), output.display(), header.n);
+    Ok(())
+}
+
+fn cmd_assess(args: &[String]) -> Result<(), String> {
+    let (orig_path, comp_path) = io_pair(args)?;
+    let orig = read_f32s(&orig_path)?;
+    let bytes = std::fs::read(&comp_path).map_err(|e| format!("{}: {e}", comp_path.display()))?;
+    let header = szx_core::inspect(&bytes).map_err(|e| e.to_string())?;
+    if header.dtype != 0 {
+        return Err("assess supports f32 streams".into());
+    }
+    let recon: Vec<f32> = szx_core::decompress(&bytes).map_err(|e| e.to_string())?;
+    if recon.len() != orig.len() {
+        return Err(format!("length mismatch: {} vs {}", orig.len(), recon.len()));
+    }
+    let stats = szx_metrics::distortion(&orig, &recon);
+    println!("elements:     {}", stats.n);
+    println!("error bound:  {:.6e}", header.eb);
+    println!("max |error|:  {:.6e}", stats.max_abs_error);
+    println!("PSNR:         {:.2} dB", stats.psnr);
+    println!("NRMSE:        {:.6e}", stats.nrmse);
+    println!("CR:           {:.2}", (orig.len() * 4) as f64 / bytes.len() as f64);
+    println!(
+        "bound ok:     {}",
+        if stats.max_abs_error <= header.eb { "yes" } else { "NO — BUG" }
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("need a file")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let h = szx_core::inspect(&bytes).map_err(|e| e.to_string())?;
+    println!("element type:     {}", if h.dtype == 0 { "f32" } else { "f64" });
+    println!("elements:         {}", h.n);
+    println!("block size:       {}", h.block_size);
+    println!("blocks:           {}", h.num_blocks());
+    println!(
+        "non-constant:     {} ({:.1}%)",
+        h.n_nonconstant,
+        100.0 * h.n_nonconstant as f64 / h.num_blocks() as f64
+    );
+    println!("abs error bound:  {:.6e}", h.eb);
+    println!("strategy:         {:?}", h.strategy);
+    println!("stream bytes:     {}", bytes.len());
+    Ok(())
+}
+
+fn cmd_archive(args: &[String]) -> Result<(), String> {
+    let bound = if let Some(e) = flag_value(args, "--abs") {
+        ErrorBound::Absolute(e.parse().map_err(|_| "bad --abs value".to_string())?)
+    } else if let Some(r) = flag_value(args, "--rel") {
+        ErrorBound::Relative(r.parse().map_err(|_| "bad --rel value".to_string())?)
+    } else {
+        return Err("need --abs <e> or --rel <r>".into());
+    };
+    let cfg = SzxConfig { error_bound: bound, ..SzxConfig::relative(1e-3) };
+    let mut positional = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = matches!(a.as_str(), "--abs" | "--rel");
+            continue;
+        }
+        positional.push(PathBuf::from(a));
+    }
+    if positional.len() < 2 {
+        return Err("need an output archive and at least one field file".into());
+    }
+    let out_path = positional.remove(0);
+    let mut w = szx_core::ArchiveWriter::new();
+    for path in &positional {
+        let data = read_f32s(path)?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("bad field file name {}", path.display()))?;
+        w.add(name, &data, &cfg).map_err(|e| e.to_string())?;
+        println!("added {name} ({} values)", data.len());
+    }
+    let bytes = w.finish();
+    std::fs::write(&out_path, &bytes).map_err(|e| format!("{}: {e}", out_path.display()))?;
+    println!("{} ({} fields, {} bytes)", out_path.display(), positional.len(), bytes.len());
+    Ok(())
+}
+
+fn cmd_list(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("need an archive file")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let r = szx_core::ArchiveReader::new(&bytes).map_err(|e| e.to_string())?;
+    println!("{:<20} {:>10} {:>12} {:>12} {:>8}", "field", "elements", "compressed", "eb", "CR");
+    for name in r.names() {
+        let h = r.header(name).map_err(|e| e.to_string())?;
+        let clen = r.stream(name).unwrap().len();
+        let elem_bytes = if h.dtype == 0 { 4 } else { 8 };
+        println!(
+            "{:<20} {:>10} {:>12} {:>12.3e} {:>8.2}",
+            name,
+            h.n,
+            clen,
+            h.eb,
+            (h.n * elem_bytes) as f64 / clen as f64
+        );
+    }
+    Ok(())
+}
+
+fn cmd_extract(args: &[String]) -> Result<(), String> {
+    if args.len() < 3 {
+        return Err("need <archive> <field-name> <out.f32>".into());
+    }
+    let bytes = std::fs::read(&args[0]).map_err(|e| format!("{}: {e}", args[0]))?;
+    let r = szx_core::ArchiveReader::new(&bytes).map_err(|e| e.to_string())?;
+    let data: Vec<f32> = r.field(&args[1]).map_err(|e| e.to_string())?;
+    szx_data::io::write_f32_raw(Path::new(&args[2]), &data).map_err(|e| e.to_string())?;
+    println!("{} -> {} ({} values)", args[1], args[2], data.len());
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    use szx_data::{Application, Scale};
+    let app = match args.first().map(String::as_str) {
+        Some("cesm") => Application::CesmAtm,
+        Some("hurricane") => Application::Hurricane,
+        Some("miranda") => Application::Miranda,
+        Some("nyx") => Application::Nyx,
+        Some("qmcpack") => Application::QmcPack,
+        Some("scale") => Application::ScaleLetkf,
+        other => return Err(format!("unknown application {other:?}")),
+    };
+    let dir = PathBuf::from(args.get(1).ok_or("need an output directory")?);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let scale = match flag_value(args, "--scale").as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("medium") => Scale::Medium,
+        Some("large") => Scale::Large,
+        Some("full") => Scale::Full,
+        _ => Scale::Small,
+    };
+    let ds = app.generate(scale, 42);
+    for f in &ds.fields {
+        let path = dir.join(format!("{}.f32", f.name.replace('/', "_")));
+        szx_data::io::write_f32_raw(&path, &f.data).map_err(|e| e.to_string())?;
+        println!("{}  ({}x{}x{})", path.display(), f.dims[0], f.dims[1], f.dims[2]);
+    }
+    Ok(())
+}

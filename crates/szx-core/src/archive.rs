@@ -1,0 +1,252 @@
+//! Multi-field archive container.
+//!
+//! Scientific applications dump dozens of named fields at once (Table 2:
+//! CESM-ATM has 77). The archive bundles independently-compressed SZx
+//! streams under their field names with a table of contents, so a consumer
+//! can list and extract single fields without scanning the rest — the
+//! compressed analogue of the per-variable layout simulation outputs use.
+//!
+//! ```text
+//! magic b"SZXA" | u32 field count
+//! TOC entries:   [u16 name_len][name utf-8][u64 offset][u64 len]
+//! field streams, concatenated (offsets relative to the payload start)
+//! ```
+
+use crate::config::SzxConfig;
+use crate::error::{Result, SzxError};
+use crate::float::SzxFloat;
+
+const MAGIC: [u8; 4] = *b"SZXA";
+
+/// Builds an archive in memory.
+#[derive(Debug, Default)]
+pub struct ArchiveWriter {
+    entries: Vec<(String, Vec<u8>)>,
+}
+
+impl ArchiveWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compress `data` and add it under `name`. Names must be unique and
+    /// at most 65535 bytes of UTF-8.
+    pub fn add<F: SzxFloat>(&mut self, name: &str, data: &[F], cfg: &SzxConfig) -> Result<()> {
+        self.add_raw_stream(name, crate::compress(data, cfg)?)
+    }
+
+    /// Add an already-compressed SZx stream (validated) under `name`.
+    pub fn add_raw_stream(&mut self, name: &str, stream: Vec<u8>) -> Result<()> {
+        crate::inspect(&stream)?;
+        if name.len() > u16::MAX as usize {
+            return Err(SzxError::InvalidConfig(format!(
+                "field name too long ({} bytes)",
+                name.len()
+            )));
+        }
+        if self.entries.iter().any(|(n, _)| n == name) {
+            return Err(SzxError::InvalidConfig(format!("duplicate field name {name:?}")));
+        }
+        self.entries.push((name.to_string(), stream));
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize the archive.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        let mut offset = 0u64;
+        for (name, stream) in &self.entries {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(stream.len() as u64).to_le_bytes());
+            offset += stream.len() as u64;
+        }
+        for (_, stream) in &self.entries {
+            out.extend_from_slice(stream);
+        }
+        out
+    }
+}
+
+/// Reads fields back out of an archive.
+pub struct ArchiveReader<'a> {
+    /// name → slice into the payload section.
+    toc: Vec<(String, &'a [u8])>,
+}
+
+impl<'a> ArchiveReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Result<Self> {
+        let corrupt = |m: &str| SzxError::CorruptStream(format!("archive: {m}"));
+        if bytes.len() < 8 || bytes[0..4] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        if count > bytes.len() / 18 {
+            return Err(corrupt("implausible field count"));
+        }
+        let mut pos = 8usize;
+        let mut raw_toc = Vec::with_capacity(count);
+        for _ in 0..count {
+            if pos + 2 > bytes.len() {
+                return Err(corrupt("truncated TOC"));
+            }
+            let nlen = u16::from_le_bytes(bytes[pos..pos + 2].try_into().unwrap()) as usize;
+            pos += 2;
+            if pos + nlen + 16 > bytes.len() {
+                return Err(corrupt("truncated TOC entry"));
+            }
+            let name = std::str::from_utf8(&bytes[pos..pos + nlen])
+                .map_err(|_| corrupt("field name is not UTF-8"))?
+                .to_string();
+            pos += nlen;
+            let offset = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap()) as usize;
+            pos += 16;
+            raw_toc.push((name, offset, len));
+        }
+        let payload = &bytes[pos..];
+        let mut toc = Vec::with_capacity(count);
+        for (name, offset, len) in raw_toc {
+            let end = offset.checked_add(len).ok_or_else(|| corrupt("TOC overflow"))?;
+            if end > payload.len() {
+                return Err(corrupt("TOC points past payload"));
+            }
+            toc.push((name, &payload[offset..end]));
+        }
+        Ok(ArchiveReader { toc })
+    }
+
+    /// Field names in archive order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.toc.iter().map(|(n, _)| n.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.toc.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.toc.is_empty()
+    }
+
+    /// Raw compressed stream of a field.
+    pub fn stream(&self, name: &str) -> Option<&'a [u8]> {
+        self.toc.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+    }
+
+    /// Decompress a field.
+    pub fn field<F: SzxFloat>(&self, name: &str) -> Result<Vec<F>> {
+        let stream = self
+            .stream(name)
+            .ok_or_else(|| SzxError::InvalidConfig(format!("no field named {name:?}")))?;
+        crate::decompress(stream)
+    }
+
+    /// Header of a field's stream without decompressing it.
+    pub fn header(&self, name: &str) -> Result<crate::Header> {
+        let stream = self
+            .stream(name)
+            .ok_or_else(|| SzxError::InvalidConfig(format!("no field named {name:?}")))?;
+        crate::inspect(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(k: usize) -> Vec<f32> {
+        (0..2000).map(|i| ((i + k * 911) as f32 * 0.01).sin() * (k + 1) as f32).collect()
+    }
+
+    #[test]
+    fn archive_roundtrip_multiple_fields() {
+        let cfg = SzxConfig::absolute(1e-4);
+        let mut w = ArchiveWriter::new();
+        for (k, name) in ["pressure", "density", "velocity-x"].iter().enumerate() {
+            w.add(name, &field(k), &cfg).unwrap();
+        }
+        assert_eq!(w.len(), 3);
+        let bytes = w.finish();
+        let r = ArchiveReader::new(&bytes).unwrap();
+        assert_eq!(r.names().collect::<Vec<_>>(), vec!["pressure", "density", "velocity-x"]);
+        for (k, name) in ["pressure", "density", "velocity-x"].iter().enumerate() {
+            let back: Vec<f32> = r.field(name).unwrap();
+            let orig = field(k);
+            assert!(orig.iter().zip(&back).all(|(a, b)| (a - b).abs() <= 1e-4), "{name}");
+        }
+        assert!(r.field::<f32>("missing").is_err());
+    }
+
+    #[test]
+    fn selective_extraction_reads_one_stream() {
+        let cfg = SzxConfig::absolute(1e-3);
+        let mut w = ArchiveWriter::new();
+        w.add("a", &field(0), &cfg).unwrap();
+        w.add("b", &field(1), &cfg).unwrap();
+        let bytes = w.finish();
+        let r = ArchiveReader::new(&bytes).unwrap();
+        let h = r.header("b").unwrap();
+        assert_eq!(h.n, 2000);
+        // The single extracted stream excludes the sibling field and TOC.
+        let b_len = r.stream("b").unwrap().len();
+        let a_len = r.stream("a").unwrap().len();
+        assert!(b_len + a_len < bytes.len(), "streams plus TOC fill the archive");
+        assert!(b_len < bytes.len() * 3 / 5);
+    }
+
+    #[test]
+    fn duplicate_and_invalid_entries_rejected() {
+        let cfg = SzxConfig::absolute(1e-3);
+        let mut w = ArchiveWriter::new();
+        w.add("x", &field(0), &cfg).unwrap();
+        assert!(w.add("x", &field(1), &cfg).is_err(), "duplicate");
+        assert!(w.add_raw_stream("y", vec![1, 2, 3]).is_err(), "not an SZx stream");
+    }
+
+    #[test]
+    fn mixed_element_types() {
+        let cfg = SzxConfig::absolute(1e-6);
+        let mut w = ArchiveWriter::new();
+        w.add("singles", &field(0), &cfg).unwrap();
+        let doubles: Vec<f64> = (0..500).map(|i| (i as f64 * 0.03).cos()).collect();
+        w.add("doubles", &doubles, &cfg).unwrap();
+        let bytes = w.finish();
+        let r = ArchiveReader::new(&bytes).unwrap();
+        assert_eq!(r.header("singles").unwrap().dtype, 0);
+        assert_eq!(r.header("doubles").unwrap().dtype, 1);
+        assert!(r.field::<f64>("doubles").is_ok());
+        assert!(r.field::<f64>("singles").is_err(), "type mismatch surfaces");
+    }
+
+    #[test]
+    fn corrupt_archives_error_not_panic() {
+        let cfg = SzxConfig::absolute(1e-3);
+        let mut w = ArchiveWriter::new();
+        w.add("a", &field(0), &cfg).unwrap();
+        let bytes = w.finish();
+        assert!(ArchiveReader::new(&bytes[..3]).is_err());
+        assert!(ArchiveReader::new(&bytes[..20]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'!';
+        assert!(ArchiveReader::new(&bad).is_err());
+        // Forged count.
+        let mut bad = bytes.clone();
+        bad[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ArchiveReader::new(&bad).is_err());
+        // Empty archive is valid.
+        let empty = ArchiveWriter::new().finish();
+        assert_eq!(ArchiveReader::new(&empty).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! The SZx compressor (Algorithm 1 + the §5.1 commit strategies).
+
+use crate::bitio::BitWriter;
+use crate::block::{bytes_for, required_length, shift_for, BlockStats};
+use crate::config::{CommitStrategy, SzxConfig};
+use crate::error::{Result, SzxError};
+use crate::float::SzxFloat;
+use crate::stream::Header;
+
+/// Per-chunk compression output; chunks are later stitched into one stream.
+/// The serial compressor uses a single chunk covering every block.
+#[derive(Debug, Default)]
+pub(crate) struct ChunkOutput<F: SzxFloat> {
+    /// One entry per block: `true` = non-constant.
+    pub states: Vec<bool>,
+    /// One `μ` per block (0.0 for bit-exact blocks).
+    pub mus: Vec<F>,
+    /// Payload length per non-constant block.
+    pub zsizes: Vec<u16>,
+    /// Concatenated non-constant payloads.
+    pub payload: Vec<u8>,
+}
+
+impl<F: SzxFloat> ChunkOutput<F> {
+    pub(crate) fn with_capacity(nblocks: usize, data_bytes: usize) -> Self {
+        ChunkOutput {
+            states: Vec::with_capacity(nblocks),
+            mus: Vec::with_capacity(nblocks),
+            zsizes: Vec::with_capacity(nblocks),
+            // Non-constant payloads rarely exceed half the raw size on
+            // compressible data; growing is cheap if they do.
+            payload: Vec::with_capacity(data_bytes / 2 + 64),
+        }
+    }
+}
+
+/// Reusable scratch for the Solution A/B encoders so block loops stay
+/// allocation-free.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    bytes_pool: Vec<u8>,
+    bits: BitWriter,
+}
+
+/// Compress `data` into a self-describing SZx stream.
+///
+/// This is the serial reference path; see [`crate::parallel`] for the
+/// multicore version. The relative error bound, if configured, is resolved
+/// against the global value range here and the stream records the resulting
+/// absolute bound.
+pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
+    cfg.validate()?;
+    if data.is_empty() {
+        return Err(SzxError::EmptyInput);
+    }
+    let eb = cfg.error_bound.resolve(data);
+    if !eb.is_finite() || eb < 0.0 {
+        return Err(SzxError::InvalidConfig(format!(
+            "resolved error bound is not usable: {eb}"
+        )));
+    }
+
+    let nblocks = (data.len() + cfg.block_size - 1) / cfg.block_size;
+    let mut chunk = ChunkOutput::with_capacity(nblocks, data.len() * F::BYTES);
+    let mut scratch = Scratch::default();
+    encode_blocks(data, cfg.block_size, eb, cfg.strategy, &mut chunk, &mut scratch);
+
+    Ok(assemble(&[chunk], data.len(), eb, cfg))
+}
+
+/// Encode every block of `data` (a whole number of blocks except possibly
+/// the last) into `out`. Shared by the serial and parallel paths.
+pub(crate) fn encode_blocks<F: SzxFloat>(
+    data: &[F],
+    block_size: usize,
+    eb: f64,
+    strategy: CommitStrategy,
+    out: &mut ChunkOutput<F>,
+    scratch: &mut Scratch,
+) {
+    for block in data.chunks(block_size) {
+        let stats = BlockStats::compute(block);
+        if stats.is_constant_for(eb, block) {
+            out.states.push(false);
+            out.mus.push(stats.mu);
+        } else {
+            out.states.push(true);
+            let start = out.payload.len();
+            let mu = encode_nonconstant(block, &stats, eb, strategy, &mut out.payload, scratch);
+            out.mus.push(mu);
+            let zsize = out.payload.len() - start;
+            debug_assert!(zsize <= u16::MAX as usize, "payload {zsize} exceeds zsize range");
+            out.zsizes.push(zsize as u16);
+        }
+    }
+}
+
+/// Stitch chunk outputs into the final stream.
+pub(crate) fn assemble<F: SzxFloat>(
+    chunks: &[ChunkOutput<F>],
+    n: usize,
+    eb: f64,
+    cfg: &SzxConfig,
+) -> Vec<u8> {
+    let n_nonconstant: usize = chunks.iter().map(|c| c.zsizes.len()).sum();
+    let nblocks: usize = chunks.iter().map(|c| c.states.len()).sum();
+    let payload_len: usize = chunks.iter().map(|c| c.payload.len()).sum();
+
+    let header = Header {
+        dtype: F::DTYPE_CODE,
+        strategy: cfg.strategy,
+        block_size: cfg.block_size,
+        n,
+        eb,
+        n_nonconstant,
+    };
+
+    let mut bytes = Vec::with_capacity(
+        crate::stream::HEADER_LEN
+            + (nblocks + 7) / 8
+            + nblocks * F::BYTES
+            + n_nonconstant * 2
+            + payload_len,
+    );
+    header.write(&mut bytes);
+
+    // State bits. Chunk boundaries are multiples of 8 blocks (enforced by
+    // the parallel splitter), so per-chunk bit packing concatenates cleanly;
+    // the serial path has a single chunk and needs no such care.
+    let mut bitw = BitWriter::with_capacity((nblocks + 7) / 8);
+    for c in chunks {
+        for &s in &c.states {
+            bitw.write_bit(s);
+        }
+    }
+    bytes.extend_from_slice(bitw.as_bytes());
+
+    for c in chunks {
+        for &mu in &c.mus {
+            mu.write_le(&mut bytes);
+        }
+    }
+    for c in chunks {
+        for &z in &c.zsizes {
+            bytes.extend_from_slice(&z.to_le_bytes());
+        }
+    }
+    for c in chunks {
+        bytes.extend_from_slice(&c.payload);
+    }
+    bytes
+}
+
+/// Encode one non-constant block. Returns the μ actually used (0.0 when the
+/// block is stored bit-exactly).
+///
+/// Payload layout (all strategies): `[R_k: u8][2-bit leading codes][data...]`
+/// where `data` depends on the strategy:
+/// * Solution C: mid-bytes only (plain memcpy commits) — the paper's design.
+/// * Solution A: one tightly bit-packed pool of `R_k − 8·L_i` bits per value.
+/// * Solution B: whole-byte pool followed by a `β = R_k mod 8`-bit residual
+///   pool.
+fn encode_nonconstant<F: SzxFloat>(
+    block: &[F],
+    stats: &BlockStats<F>,
+    eb: f64,
+    strategy: CommitStrategy,
+    payload: &mut Vec<u8>,
+    scratch: &mut Scratch,
+) -> F {
+    let req_len = required_length::<F>(stats.radius, eb);
+    let raw = req_len == F::FULL_BITS;
+    let mu = if raw { F::ZERO } else { stats.mu };
+
+    payload.push(req_len as u8);
+    let lead_off = payload.len();
+    let lead_bytes = (2 * block.len() + 7) / 8;
+    payload.resize(lead_off + lead_bytes, 0);
+
+    match strategy {
+        CommitStrategy::ByteAligned => {
+            let s = shift_for(req_len);
+            let nb = bytes_for(req_len);
+            let lead_cap = nb.min(3);
+            let mut prev = 0u64;
+            for (i, &d) in block.iter().enumerate() {
+                let v = if raw { d } else { d - mu };
+                let w = v.to_word() >> s;
+                let xor = w ^ prev;
+                let lead = ((xor.leading_zeros() / 8) as usize).min(lead_cap);
+                payload[lead_off + i / 4] |= (lead as u8) << (6 - 2 * (i % 4));
+                let be = w.to_be_bytes();
+                payload.extend_from_slice(&be[lead..nb]);
+                prev = w;
+            }
+        }
+        CommitStrategy::BitPack => {
+            let lead_cap = (req_len / 8).min(3) as usize;
+            scratch.bits.clear();
+            let mut prev = 0u64;
+            for (i, &d) in block.iter().enumerate() {
+                let v = if raw { d } else { d - mu };
+                let w = v.to_word();
+                let xor = w ^ prev;
+                let lead = ((xor.leading_zeros() / 8) as usize).min(lead_cap);
+                payload[lead_off + i / 4] |= (lead as u8) << (6 - 2 * (i % 4));
+                let t = req_len - 8 * lead as u32;
+                if t > 0 {
+                    let bits = (w << (8 * lead)) >> (64 - t);
+                    scratch.bits.write_bits(bits, t);
+                }
+                prev = w;
+            }
+            payload.extend_from_slice(scratch.bits.as_bytes());
+        }
+        CommitStrategy::BytePlusResidual => {
+            let beta = req_len % 8;
+            let lead_cap = (req_len / 8).min(3) as usize;
+            scratch.bytes_pool.clear();
+            scratch.bits.clear();
+            let mut prev = 0u64;
+            for (i, &d) in block.iter().enumerate() {
+                let v = if raw { d } else { d - mu };
+                let w = v.to_word();
+                let xor = w ^ prev;
+                let lead = ((xor.leading_zeros() / 8) as usize).min(lead_cap);
+                payload[lead_off + i / 4] |= (lead as u8) << (6 - 2 * (i % 4));
+                // α whole bytes after the identical prefix...
+                let alpha = (req_len / 8) as usize - lead;
+                let be = w.to_be_bytes();
+                scratch.bytes_pool.extend_from_slice(&be[lead..lead + alpha]);
+                // ...then β residual bits, identical width for every value.
+                if beta > 0 {
+                    let shift_out = 8 * (lead + alpha) as u32;
+                    let bits = (w << shift_out) >> (64 - beta);
+                    scratch.bits.write_bits(bits, beta);
+                }
+                prev = w;
+            }
+            payload.extend_from_slice(&scratch.bytes_pool);
+            payload.extend_from_slice(scratch.bits.as_bytes());
+        }
+    }
+    mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ErrorBound;
+
+    #[test]
+    fn compress_rejects_empty() {
+        let err = compress::<f32>(&[], &SzxConfig::absolute(1e-3)).unwrap_err();
+        assert_eq!(err, SzxError::EmptyInput);
+    }
+
+    #[test]
+    fn compress_rejects_invalid_config() {
+        let cfg = SzxConfig::absolute(1e-3).with_block_size(0);
+        assert!(compress(&[1.0f32], &cfg).is_err());
+    }
+
+    #[test]
+    fn constant_data_compresses_to_mu_only() {
+        let data = vec![3.25f32; 1024];
+        let bytes = compress(&data, &SzxConfig::absolute(1e-3)).unwrap();
+        // 8 blocks: header 36 + 1 state byte + 8 μ (32 bytes) = 69 bytes.
+        assert_eq!(bytes.len(), 69);
+        let h = crate::stream::inspect(&bytes).unwrap();
+        assert_eq!(h.n_nonconstant, 0);
+    }
+
+    #[test]
+    fn relative_bound_with_nonfinite_range_errors_cleanly() {
+        let data = [f32::MAX, f32::MIN, 0.0, 1.0];
+        let cfg = SzxConfig {
+            block_size: 4,
+            error_bound: ErrorBound::Relative(1e-3),
+            strategy: CommitStrategy::ByteAligned,
+        };
+        // Range overflows f64? No — f32::MAX fits in f64, so this resolves
+        // fine and must compress.
+        assert!(compress(&data, &cfg).is_ok());
+    }
+
+    #[test]
+    fn payload_grows_with_entropy() {
+        let smooth: Vec<f32> = (0..4096).map(|i| (i as f32 * 1e-4).sin()).collect();
+        let rough: Vec<f32> = (0..4096)
+            .map(|i| ((i as f32 * 12.9898).sin() * 43758.5453).fract())
+            .collect();
+        let cfg = SzxConfig::absolute(1e-3);
+        let a = compress(&smooth, &cfg).unwrap().len();
+        let b = compress(&rough, &cfg).unwrap().len();
+        assert!(a < b, "smooth {a} must compress smaller than rough {b}");
+    }
+}

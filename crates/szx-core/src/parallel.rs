@@ -1,0 +1,225 @@
+//! Multicore compression/decompression, mirroring the paper's OpenMP design
+//! (§6.1) with rayon.
+//!
+//! * **Compression** assigns contiguous *chunks of blocks* to threads; each
+//!   chunk compresses independently into its own buffers, and the results
+//!   are stitched together. Chunks are multiples of 8 blocks so the per-chunk
+//!   state bits concatenate on byte boundaries.
+//! * **Decompression** first materializes the per-block payload offsets by
+//!   prefix-summing the `zsize_array` — the exact trick the paper uses to
+//!   let every thread find its starting address — then decodes blocks in
+//!   parallel, each writing a disjoint slice of the output.
+
+use rayon::prelude::*;
+
+use crate::config::SzxConfig;
+use crate::decode::{decode_nonconstant_block, StreamIndex};
+use crate::encode::{assemble, encode_blocks, ChunkOutput, Scratch};
+use crate::error::{Result, SzxError};
+use crate::float::SzxFloat;
+
+/// Blocks handled per parallel decompression task. Coarse enough to amortize
+/// scheduling, fine enough to balance skewed payloads.
+const DECODE_GROUP: usize = 32;
+
+/// Parallel global value range (max − min), NaN-ignoring.
+fn value_range_par<F: SzxFloat>(data: &[F]) -> f64 {
+    let (min, max) = data
+        .par_chunks(64 * 1024)
+        .map(|chunk| {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &d in chunk {
+                let x = d.to_f64();
+                if x < lo {
+                    lo = x;
+                }
+                if x > hi {
+                    hi = x;
+                }
+            }
+            (lo, hi)
+        })
+        .reduce(
+            || (f64::INFINITY, f64::NEG_INFINITY),
+            |a, b| (a.0.min(b.0), a.1.max(b.1)),
+        );
+    if max >= min {
+        max - min
+    } else {
+        0.0
+    }
+}
+
+/// Multicore SZx compression. Produces a stream byte-identical in format to
+/// the serial [`crate::compress`] (and decodable by either decompressor).
+pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
+    cfg.validate()?;
+    if data.is_empty() {
+        return Err(SzxError::EmptyInput);
+    }
+    let eb = match cfg.error_bound {
+        crate::config::ErrorBound::Absolute(e) => e,
+        crate::config::ErrorBound::Relative(rel) => rel * value_range_par(data),
+    };
+    if !eb.is_finite() || eb < 0.0 {
+        return Err(SzxError::InvalidConfig(format!(
+            "resolved error bound is not usable: {eb}"
+        )));
+    }
+
+    let bs = cfg.block_size;
+    let nblocks = (data.len() + bs - 1) / bs;
+    // Multiple-of-8 blocks per chunk keeps state bits byte-aligned at chunk
+    // seams; aim for a few chunks per thread for load balance.
+    let target_chunks = rayon::current_num_threads() * 4;
+    let mut blocks_per_chunk = (nblocks + target_chunks - 1) / target_chunks;
+    blocks_per_chunk = ((blocks_per_chunk + 7) / 8 * 8).max(8);
+    let elems_per_chunk = blocks_per_chunk * bs;
+
+    let chunks: Vec<ChunkOutput<F>> = data
+        .par_chunks(elems_per_chunk)
+        .map(|chunk_data| {
+            let chunk_blocks = (chunk_data.len() + bs - 1) / bs;
+            let mut out = ChunkOutput::with_capacity(chunk_blocks, chunk_data.len() * F::BYTES);
+            let mut scratch = Scratch::default();
+            encode_blocks(chunk_data, bs, eb, cfg.strategy, &mut out, &mut scratch);
+            out
+        })
+        .collect();
+
+    Ok(assemble(&chunks, data.len(), eb, cfg))
+}
+
+/// Multicore SZx decompression.
+pub fn decompress<F: SzxFloat>(bytes: &[u8]) -> Result<Vec<F>> {
+    // Validate the stream before allocating the output (see decode.rs).
+    let index = StreamIndex::build::<F>(bytes)?;
+    let mut out = vec![F::ZERO; index.header.n];
+    decompress_with_index(&index, &mut out)?;
+    Ok(out)
+}
+
+/// Multicore decompression into a caller-provided buffer.
+pub fn decompress_into<F: SzxFloat>(bytes: &[u8], out: &mut [F]) -> Result<()> {
+    let index = StreamIndex::build::<F>(bytes)?;
+    decompress_with_index(&index, out)
+}
+
+fn decompress_with_index<F: SzxFloat>(index: &StreamIndex<'_>, out: &mut [F]) -> Result<()> {
+    if out.len() != index.header.n {
+        return Err(SzxError::InvalidConfig(format!(
+            "output buffer holds {} elements, stream has {}",
+            out.len(),
+            index.header.n
+        )));
+    }
+    let bs = index.header.block_size;
+    let strategy = index.header.strategy;
+
+    // Prefix count of non-constant blocks before each block, so any thread
+    // can jump from a block id to its zsize/payload slot.
+    let nblocks = index.states.len();
+    let mut nc_before = Vec::with_capacity(nblocks);
+    let mut acc = 0usize;
+    for &s in &index.states {
+        nc_before.push(acc);
+        acc += s as usize;
+    }
+
+    out.par_chunks_mut(bs * DECODE_GROUP)
+        .enumerate()
+        .try_for_each(|(g, group)| -> Result<()> {
+            let first_block = g * DECODE_GROUP;
+            for (j, block_out) in group.chunks_mut(bs).enumerate() {
+                let b = first_block + j;
+                let mu = index.mu::<F>(b);
+                if index.states[b] {
+                    let nc = nc_before[b];
+                    let off = index.payload_offsets[nc];
+                    let len = index.zsizes[nc] as usize;
+                    let payload = &index.payloads[off..off + len];
+                    decode_nonconstant_block(payload, block_out, mu, strategy)?;
+                } else {
+                    block_out.fill(mu);
+                }
+            }
+            Ok(())
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CommitStrategy;
+
+    fn noisy_wave(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let x = i as f32 * 0.003;
+                x.sin() * 5.0 + (x * 37.1).sin() * 0.02
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_stream_equals_serial_stream() {
+        let data = noisy_wave(300_000);
+        for strategy in [
+            CommitStrategy::ByteAligned,
+            CommitStrategy::BitPack,
+            CommitStrategy::BytePlusResidual,
+        ] {
+            let cfg = SzxConfig::relative(1e-3).with_strategy(strategy);
+            let serial = crate::compress(&data, &cfg).unwrap();
+            let par = compress(&data, &cfg).unwrap();
+            assert_eq!(serial, par, "streams must be byte-identical ({strategy:?})");
+        }
+    }
+
+    #[test]
+    fn parallel_roundtrip_cross_decoders() {
+        let data = noisy_wave(123_457); // ragged tail
+        let cfg = SzxConfig::absolute(1e-4);
+        let bytes = compress(&data, &cfg).unwrap();
+        let a: Vec<f32> = crate::decompress(&bytes).unwrap();
+        let b: Vec<f32> = decompress(&bytes).unwrap();
+        assert_eq!(a, b);
+        for (&x, &y) in data.iter().zip(&b) {
+            assert!((x - y).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_handles_tiny_inputs() {
+        let data = vec![1.0f32, 2.0, 3.0];
+        let cfg = SzxConfig::absolute(1e-3).with_block_size(128);
+        let bytes = compress(&data, &cfg).unwrap();
+        let back: Vec<f32> = decompress(&bytes).unwrap();
+        for (&x, &y) in data.iter().zip(&back) {
+            assert!((x - y).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn parallel_relative_bound_matches_serial_resolution() {
+        let data = noisy_wave(50_000);
+        let cfg = SzxConfig::relative(1e-2);
+        let serial = crate::compress(&data, &cfg).unwrap();
+        let par = compress(&data, &cfg).unwrap();
+        let hs = crate::inspect(&serial).unwrap();
+        let hp = crate::inspect(&par).unwrap();
+        assert_eq!(hs.eb, hp.eb);
+    }
+
+    #[test]
+    fn parallel_f64_roundtrip() {
+        let data: Vec<f64> = (0..40_000).map(|i| (i as f64 * 0.001).sinh().sin()).collect();
+        let cfg = SzxConfig::absolute(1e-7);
+        let bytes = compress(&data, &cfg).unwrap();
+        let back: Vec<f64> = decompress(&bytes).unwrap();
+        for (&x, &y) in data.iter().zip(&back) {
+            assert!((x - y).abs() <= 1e-7);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Framed streaming compression for unbounded inputs.
+//!
+//! The paper's instrument use case (LCLS-II, §1) compresses an endless
+//! sequence of detector frames; holding the whole sequence in memory is
+//! exactly what compression is supposed to avoid. [`FrameWriter`] appends
+//! independently-compressed frames to one self-describing container, and
+//! [`FrameReader`] iterates or random-accesses them. Frames are
+//! independent SZx streams, so any frame can be dropped, decoded, or
+//! re-encoded without touching the others.
+//!
+//! Container layout:
+//! ```text
+//! magic  b"SZXS"  (4 bytes)
+//! frames, each:  [len: u64 LE][SZx stream bytes]
+//! ```
+
+use crate::config::SzxConfig;
+use crate::error::{Result, SzxError};
+use crate::float::SzxFloat;
+
+const MAGIC: [u8; 4] = *b"SZXS";
+
+/// Appends compressed frames to an in-memory container (wrap your own
+/// `Write` sink around [`FrameWriter::as_bytes`] flushes as needed).
+pub struct FrameWriter {
+    cfg: SzxConfig,
+    buf: Vec<u8>,
+    frames: usize,
+}
+
+impl FrameWriter {
+    pub fn new(cfg: SzxConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(FrameWriter { cfg, buf: MAGIC.to_vec(), frames: 0 })
+    }
+
+    /// Compress and append one frame. Frames may have different lengths.
+    pub fn push<F: SzxFloat>(&mut self, frame: &[F]) -> Result<()> {
+        let bytes = crate::compress(frame, &self.cfg)?;
+        self.buf.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(&bytes);
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Frames appended so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// The container so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Finish and take the container.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads frames back out of a container.
+pub struct FrameReader<'a> {
+    /// (offset, length) of each frame's SZx stream.
+    index: Vec<(usize, usize)>,
+    bytes: &'a [u8],
+}
+
+impl<'a> FrameReader<'a> {
+    /// Parse the container's frame index (headers only).
+    pub fn new(bytes: &'a [u8]) -> Result<Self> {
+        if bytes.len() < 4 || bytes[0..4] != MAGIC {
+            return Err(SzxError::CorruptStream("bad streaming container magic".into()));
+        }
+        let mut index = Vec::new();
+        let mut pos = 4usize;
+        while pos < bytes.len() {
+            if pos + 8 > bytes.len() {
+                return Err(SzxError::CorruptStream("truncated frame length".into()));
+            }
+            let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+            pos += 8;
+            if pos + len > bytes.len() {
+                return Err(SzxError::CorruptStream(format!(
+                    "frame at {pos} claims {len} bytes, container has {}",
+                    bytes.len() - pos
+                )));
+            }
+            index.push((pos, len));
+            pos += len;
+        }
+        Ok(FrameReader { index, bytes })
+    }
+
+    pub fn num_frames(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Decompress frame `i`.
+    pub fn frame<F: SzxFloat>(&self, i: usize) -> Result<Vec<F>> {
+        let &(off, len) = self
+            .index
+            .get(i)
+            .ok_or_else(|| SzxError::InvalidConfig(format!("frame {i} out of range")))?;
+        crate::decompress(&self.bytes[off..off + len])
+    }
+
+    /// Raw compressed bytes of frame `i` (e.g. to forward downstream).
+    pub fn frame_bytes(&self, i: usize) -> Option<&'a [u8]> {
+        self.index.get(i).map(|&(off, len)| &self.bytes[off..off + len])
+    }
+
+    /// Iterate all frames, decompressing lazily.
+    pub fn iter<F: SzxFloat>(&self) -> impl Iterator<Item = Result<Vec<F>>> + '_ {
+        (0..self.num_frames()).map(move |i| self.frame::<F>(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(k: usize, n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i + 37 * k) as f32 * 0.01).sin() * (k + 1) as f32).collect()
+    }
+
+    #[test]
+    fn frames_roundtrip_in_order() {
+        let mut w = FrameWriter::new(SzxConfig::absolute(1e-4)).unwrap();
+        let originals: Vec<Vec<f32>> = (0..5).map(|k| frame(k, 1000 + 17 * k)).collect();
+        for f in &originals {
+            w.push(f).unwrap();
+        }
+        assert_eq!(w.frames(), 5);
+        let bytes = w.into_bytes();
+        let r = FrameReader::new(&bytes).unwrap();
+        assert_eq!(r.num_frames(), 5);
+        for (k, orig) in originals.iter().enumerate() {
+            let back: Vec<f32> = r.frame(k).unwrap();
+            assert_eq!(back.len(), orig.len());
+            for (&a, &b) in orig.iter().zip(&back) {
+                assert!((a - b).abs() <= 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn random_access_to_any_frame() {
+        let mut w = FrameWriter::new(SzxConfig::absolute(1e-3)).unwrap();
+        for k in 0..10 {
+            w.push(&frame(k, 500)).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let r = FrameReader::new(&bytes).unwrap();
+        // Decode only the seventh frame.
+        let f7: Vec<f32> = r.frame(7).unwrap();
+        assert_eq!(f7.len(), 500);
+        assert!(r.frame_bytes(7).unwrap().len() < 500 * 4);
+        assert!(r.frame::<f32>(10).is_err());
+    }
+
+    #[test]
+    fn iterator_visits_every_frame() {
+        let mut w = FrameWriter::new(SzxConfig::absolute(1e-3)).unwrap();
+        for k in 0..4 {
+            w.push(&frame(k, 256)).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let r = FrameReader::new(&bytes).unwrap();
+        let frames: Vec<Vec<f32>> = r.iter().collect::<Result<_>>().unwrap();
+        assert_eq!(frames.len(), 4);
+    }
+
+    #[test]
+    fn corrupt_containers_error() {
+        assert!(FrameReader::new(b"nope").is_err());
+        let mut w = FrameWriter::new(SzxConfig::absolute(1e-3)).unwrap();
+        w.push(&frame(0, 100)).unwrap();
+        let bytes = w.into_bytes();
+        assert!(FrameReader::new(&bytes[..bytes.len() - 3]).is_err(), "truncated frame");
+        assert!(FrameReader::new(&bytes[..7]).is_err(), "truncated length");
+        // Empty container is fine — zero frames.
+        assert_eq!(FrameReader::new(&MAGIC).unwrap().num_frames(), 0);
+    }
+
+    #[test]
+    fn mixed_precision_frames() {
+        // The container doesn't force one element type; each frame is a
+        // self-describing SZx stream.
+        let mut w = FrameWriter::new(SzxConfig::absolute(1e-6)).unwrap();
+        w.push(&frame(0, 300)).unwrap();
+        let doubles: Vec<f64> = (0..200).map(|i| (i as f64 * 0.02).cos()).collect();
+        w.push(&doubles).unwrap();
+        let bytes = w.into_bytes();
+        let r = FrameReader::new(&bytes).unwrap();
+        assert!(r.frame::<f32>(0).is_ok());
+        assert!(r.frame::<f64>(1).is_ok());
+        assert!(r.frame::<f32>(1).is_err(), "type mismatch surfaces");
+    }
+}

@@ -1,0 +1,81 @@
+//! Golden stream-format test: the byte layout of an SZx stream is a
+//! compatibility contract (decoders in other processes/languages and the
+//! GPU path all rely on it). This test freezes a small stream byte-for-byte
+//! so accidental format changes fail loudly instead of silently breaking
+//! interchange.
+
+use szx_core::{CommitStrategy, SzxConfig};
+
+/// Deterministic input: two constant blocks around one non-constant block.
+fn golden_input() -> Vec<f32> {
+    let mut data = vec![1.5f32; 8]; // block 0: constant
+    data.extend([0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875]); // block 1
+    data.extend(vec![-2.0f32; 8]); // block 2: constant
+    data
+}
+
+#[test]
+fn stream_bytes_are_frozen() {
+    let cfg = SzxConfig::absolute(0.01).with_block_size(8);
+    let bytes = szx_core::compress(&golden_input(), &cfg).unwrap();
+
+    // Header.
+    assert_eq!(&bytes[0..4], b"SZXR", "magic");
+    assert_eq!(bytes[4], 1, "version");
+    assert_eq!(bytes[5], 0, "dtype f32");
+    assert_eq!(bytes[6], 2, "strategy C");
+    assert_eq!(bytes[7], 0, "reserved");
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 8, "block size");
+    assert_eq!(u64::from_le_bytes(bytes[12..20].try_into().unwrap()), 24, "n");
+    assert_eq!(f64::from_le_bytes(bytes[20..28].try_into().unwrap()), 0.01, "eb");
+    assert_eq!(u64::from_le_bytes(bytes[28..36].try_into().unwrap()), 1, "non-constant");
+
+    // State bits: blocks C, NC, C -> 0b010 packed MSB-first = 0x40.
+    assert_eq!(bytes[36], 0x40, "state bits");
+
+    // μ array: 1.5, 0.4375 ((0+0.875)/2), -2.0 as LE f32.
+    assert_eq!(&bytes[37..41], &1.5f32.to_le_bytes());
+    assert_eq!(&bytes[41..45], &0.4375f32.to_le_bytes());
+    assert_eq!(&bytes[45..49], &(-2.0f32).to_le_bytes());
+
+    // zsize for the one non-constant block.
+    let zsize = u16::from_le_bytes(bytes[49..51].try_into().unwrap()) as usize;
+    assert_eq!(bytes.len(), 51 + zsize, "payload fills the rest exactly");
+
+    // Payload: required length first. radius = 0.4375 (expo -2),
+    // eb 0.01 (expo -7): R = 9 + (-2) - (-7) + 1 = 15.
+    assert_eq!(bytes[51], 15, "required length");
+
+    // Full golden stream (hex) — update ONLY on a deliberate format bump.
+    let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+    let expected = "535a585201000200080000001800000000000000\
+                    7b14ae47e17a843f0100000000000000\
+                    400000c03f0000e03e000000c0\
+                    0f000f14055f7050205ec01ec01f205070";
+    assert_eq!(hex, expected, "golden stream changed — format break?");
+}
+
+#[test]
+fn golden_stream_decodes_back() {
+    let cfg = SzxConfig::absolute(0.01).with_block_size(8);
+    let data = golden_input();
+    let bytes = szx_core::compress(&data, &cfg).unwrap();
+    let back: Vec<f32> = szx_core::decompress(&bytes).unwrap();
+    for (a, b) in data.iter().zip(&back) {
+        assert!((a - b).abs() <= 0.01);
+    }
+}
+
+#[test]
+fn all_strategy_codes_are_stable() {
+    // Strategy codes are part of the format.
+    for (strategy, code) in [
+        (CommitStrategy::BitPack, 0u8),
+        (CommitStrategy::BytePlusResidual, 1),
+        (CommitStrategy::ByteAligned, 2),
+    ] {
+        let cfg = SzxConfig::absolute(0.01).with_block_size(8).with_strategy(strategy);
+        let bytes = szx_core::compress(&golden_input(), &cfg).unwrap();
+        assert_eq!(bytes[6], code, "{strategy:?}");
+    }
+}

@@ -1,0 +1,114 @@
+//! CESM-ATM: 77 two-dimensional atmosphere fields (1800×3600).
+//!
+//! The real dataset mixes very different personalities — plateaued cloud
+//! fractions (huge constant regions ⇒ the paper's CR≈124 outliers), sparse
+//! precipitation rates, and smooth state fields (surface geopotential,
+//! temperature, pressure). The generator cycles through those profiles.
+
+use super::{plateau, rescale, smooth_field, stratified_field};
+use crate::fields::{Dataset, Field};
+use crate::grf;
+use crate::registry::{Application, Scale};
+
+/// Real CESM-ATM variable names for the first fields (the rest are synthetic
+/// names); `CLDHGH` and `PHIS` are referenced by paper figures.
+/// Ordered so each name lands on the matching profile of the `i % 5` cycle
+/// below (fractions, precipitation, state, geopotential/pressure, fluxes).
+const NAMES: [&str; 30] = [
+    "CLDHGH", "PRECC", "TS", "PHIS", "FLDS", //
+    "CLDLOW", "PRECL", "TREFHT", "PSL", "FLNS", //
+    "CLDMED", "PRECSC", "QREFHT", "PS", "FLNT", //
+    "CLDTOT", "PRECSL", "RELHUM", "U10", "FSDS", //
+    "ICEFRAC", "SNOWHLND", "TMQ", "TAUX", "FSNS", //
+    "SNOWHICE", "SHFLX", "LHFLX", "TAUY", "FSNT",
+];
+
+pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
+    let (count, full_dims, _) = Application::CesmAtm.spec();
+    let dims = scale.apply(full_dims);
+    let n_fields = count.min(max_fields);
+    let mut fields = Vec::with_capacity(n_fields);
+
+    for i in 0..n_fields {
+        let fseed = seed.wrapping_mul(1000).wrapping_add(i as u64);
+        let name = if i < NAMES.len() {
+            NAMES[i].to_string()
+        } else {
+            format!("FLD{i:03}")
+        };
+        // Cycle profiles the way the real variable list does: ~1/3 cloud- or
+        // ice-fraction-like, ~1/5 sparse precipitation, the rest smooth state.
+        let data = match i % 5 {
+            // Plateaued fraction field: mostly 0/1 plateaus.
+            0 => {
+                let mut f = smooth_field(dims, &[(24, 1.0), (6, 0.3)], 0.0, fseed);
+                plateau(&mut f, -0.15, 0.15);
+                f
+            }
+            // Sparse precipitation-like field, tiny magnitudes.
+            1 => {
+                let mut f = grf::spike_field(dims, 0.003, 2, 0.25, fseed);
+                for v in f.iter_mut() {
+                    *v *= 3.2e-7;
+                }
+                f
+            }
+            // Smooth surface state dominated by the latitudinal gradient
+            // (temperature-like); axis 1 is latitude.
+            2 => {
+                let mut f = stratified_field(dims, 1, 1.0, &[(24, 0.03), (6, 0.003)], fseed);
+                rescale(&mut f, 220.0, 310.0);
+                f
+            }
+            // Geopotential-like: very smooth, large magnitude.
+            3 => {
+                let mut f = stratified_field(dims, 1, 1.0, &[(20, 0.05), (5, 0.005)], fseed);
+                rescale(&mut f, -350.0, 5.6e4);
+                f
+            }
+            // Flux-like: smooth with moderate small-scale activity.
+            _ => {
+                let mut f = stratified_field(dims, 1, 0.8, &[(16, 0.1), (4, 0.01)], fseed);
+                rescale(&mut f, -80.0, 420.0);
+                f
+            }
+        };
+        fields.push(Field::new(name, dims, data));
+    }
+
+    Dataset { name: "CESM".into(), fields }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cldhgh_is_plateaued() {
+        let ds = generate(Scale::Tiny, 1, 3);
+        let f = ds.field("CLDHGH").unwrap();
+        let zeros = f.data.iter().filter(|&&v| v == 0.0).count();
+        let ones = f.data.iter().filter(|&&v| v == 1.0).count();
+        assert!(
+            zeros + ones > f.data.len() / 3,
+            "cloud fraction should be plateau-dominated: {zeros}+{ones} of {}",
+            f.data.len()
+        );
+        assert!(f.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn fields_are_2d() {
+        let ds = generate(Scale::Tiny, 1, 2);
+        for f in &ds.fields {
+            assert_eq!(f.dims[2], 1);
+        }
+    }
+
+    #[test]
+    fn phis_has_large_range() {
+        let ds = generate(Scale::Tiny, 1, 4);
+        let f = ds.field("PHIS").unwrap();
+        assert!(f.value_range() > 1e4);
+    }
+}

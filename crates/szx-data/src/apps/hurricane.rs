@@ -1,0 +1,135 @@
+//! Hurricane ISABEL: 13 three-dimensional fields (100×500×500).
+//!
+//! Mix of sparse hydrometeor mixing ratios (CLOUD, QSNOW, QRAIN, …) — large
+//! zero regions around a compact storm — and continuous dynamic fields
+//! (wind components, temperature, pressure) with a strong vortex.
+
+use super::{rescale, stratified_field};
+use crate::fields::{Dataset, Field};
+use crate::grf;
+use crate::registry::{Application, Scale};
+
+/// Add a swirling vortex (tangential velocity peaking at radius `r0`) to a
+/// velocity component. `component` 0 = x-like, 1 = y-like.
+fn add_vortex(data: &mut [f32], dims: [usize; 3], amplitude: f32, component: usize) {
+    let [nx, ny, nz] = dims;
+    let (cx, cy) = (nx as f32 * 0.55, ny as f32 * 0.45);
+    let r0 = nx.min(ny) as f32 * 0.18;
+    let mut i = 0;
+    for _z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let dx = x as f32 - cx;
+                let dy = y as f32 - cy;
+                let r = (dx * dx + dy * dy).sqrt().max(1.0);
+                // Rankine-like profile: solid-body core, 1/r decay outside.
+                let v = if r < r0 { r / r0 } else { r0 / r };
+                let tangential = if component == 0 { -dy / r } else { dx / r };
+                data[i] += amplitude * v * tangential;
+                i += 1;
+            }
+        }
+    }
+}
+
+pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
+    let (count, full_dims, _) = Application::Hurricane.spec();
+    let dims = scale.apply(full_dims);
+    let names = [
+        "CLOUD", "QSNOW", "QRAIN", "QICE", "QGRAUP", "QCLOUD", // sparse hydrometeors
+        "U", "V", "W", // winds
+        "TC", "P", "QVAPOR", "PRECIP",
+    ];
+    let mut fields = Vec::with_capacity(count.min(max_fields));
+
+    for (i, name) in names.iter().enumerate().take(count.min(max_fields)) {
+        let fseed = seed.wrapping_mul(977).wrapping_add(i as u64);
+        let data = match *name {
+            // Hydrometeors: compact storm-centered sparse structures.
+            "CLOUD" | "QSNOW" | "QRAIN" | "QICE" | "QGRAUP" | "QCLOUD" => {
+                let mut f = grf::spike_field(dims, 0.002, 2, 0.35, fseed);
+                // Low-level humidity texture keeps even the "empty" regions
+                // from being exactly constant at coarse bounds (the paper's
+                // Hurricane max CR at REL 1e-2 is ~21, not the ~124 cap).
+                let bg = grf::intermittent_field(dims, 4, 0.12, 14, 8, fseed ^ 0x77);
+                for (v, b) in f.iter_mut().zip(&bg) {
+                    *v = (*v + b.abs()) * 2.3e-3; // kg/kg mixing-ratio magnitudes
+                }
+                f
+            }
+            "U" | "V" => {
+                let mut f = stratified_field(dims, 2, 0.6, &[(16, 0.08), (4, 0.01)], fseed);
+                rescale(&mut f, -30.0, 30.0);
+                add_vortex(&mut f, dims, 25.0, usize::from(*name == "V"));
+                f
+            }
+            "W" => {
+                // Vertical velocity is genuinely small-scale: the roughest
+                // Hurricane field, as in the real data.
+                let mut f = stratified_field(dims, 2, 0.3, &[(10, 0.3), (3, 0.05)], fseed);
+                rescale(&mut f, -4.0, 4.0);
+                f
+            }
+            "TC" => {
+                let mut f = stratified_field(dims, 2, 1.0, &[(16, 0.02), (4, 0.003)], fseed);
+                rescale(&mut f, -70.0, 30.0);
+                f
+            }
+            "P" => {
+                let mut f = stratified_field(dims, 2, 1.0, &[(20, 0.01)], fseed);
+                rescale(&mut f, -4000.0, 3000.0);
+                f
+            }
+            "QVAPOR" => {
+                let mut f = stratified_field(dims, 2, 0.9, &[(16, 0.06)], fseed);
+                rescale(&mut f, 0.0, 0.02);
+                f
+            }
+            _ => {
+                let mut f = grf::spike_field(dims, 0.0015, 2, 0.3, fseed);
+                let bg = grf::intermittent_field(dims, 4, 0.12, 14, 8, fseed ^ 0x77);
+                for (v, b) in f.iter_mut().zip(&bg) {
+                    *v = (*v + b.abs()) * 8.0e-3;
+                }
+                f
+            }
+        };
+        fields.push(Field::new(*name, dims, data));
+    }
+
+    Dataset { name: "Hurricane".into(), fields }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hydrometeors_are_sparse() {
+        // With the low-level humidity texture nothing is exactly zero, but
+        // the bulk of the volume stays near-zero relative to the peaks.
+        let ds = generate(Scale::Tiny, 2, 2);
+        let f = ds.field("QSNOW").unwrap();
+        let peak = f.data.iter().fold(0.0f32, |a, &v| a.max(v));
+        let near_zero = f.data.iter().filter(|&&v| v < 0.05 * peak).count();
+        assert!(near_zero > f.data.len() / 2, "{near_zero}/{}", f.data.len());
+        assert!(f.data.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn winds_have_vortex_scale_magnitudes() {
+        let ds = generate(Scale::Tiny, 2, 8);
+        let u = ds.field("U").unwrap();
+        let range = u.value_range();
+        assert!(range > 30.0 && range < 200.0, "range {range}");
+    }
+
+    #[test]
+    fn fields_are_3d() {
+        let ds = generate(Scale::Tiny, 2, 13);
+        assert_eq!(ds.fields.len(), 13);
+        for f in &ds.fields {
+            assert!(f.dims[2] > 1, "{}", f.name);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Miranda: 7 three-dimensional fields (256×384×384) from a large-eddy
+//! simulation of turbulent mixing.
+//!
+//! The paper's smoothest dataset (Figure 2a: >80% of 8-element blocks span
+//! <1% of the global range). The mixing-layer structure is strongly
+//! stratified: the global range lives along z while individual x-lines are
+//! nearly uniform, with only weak turbulent fine structure. This is where
+//! SZx's constant blocks shine.
+
+use super::{add_intermittency, rescale, stratified_field};
+use crate::fields::{Dataset, Field};
+use crate::registry::{Application, Scale};
+
+/// The seven Miranda fields, paper spelling included ("viscocity").
+const NAMES: [&str; 7] = [
+    "density", "diffusivity", "pressure", "velocity-x", "velocity-y", "velocity-z", "viscocity",
+];
+
+pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
+    let (count, full_dims, _) = Application::Miranda.spec();
+    let dims = scale.apply(full_dims);
+    let mut fields = Vec::with_capacity(count.min(max_fields));
+
+    for (i, name) in NAMES.iter().enumerate().take(count.min(max_fields)) {
+        let fseed = seed.wrapping_mul(733).wrapping_add(i as u64);
+        let data = match *name {
+            // Scalars: stratified mixing layer, very weak fine structure.
+            "density" => {
+                let mut f = stratified_field(dims, 2, 1.0, &[(16, 0.001)], fseed);
+                add_intermittency(&mut f, dims, 4, 0.8, 18, 15, fseed ^ 0xa5);
+                rescale(&mut f, 0.98, 3.1);
+                f
+            }
+            "pressure" => {
+                let mut f = stratified_field(dims, 2, 1.0, &[(20, 0.0008)], fseed);
+                add_intermittency(&mut f, dims, 5, 0.7, 20, 15, fseed ^ 0xa5);
+                rescale(&mut f, 0.2, 14.0);
+                f
+            }
+            "diffusivity" | "viscocity" => {
+                let mut f = stratified_field(dims, 2, 0.8, &[(14, 0.001)], fseed);
+                add_intermittency(&mut f, dims, 4, 0.8, 16, 15, fseed ^ 0xa5);
+                rescale(&mut f, 0.0, 1.6e-2);
+                f
+            }
+            // Velocities: more turbulent fine-scale energy than the scalars.
+            _ => {
+                let mut f = stratified_field(dims, 2, 0.5, &[(12, 0.002)], fseed);
+                add_intermittency(&mut f, dims, 3, 1.0, 14, 12, fseed ^ 0xa5);
+                rescale(&mut f, -1.4, 1.4);
+                f
+            }
+        };
+        fields.push(Field::new(*name, dims, data));
+    }
+
+    Dataset { name: "Miranda".into(), fields }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_fields() {
+        let ds = generate(Scale::Tiny, 3, usize::MAX);
+        assert_eq!(ds.fields.len(), 7);
+        for name in NAMES {
+            assert!(ds.field(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn miranda_is_very_smooth() {
+        // The Figure-2 premise: most 8-element blocks span a tiny fraction
+        // of the global range.
+        let ds = generate(Scale::Tiny, 3, 1);
+        let f = &ds.fields[0];
+        let ranges = block_relative_ranges(&f.data, 8);
+        let small = ranges.iter().filter(|&&r| r <= 0.01).count();
+        assert!(
+            small as f64 / ranges.len() as f64 > 0.6,
+            "only {small}/{} blocks are smooth",
+            ranges.len()
+        );
+    }
+
+    // Local copy of the block relative-range computation to avoid a
+    // dev-dependency cycle with szx-metrics.
+    fn block_relative_ranges(data: &[f32], bs: usize) -> Vec<f64> {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in data {
+            let v = v as f64;
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let g = if hi > lo { hi - lo } else { 1.0 };
+        data.chunks(bs)
+            .map(|b| {
+                let (mut l, mut h) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &v in b {
+                    let v = v as f64;
+                    l = l.min(v);
+                    h = h.max(v);
+                }
+                (h - l) / g
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-application synthetic generators. Each module builds fields whose
+//! *local smoothness statistics* (block value-range CDFs, sparsity, dynamic
+//! range) land in the regime the paper reports for that application, which
+//! is what determines SZx/SZ/ZFP behaviour. See DESIGN.md §4 for the
+//! substitution rationale.
+
+pub mod cesm;
+pub mod hurricane;
+pub mod miranda;
+pub mod nyx;
+pub mod qmcpack;
+pub mod scale_letkf;
+
+use crate::grf;
+
+/// Scale a zero-centered unit field to `[lo, hi]`.
+pub(crate) fn rescale(data: &mut [f32], lo: f32, hi: f32) {
+    let (mut dlo, mut dhi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &v in data.iter() {
+        if v < dlo {
+            dlo = v;
+        }
+        if v > dhi {
+            dhi = v;
+        }
+    }
+    let span = if dhi > dlo { dhi - dlo } else { 1.0 };
+    let k = (hi - lo) / span;
+    for v in data.iter_mut() {
+        *v = lo + (*v - dlo) * k;
+    }
+}
+
+/// Plateau a fraction field: values below `lo_cut` clamp to 0, above
+/// `hi_cut` to 1, with a smooth ramp between — mimics cloud-fraction-like
+/// fields dominated by fully-clear/fully-cloudy regions (these produce the
+/// paper's extreme CESM compression ratios).
+pub(crate) fn plateau(data: &mut [f32], lo_cut: f32, hi_cut: f32) {
+    let w = hi_cut - lo_cut;
+    for v in data.iter_mut() {
+        *v = ((*v - lo_cut) / w).clamp(0.0, 1.0);
+    }
+}
+
+/// A smooth base field with a superimposed trend, the workhorse profile.
+pub(crate) fn smooth_field(
+    dims: [usize; 3],
+    octaves: &[(usize, f32)],
+    trend: f32,
+    seed: u64,
+) -> Vec<f32> {
+    let mut f = grf::fractal_field(dims, octaves, seed);
+    if trend != 0.0 {
+        grf::add_trend(&mut f, dims, trend, (seed % 17) as f32 * 0.37);
+    }
+    f
+}
+
+/// The dominant profile of real scientific fields: a large-amplitude
+/// stratification along one slow axis (altitude, latitude) plus
+/// low-amplitude isotropic octaves. The stratification carries the global
+/// range; the octaves set the within-block variation — i.e., this function's
+/// parameters directly dial the Figure-2 smoothness CDF.
+pub(crate) fn stratified_field(
+    dims: [usize; 3],
+    strat_axis: usize,
+    strat_amp: f32,
+    octaves: &[(usize, f32)],
+    seed: u64,
+) -> Vec<f32> {
+    let mut f = grf::fractal_field(dims, octaves, seed);
+    if strat_amp != 0.0 {
+        grf::add_axis_profile(&mut f, dims, strat_axis, strat_amp, (seed % 13) as f32 * 0.23);
+    }
+    f
+}
+
+/// Add intermittent fine structure on top of a base field:
+/// `(fine radius, peak amplitude, modulation radius, modulation power)`.
+pub(crate) fn add_intermittency(
+    data: &mut [f32],
+    dims: [usize; 3],
+    radius: usize,
+    amplitude: f32,
+    mod_radius: usize,
+    power: i32,
+    seed: u64,
+) {
+    let fine = grf::intermittent_field(dims, radius, amplitude, mod_radius, power, seed);
+    for (d, f) in data.iter_mut().zip(&fine) {
+        *d += f;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rescale_hits_endpoints() {
+        let mut d = vec![-1.0f32, 0.0, 1.0];
+        rescale(&mut d, 10.0, 20.0);
+        assert_eq!(d[0], 10.0);
+        assert_eq!(d[2], 20.0);
+        assert!((d[1] - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rescale_constant_input() {
+        let mut d = vec![5.0f32; 4];
+        rescale(&mut d, 0.0, 1.0);
+        assert!(d.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn plateau_saturates() {
+        let mut d = vec![-0.5f32, 0.0, 0.5, 1.0];
+        plateau(&mut d, 0.0, 0.5);
+        assert_eq!(d, vec![0.0, 0.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Nyx cosmology: 6 three-dimensional fields (512³).
+//!
+//! Density fields are log-normal with heavy tails (dark-matter halos),
+//! temperature follows density weakly, velocities are large-scale coherent
+//! flows. The paper's Figure 2b shows Nyx is markedly *less* smooth than
+//! Miranda/QMCPack; the heavy density tails also give SZ its huge CRs there.
+
+use super::{add_intermittency, rescale, stratified_field};
+use crate::fields::{Dataset, Field};
+use crate::grf;
+use crate::registry::{Application, Scale};
+
+const NAMES: [&str; 6] = [
+    "baryon-density",
+    "dark-matter-density",
+    "temperature",
+    "velocity-x",
+    "velocity-y",
+    "velocity-z",
+];
+
+pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
+    let (count, full_dims, _) = Application::Nyx.spec();
+    let dims = scale.apply(full_dims);
+    let mut fields = Vec::with_capacity(count.min(max_fields));
+
+    for (i, name) in NAMES.iter().enumerate().take(count.min(max_fields)) {
+        let fseed = seed.wrapping_mul(547).wrapping_add(i as u64);
+        let data = match *name {
+            "baryon-density" => {
+                // Log-normal with a very heavy tail: halos are thousands of
+                // times the mean, so at coarse bounds the entire void/filament
+                // volume collapses into constant blocks.
+                let mut f = grf::fractal_field(dims, &[(12, 1.0), (3, 0.12)], fseed);
+                grf::exponentiate(&mut f, 7.0);
+                f
+            }
+            "dark-matter-density" => {
+                let mut f = grf::fractal_field(dims, &[(10, 1.0), (2, 0.15)], fseed);
+                grf::exponentiate(&mut f, 8.5);
+                f
+            }
+            "temperature" => {
+                // Follows large-scale structure, smoother, ~1e3..1e5 K.
+                let mut f = stratified_field(dims, 2, 0.6, &[(20, 0.06)], fseed);
+                add_intermittency(&mut f, dims, 4, 0.6, 14, 9, fseed ^ 0xa5);
+                grf::exponentiate(&mut f, 1.4);
+                for v in f.iter_mut() {
+                    *v *= 1.0e4;
+                }
+                f
+            }
+            _ => {
+                // Bulk flows: large-scale coherent, moderate small-scale power
+                // (Nyx is distinctly rougher than Miranda, per Figure 2b).
+                let mut f = stratified_field(dims, 2, 0.8, &[(40, 0.02)], fseed);
+                add_intermittency(&mut f, dims, 4, 0.9, 14, 12, fseed ^ 0xa5);
+                rescale(&mut f, -2.6e7, 2.6e7); // cm/s, as in the real data
+                f
+            }
+        };
+        fields.push(Field::new(*name, dims, data));
+    }
+
+    Dataset { name: "NYX".into(), fields }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_has_heavy_tail() {
+        let ds = generate(Scale::Tiny, 5, 1);
+        let f = &ds.fields[0];
+        let mean = f.data.iter().map(|&v| v as f64).sum::<f64>() / f.len() as f64;
+        let max = f.data.iter().fold(0.0f32, |a, &v| a.max(v)) as f64;
+        assert!(max / mean > 5.0, "max/mean = {}", max / mean);
+        assert!(f.data.iter().all(|&v| v > 0.0), "densities are positive");
+    }
+
+    #[test]
+    fn six_fields_with_velocities() {
+        let ds = generate(Scale::Tiny, 5, usize::MAX);
+        assert_eq!(ds.fields.len(), 6);
+        let v = ds.field("velocity-x").unwrap();
+        assert!(v.value_range() > 1e7);
+    }
+
+    #[test]
+    fn temperature_positive_and_bounded() {
+        let ds = generate(Scale::Tiny, 5, 3);
+        let t = ds.field("temperature").unwrap();
+        assert!(t.data.iter().all(|&v| v > 0.0 && v < 1e7));
+    }
+}

@@ -1,0 +1,114 @@
+//! QMCPack: einspline orbital coefficients (288 orbitals × 115×69×69).
+//!
+//! Orbitals are spatially *localized* oscillatory functions: a compact
+//! envelope holds all the signal while the bulk of each orbital's volume is
+//! a near-zero exponential tail. That localization — not low frequency — is
+//! why Figure 2c shows QMCPack rivaling Miranda in block smoothness: most
+//! blocks sit in the tail and span almost none of the global range. We
+//! flatten the orbital index into the z axis, matching the raw SDRBench
+//! file layout.
+
+use crate::fields::{Dataset, Field};
+use crate::grf;
+use crate::registry::{Application, Scale};
+
+/// Fixed oscillation wavelength in samples, scale-invariant per DESIGN.md.
+const WAVELENGTH: f32 = 48.0;
+
+fn orbital_field(grid: [usize; 3], orbitals: usize, seed: u64) -> Vec<f32> {
+    let [nx, ny, nz_per] = grid;
+    let per_orbital = nx * ny * nz_per;
+    let mut out = Vec::with_capacity(per_orbital * orbitals);
+    let k = core::f32::consts::TAU / WAVELENGTH;
+    for orb in 0..orbitals {
+        let oseed = seed.wrapping_add(orb as u64 * 131);
+        // Low-amplitude smooth background so the tail is not exactly zero.
+        let noise = grf::fractal_field([nx, ny, nz_per], &[(12, 0.0008)], oseed);
+        // Orbital center wanders per orbital; envelope covers ~a tenth of
+        // the domain in each axis.
+        let h = |s: u64| (s.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f32 / 16777216.0;
+        let (cx, cy, cz) = (
+            (0.25 + 0.5 * h(oseed)) * nx as f32,
+            (0.25 + 0.5 * h(oseed + 1)) * ny as f32,
+            (0.25 + 0.5 * h(oseed + 2)) * nz_per as f32,
+        );
+        let inv2 = {
+            let sigma = 0.12 * (nx.min(ny) as f32).max(4.0);
+            1.0 / (2.0 * sigma * sigma)
+        };
+        let mut i = 0;
+        for z in 0..nz_per {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let dx = x as f32 - cx;
+                    let dy = y as f32 - cy;
+                    let dz = z as f32 - cz;
+                    let envelope = (-(dx * dx + dy * dy + dz * dz) * inv2).exp();
+                    let wave = (x as f32 * k).sin() * (y as f32 * k * 0.83).cos()
+                        * (z as f32 * k * 1.21).sin();
+                    // Mid-amplitude shell: the orbital's slower decay ring,
+                    // resolved at coarse bounds but constant at fine ones.
+                    let shell = envelope.sqrt() * 0.04 * (x as f32 * k * 0.47).cos()
+                        * (y as f32 * k * 0.53).sin();
+                    out.push(envelope * wave + shell + noise[i]);
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
+    let (count, _, _) = Application::QmcPack.spec();
+    // Per-orbital grid 115×69×69, orbital count 288 (the paper's first
+    // variant); scale shrinks both the grid and the orbital count.
+    let grid = scale.apply([69, 69, 115]);
+    let orbitals = (288 / scale.factor()).max(4);
+    let mut fields = Vec::new();
+    for (i, name) in ["inspline", "inspline-p"].iter().enumerate().take(count.min(max_fields)) {
+        let fseed = seed.wrapping_mul(389).wrapping_add(i as u64);
+        let data = orbital_field(grid, orbitals, fseed);
+        let dims = [grid[0], grid[1], grid[2] * orbitals];
+        fields.push(Field::new(*name, dims, data));
+    }
+    Dataset { name: "QMCPACK".into(), fields }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_fields_orbital_layout() {
+        let ds = generate(Scale::Tiny, 9, usize::MAX);
+        assert_eq!(ds.fields.len(), 2);
+        let f = ds.field("inspline").unwrap();
+        assert_eq!(f.len(), f.data.len());
+        assert!(f.dims[2] > f.dims[0], "orbitals stack along z");
+    }
+
+    #[test]
+    fn orbitals_are_localized() {
+        let ds = generate(Scale::Small, 9, 1);
+        let f = &ds.fields[0];
+        let peak = f.data.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        assert!(peak > 0.05, "peak {peak}");
+        // Most of the volume is tail: |v| below 5% of peak.
+        let tail = f.data.iter().filter(|&&v| v.abs() < 0.05 * peak).count();
+        assert!(
+            tail as f64 / f.len() as f64 > 0.7,
+            "tail fraction {}",
+            tail as f64 / f.len() as f64
+        );
+    }
+
+    #[test]
+    fn orbitals_oscillate_in_the_core() {
+        let ds = generate(Scale::Small, 9, 1);
+        let f = &ds.fields[0];
+        let pos = f.data.iter().filter(|&&v| v > 1e-4).count();
+        let neg = f.data.iter().filter(|&&v| v < -1e-4).count();
+        assert!(pos > 0 && neg > 0, "{pos} / {neg}");
+    }
+}

@@ -1,0 +1,96 @@
+//! SCALE-LetKF: 12 three-dimensional weather fields (98×1200×1200).
+//!
+//! Regional weather model output: smooth synoptic-scale dynamics (U, V, W,
+//! T, P) plus sparse moisture species (QC, QR, QI, QS, QG) concentrated in
+//! frontal bands.
+
+use super::{rescale, stratified_field};
+use crate::fields::{Dataset, Field};
+use crate::grf;
+use crate::registry::{Application, Scale};
+
+const NAMES: [&str; 12] = [
+    "U", "V", "W", "T", "P", "QV", "QC", "QR", "QI", "QS", "QG", "RH",
+];
+
+pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
+    let (count, full_dims, _) = Application::ScaleLetkf.spec();
+    let dims = scale.apply(full_dims);
+    let mut fields = Vec::with_capacity(count.min(max_fields));
+
+    for (i, name) in NAMES.iter().enumerate().take(count.min(max_fields)) {
+        let fseed = seed.wrapping_mul(271).wrapping_add(i as u64);
+        let data = match *name {
+            "U" | "V" => {
+                let mut f = stratified_field(dims, 2, 1.0, &[(24, 0.05), (6, 0.005)], fseed);
+                rescale(&mut f, -28.0, 28.0);
+                f
+            }
+            "W" => {
+                // Vertical velocity: small-scale convective structure.
+                let mut f = stratified_field(dims, 2, 0.2, &[(8, 0.3), (2, 0.04)], fseed);
+                rescale(&mut f, -2.5, 2.5);
+                f
+            }
+            "T" => {
+                let mut f = stratified_field(dims, 2, 1.0, &[(20, 0.02), (5, 0.002)], fseed);
+                rescale(&mut f, 210.0, 305.0);
+                f
+            }
+            "P" => {
+                let mut f = stratified_field(dims, 2, 1.0, &[(24, 0.008)], fseed);
+                rescale(&mut f, 1.2e4, 1.02e5);
+                f
+            }
+            "QV" | "RH" => {
+                let mut f = stratified_field(dims, 2, 0.9, &[(20, 0.06)], fseed);
+                let (lo, hi) = if *name == "QV" { (0.0, 0.018) } else { (2.0, 100.0) };
+                rescale(&mut f, lo, hi);
+                f
+            }
+            // Moisture species: frontal-band sparse structures.
+            _ => {
+                let mut f = grf::spike_field(dims, 0.002, 2, 0.35, fseed);
+                let bg = grf::fractal_field(dims, &[(12, 0.008)], fseed ^ 0x77);
+                for (v, b) in f.iter_mut().zip(&bg) {
+                    *v = (*v + b.abs()) * 1.6e-3;
+                }
+                f
+            }
+        };
+        fields.push(Field::new(*name, dims, data));
+    }
+
+    Dataset { name: "SCALE".into(), fields }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_fields() {
+        let ds = generate(Scale::Tiny, 4, usize::MAX);
+        assert_eq!(ds.fields.len(), 12);
+        assert!(ds.field("V").is_some());
+    }
+
+    #[test]
+    fn moisture_is_sparse_dynamics_are_not() {
+        let ds = generate(Scale::Tiny, 4, usize::MAX);
+        let qc = ds.field("QC").unwrap();
+        let peak = qc.data.iter().fold(0.0f32, |a, &v| a.max(v));
+        let near_zero = qc.data.iter().filter(|&&v| v < 0.05 * peak).count();
+        assert!(near_zero > qc.data.len() / 2, "QC must be concentration-sparse");
+        let t = ds.field("T").unwrap();
+        let tmin = t.data.iter().fold(f32::INFINITY, |a, &v| a.min(v));
+        assert!(tmin > 100.0, "temperature has no empty regions");
+    }
+
+    #[test]
+    fn pressure_magnitude() {
+        let ds = generate(Scale::Tiny, 4, 5);
+        let p = ds.field("P").unwrap();
+        assert!(p.value_range() > 5e4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Field and dataset containers shared by all application generators.
+
+/// A single named scalar field on a regular grid (row-major, x fastest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name, matching the paper's naming where a figure references a
+    /// specific field (e.g. `CLDHGH`, `pressure`, `baryon-density`).
+    pub name: String,
+    /// Grid dimensions `[nx, ny, nz]`; lower-dimensional fields use 1s.
+    pub dims: [usize; 3],
+    /// The values, `nx·ny·nz` of them, x fastest.
+    pub data: Vec<f32>,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dims: [usize; 3], data: Vec<f32>) -> Self {
+        let field = Field { name: name.into(), dims, data };
+        assert_eq!(field.len(), field.data.len(), "dims/data mismatch for {}", field.name);
+        field
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Raw size in bytes (single precision, as in all paper datasets).
+    pub fn raw_bytes(&self) -> usize {
+        self.len() * 4
+    }
+
+    /// Extract the 2-D slice at `z` (for 3-D fields) as `(width, height,
+    /// values)`. For 2-D fields pass `z = 0`.
+    pub fn slice_z(&self, z: usize) -> (usize, usize, Vec<f32>) {
+        let [nx, ny, nz] = self.dims;
+        assert!(z < nz, "slice {z} out of {nz}");
+        let plane = nx * ny;
+        (nx, ny, self.data[z * plane..(z + 1) * plane].to_vec())
+    }
+
+    /// Global value range (max − min), NaN-ignoring.
+    pub fn value_range(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &self.data {
+            if v.is_nan() {
+                continue;
+            }
+            let v = v as f64;
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        if hi > lo {
+            hi - lo
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A generated application dataset: a bag of fields.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Application short name (e.g. "Miranda").
+    pub name: String,
+    pub fields: Vec<Field>,
+}
+
+impl Dataset {
+    /// Total raw bytes across fields.
+    pub fn raw_bytes(&self) -> usize {
+        self.fields.iter().map(Field::raw_bytes).sum()
+    }
+
+    /// Look a field up by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_accounting() {
+        let f = Field::new("t", [4, 3, 2], vec![0.0; 24]);
+        assert_eq!(f.len(), 24);
+        assert_eq!(f.raw_bytes(), 96);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dims/data mismatch")]
+    fn dims_mismatch_panics() {
+        Field::new("bad", [2, 2, 2], vec![0.0; 7]);
+    }
+
+    #[test]
+    fn slice_extraction() {
+        let data: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        let f = Field::new("t", [4, 3, 2], data);
+        let (w, h, s) = f.slice_z(1);
+        assert_eq!((w, h), (4, 3));
+        assert_eq!(s[0], 12.0);
+        assert_eq!(s.len(), 12);
+    }
+
+    #[test]
+    fn value_range_ignores_nan() {
+        let f = Field::new("t", [3, 1, 1], vec![1.0, f32::NAN, 4.0]);
+        assert_eq!(f.value_range(), 3.0);
+    }
+
+    #[test]
+    fn dataset_lookup() {
+        let ds = Dataset {
+            name: "X".into(),
+            fields: vec![Field::new("a", [2, 1, 1], vec![0.0; 2])],
+        };
+        assert!(ds.field("a").is_some());
+        assert!(ds.field("b").is_none());
+        assert_eq!(ds.raw_bytes(), 8);
+    }
+}

@@ -1,0 +1,61 @@
+//! Raw binary field I/O in the SDRBench convention: little-endian f32,
+//! no header (dimensions are carried out of band).
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Write a field's values as raw little-endian f32.
+pub fn write_f32_raw(path: &Path, data: &[f32]) -> io::Result<()> {
+    let mut file = File::create(path)?;
+    let mut buf = Vec::with_capacity(data.len() * 4);
+    for &v in data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    file.write_all(&buf)
+}
+
+/// Read raw little-endian f32 values. Errors if the file length is not a
+/// multiple of 4.
+pub fn read_f32_raw(path: &Path) -> io::Result<Vec<f32>> {
+    let mut file = File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    if bytes.len() % 4 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("file length {} is not a multiple of 4", bytes.len()),
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join("szx-data-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("field.f32");
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.1).sin()).collect();
+        write_f32_raw(&path, &data).unwrap();
+        let back = read_f32_raw(&path).unwrap();
+        assert_eq!(data, back);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn misaligned_file_is_an_error() {
+        let dir = std::env::temp_dir().join("szx-data-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.f32");
+        std::fs::write(&path, [0u8; 7]).unwrap();
+        assert!(read_f32_raw(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,105 @@
+//! Statistical characterization of the synthetic applications: the
+//! generator profiles must keep the qualitative contrasts the paper's
+//! evaluation relies on (Figure 2 smoothness ordering, sparsity, dynamic
+//! range), at more than one scale and seed.
+
+use szx_data::{Application, Scale};
+
+/// Fraction of `bs`-element blocks whose value range is ≤ `frac` of the
+/// global range (one point of the Figure-2 CDF).
+fn cdf_at(data: &[f32], bs: usize, frac: f64) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in data {
+        let v = v as f64;
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let g = if hi > lo { hi - lo } else { 1.0 };
+    let mut small = 0usize;
+    let mut total = 0usize;
+    for b in data.chunks(bs) {
+        let (mut l, mut h) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in b {
+            let v = v as f64;
+            l = l.min(v);
+            h = h.max(v);
+        }
+        total += 1;
+        if (h - l) / g <= frac {
+            small += 1;
+        }
+    }
+    small as f64 / total as f64
+}
+
+#[test]
+fn figure2_contrast_holds_across_seeds() {
+    // Statistically stable at Small scale; Tiny grids are too few blocks
+    // for tight CDF comparisons.
+    for seed in [1u64, 99] {
+        let miranda = Application::Miranda.generate_limited(Scale::Small, seed, 1);
+        let hurricane = Application::Hurricane.generate(Scale::Small, seed);
+        let m = cdf_at(&miranda.fields[0].data, 8, 0.01);
+        let w = cdf_at(&hurricane.field("W").unwrap().data, 8, 0.01);
+        assert!(
+            m > w + 0.1,
+            "seed {seed}: Miranda {m:.2} must clearly dominate Hurricane W {w:.2}"
+        );
+        assert!(m > 0.55, "seed {seed}: Miranda smoothness {m:.2}");
+    }
+}
+
+#[test]
+fn cesm_has_extreme_and_ordinary_fields() {
+    // Table 3's CESM row spans min CR ~4 to max CR ~124: the field mix
+    // must contain both plateau-dominated and busy fields.
+    let ds = Application::CesmAtm.generate_limited(Scale::Tiny, 7, 20);
+    let mut cdfs: Vec<(String, f64)> = ds
+        .fields
+        .iter()
+        .map(|f| (f.name.clone(), cdf_at(&f.data, 128, 0.001)))
+        .collect();
+    cdfs.sort_by(|a, b| a.1.total_cmp(&b.1));
+    assert!(cdfs.last().unwrap().1 > 0.35, "some field is mostly-constant: {cdfs:?}");
+    assert!(cdfs.first().unwrap().1 < 0.3, "some field is busy: {cdfs:?}");
+}
+
+#[test]
+fn dynamic_ranges_are_physical() {
+    let hurricane = Application::Hurricane.generate(Scale::Tiny, 5);
+    // Mixing ratios are tiny and non-negative; temperature spans ~100 K.
+    let qs = hurricane.field("QSNOW").unwrap();
+    assert!(qs.data.iter().all(|&v| (0.0..0.1).contains(&v)));
+    let tc = hurricane.field("TC").unwrap();
+    let range = tc.value_range();
+    assert!((50.0..200.0).contains(&range), "TC range {range}");
+
+    let nyx = Application::Nyx.generate_limited(Scale::Tiny, 5, 6);
+    let v = nyx.field("velocity-z").unwrap().value_range();
+    assert!(v > 1e7, "cosmological velocities in cm/s: {v}");
+}
+
+#[test]
+fn scales_change_size_not_character() {
+    let tiny = Application::ScaleLetkf.generate_limited(Scale::Tiny, 3, 4);
+    let small = Application::ScaleLetkf.generate_limited(Scale::Small, 3, 4);
+    let ft = tiny.field("T").unwrap();
+    let fs = small.field("T").unwrap();
+    assert!(fs.len() >= 4 * ft.len(), "small is several times tiny");
+    // Comparable smoothness at both scales (scale-invariant generators).
+    let ct = cdf_at(&ft.data, 8, 0.01);
+    let cs = cdf_at(&fs.data, 8, 0.01);
+    assert!((ct - cs).abs() < 0.35, "tiny {ct:.2} vs small {cs:.2}");
+}
+
+#[test]
+fn all_apps_have_finite_reasonable_fields_with_max_fields_cap() {
+    for app in Application::ALL {
+        let ds = app.generate_limited(Scale::Tiny, 11, 3);
+        assert!(ds.fields.len() <= 3);
+        for f in &ds.fields {
+            assert!(f.data.iter().all(|v| v.is_finite()), "{}/{}", ds.name, f.name);
+            assert!(f.value_range() > 0.0, "{}/{} is degenerate", ds.name, f.name);
+        }
+    }
+}

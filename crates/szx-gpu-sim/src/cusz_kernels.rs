@@ -1,0 +1,355 @@
+//! cuSZ's dual-quantization phase, implemented as real kernels on the SIMT
+//! execution model (plus a scalar reference) — the part of the cuSZ
+//! comparator that is *executed and counted* rather than estimated.
+//!
+//! Dual-quantization (Tian et al., PACT '20) makes Lorenzo prediction
+//! GPU-friendly: values are first *prequantized* to integers
+//! `q = round(v / 2e)`, then predicted in integer space
+//! (`delta_i = q_i − q_{i−1}`). Because prediction runs on prequantized
+//! values rather than reconstructed ones, every lane can recompute its
+//! predecessor independently — no serial reconstruction chain, the same
+//! dependency-breaking idea as SZx's Solution 2.
+
+use crate::cost::Cost;
+use crate::machine::{global_read, global_write, WARP};
+
+/// Quantization code radius (symbols fit u16 like cuSZ's default).
+pub const RADIUS: i64 = 32768;
+
+/// Output of the dual-quantization phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualQuantOutput {
+    /// Per-value quantization codes (`delta + RADIUS`; 0 = outlier escape).
+    pub codes: Vec<u16>,
+    /// Raw values for escaped points, in order.
+    pub outliers: Vec<f32>,
+}
+
+/// Scalar reference implementation (ground truth for the kernel).
+pub fn dual_quant_reference(data: &[f32], eb: f64) -> DualQuantOutput {
+    assert!(eb > 0.0, "dual quantization needs a positive bound");
+    let inv = 1.0 / (2.0 * eb);
+    let mut codes = Vec::with_capacity(data.len());
+    let mut outliers = Vec::new();
+    let mut prev_q = 0i64;
+    for &v in data {
+        let qf = (v as f64 * inv).round();
+        let (code, q) = if qf.is_finite() && qf.abs() < 1e18 {
+            let q = qf as i64;
+            let delta = q - prev_q;
+            if delta.abs() < RADIUS - 1 {
+                ((delta + RADIUS) as u16, q)
+            } else {
+                (0u16, q)
+            }
+        } else {
+            (0u16, 0)
+        };
+        if code == 0 {
+            outliers.push(v);
+        }
+        codes.push(code);
+        prev_q = q;
+    }
+    DualQuantOutput { codes, outliers }
+}
+
+/// Reconstruct values from a [`DualQuantOutput`] (used by tests to verify
+/// the error bound; cuSZ's decoder does the same integer walk).
+pub fn dual_quant_reconstruct(out: &DualQuantOutput, eb: f64) -> Vec<f32> {
+    let step = 2.0 * eb;
+    let mut values = Vec::with_capacity(out.codes.len());
+    let mut prev_q = 0i64;
+    let mut next_outlier = 0usize;
+    let inv = 1.0 / step;
+    for &code in &out.codes {
+        if code == 0 {
+            let v = out.outliers[next_outlier];
+            next_outlier += 1;
+            // Re-derive the quantized value so later deltas chain correctly.
+            let qf = (v as f64 * inv).round();
+            prev_q = if qf.is_finite() && qf.abs() < 1e18 { qf as i64 } else { 0 };
+            values.push(v);
+        } else {
+            let delta = code as i64 - RADIUS;
+            prev_q += delta;
+            values.push((prev_q as f64 * step) as f32);
+        }
+    }
+    values
+}
+
+/// The dual-quantization kernel on the simulated device: one lane per
+/// value; each lane prequantizes itself *and its predecessor*, so the
+/// Lorenzo delta needs no cross-lane communication at all.
+pub fn dual_quant_kernel(data: &[f32], eb: f64, block: usize, cost: &mut Cost) -> DualQuantOutput {
+    assert!(eb > 0.0);
+    let inv = 1.0 / (2.0 * eb);
+    let mut codes = vec![0u16; data.len()];
+    let mut outliers = Vec::new();
+
+    for (b, chunk) in data.chunks(block).enumerate() {
+        let base = b * block;
+        global_read(cost, chunk.len() * 4);
+        global_read(cost, chunk.len() * 4); // predecessor re-reads
+        // round, cast, sub, compare, add — per lane, warp-wide.
+        cost.warp_instructions += 8 * ((chunk.len() + WARP - 1) / WARP) as u64;
+        for (i, &v) in chunk.iter().enumerate() {
+            let gi = base + i;
+            let quant = |x: f32| -> Option<i64> {
+                let qf = (x as f64 * inv).round();
+                (qf.is_finite() && qf.abs() < 1e18).then_some(qf as i64)
+            };
+            let code = match quant(v) {
+                Some(q) => {
+                    let prev_q = if gi == 0 {
+                        Some(0)
+                    } else {
+                        quant(data[gi - 1])
+                    };
+                    match prev_q {
+                        Some(p) if (q - p).abs() < RADIUS - 1 => (q - p + RADIUS) as u16,
+                        _ => 0,
+                    }
+                }
+                None => 0,
+            };
+            codes[gi] = code;
+        }
+        global_write(cost, chunk.len() * 2);
+    }
+    // Outlier compaction: a device-wide prefix scan locates each escape's
+    // slot (cuSZ uses the same pattern); gather afterwards.
+    let n_out = codes.iter().filter(|&&c| c == 0).count();
+    cost.warp_instructions += 2 * ((data.len() + WARP - 1) / WARP) as u64;
+    cost.shared_ops += ((data.len() + WARP - 1) / WARP) as u64;
+    for (i, &c) in codes.iter().enumerate() {
+        if c == 0 {
+            outliers.push(data[i]);
+        }
+    }
+    global_write(cost, n_out * 4);
+    DualQuantOutput { codes, outliers }
+}
+
+/// Element of the segmented scan: a running quantized value plus a flag
+/// marking whether an *anchor* (escape with a known absolute value) lies in
+/// the element's covered range. The combine operator is associative, which
+/// is what lets Hillis–Steele rounds and cross-block carries both use it.
+#[derive(Debug, Clone, Copy)]
+struct SegItem {
+    sum: i64,
+    anchored: bool,
+}
+
+#[inline]
+fn seg_combine(a: SegItem, b: SegItem) -> SegItem {
+    if b.anchored {
+        b
+    } else {
+        SegItem { sum: a.sum.wrapping_add(b.sum), anchored: a.anchored }
+    }
+}
+
+/// Scan-based reconstruction kernel: cuSZ inverts the integer Lorenzo
+/// chain `q_i = q_{i-1} + delta_i` with a parallel *segmented inclusive
+/// scan* over the deltas — prefix sums turn the serial recurrence into
+/// O(log n) rounds. Escape positions re-anchor the chain with their own
+/// prequantized value (the scan's segment boundaries).
+pub fn dual_quant_reconstruct_kernel(
+    out: &DualQuantOutput,
+    eb: f64,
+    block: usize,
+    cost: &mut Cost,
+) -> Vec<f32> {
+    let step = 2.0 * eb;
+    let inv = 1.0 / step;
+    let n = out.codes.len();
+    let mut values = vec![0f32; n];
+    let mut items = Vec::with_capacity(n);
+
+    let mut next_outlier = 0usize;
+    global_read(cost, n * 2 + out.outliers.len() * 4);
+    for i in 0..n {
+        if out.codes[i] == 0 {
+            let v = out.outliers[next_outlier];
+            next_outlier += 1;
+            let qf = (v as f64 * inv).round();
+            let q = if qf.is_finite() && qf.abs() < 1e18 { qf as i64 } else { 0 };
+            values[i] = v; // escapes reproduce the raw value
+            items.push(SegItem { sum: q, anchored: true });
+        } else {
+            items.push(SegItem { sum: out.codes[i] as i64 - RADIUS, anchored: false });
+        }
+    }
+    cost.warp_instructions += 4 * ((n + WARP - 1) / WARP) as u64;
+
+    // Intra-block Hillis–Steele segmented scan, then a sequential carry of
+    // one SegItem per block (cuSZ's two-pass scan structure).
+    let mut carry: Option<SegItem> = None;
+    for chunk_start in (0..n).step_by(block) {
+        let chunk_end = (chunk_start + block).min(n);
+        let len = chunk_end - chunk_start;
+        let mut stride = 1;
+        while stride < len {
+            cost.shuffles += ((len + WARP - 1) / WARP) as u64;
+            cost.warp_instructions += ((len + WARP - 1) / WARP) as u64;
+            cost.barriers += 1;
+            let prev = items[chunk_start..chunk_end].to_vec();
+            for i in stride..len {
+                items[chunk_start + i] = seg_combine(prev[i - stride], prev[i]);
+            }
+            stride <<= 1;
+        }
+        if let Some(c) = carry {
+            cost.warp_instructions += ((len + WARP - 1) / WARP) as u64;
+            for item in items[chunk_start..chunk_end].iter_mut() {
+                *item = seg_combine(c, *item);
+            }
+        }
+        carry = Some(items[chunk_end - 1]);
+    }
+
+    for i in 0..n {
+        if out.codes[i] != 0 {
+            values[i] = (items[i].sum as f64 * step) as f32;
+        }
+    }
+    cost.warp_instructions += 2 * ((n + WARP - 1) / WARP) as u64;
+    global_write(cost, n * 4);
+    values
+}
+
+/// Shared-memory histogram kernel (cuSZ's codebook-frequency pass): each
+/// thread block accumulates a private histogram, then merges into the
+/// global one.
+pub fn histogram_kernel(codes: &[u16], cost: &mut Cost) -> Vec<u64> {
+    let mut hist = vec![0u64; 2 * RADIUS as usize];
+    const BLOCK: usize = 4096;
+    for chunk in codes.chunks(BLOCK) {
+        global_read(cost, chunk.len() * 2);
+        // One shared atomic per value plus the block-level merge.
+        cost.shared_ops += chunk.len() as u64 / 8;
+        cost.warp_instructions += ((chunk.len() + WARP - 1) / WARP) as u64;
+        for &c in chunk {
+            hist[c as usize] += 1;
+        }
+        cost.shared_ops += 16; // merge the private histogram
+        cost.barriers += 1;
+    }
+    global_write(cost, 2 * RADIUS as usize * 8 / 64); // only touched bins in practice
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.004).sin() * 5.0 + (i as f32 * 0.07).cos() * 0.02).collect()
+    }
+
+    #[test]
+    fn kernel_matches_reference_exactly() {
+        let data = field(10_000);
+        for eb in [1e-2, 1e-4] {
+            let reference = dual_quant_reference(&data, eb);
+            let mut cost = Cost::default();
+            let kernel = dual_quant_kernel(&data, eb, 256, &mut cost);
+            assert_eq!(reference, kernel, "eb={eb}");
+            assert!(cost.global_read_bytes >= 2 * 4 * data.len() as u64);
+        }
+    }
+
+    #[test]
+    fn dual_quant_respects_bound() {
+        let data = field(5_000);
+        for eb in [1e-1, 1e-3, 1e-5] {
+            let out = dual_quant_reference(&data, eb);
+            let back = dual_quant_reconstruct(&out, eb);
+            for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+                // The f32 representation of the dequantized value adds up
+                // to half a ulp on top of the bound (as in real cuSZ).
+                let tol = eb + (a.abs() as f64) * f32::EPSILON as f64;
+                assert!(
+                    (a as f64 - b as f64).abs() <= tol,
+                    "eb={eb} i={i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outliers_and_nonfinite_escape() {
+        let mut data = field(1000);
+        data[10] = 1e30; // prequant overflow territory with tiny eb
+        data[11] = f32::NAN;
+        let out = dual_quant_reference(&data, 1e-6);
+        assert!(out.outliers.len() >= 2);
+        let back = dual_quant_reconstruct(&out, 1e-6);
+        assert_eq!(back[10], 1e30);
+        assert!(back[11].is_nan());
+        // Values after the escapes still respect the bound.
+        assert!((back[500] as f64 - data[500] as f64).abs() <= 1e-6 + 1e-12);
+    }
+
+    #[test]
+    fn scan_reconstruction_matches_sequential() {
+        let mut data = field(10_000);
+        data[100] = 1e30; // escape mid-stream to exercise segmentation
+        data[5000] = f32::NAN;
+        for eb in [1e-2, 1e-4] {
+            let out = dual_quant_reference(&data, eb);
+            let sequential = dual_quant_reconstruct(&out, eb);
+            let mut cost = Cost::default();
+            let parallel = dual_quant_reconstruct_kernel(&out, eb, 256, &mut cost);
+            assert_eq!(sequential.len(), parallel.len());
+            for (i, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                    "eb={eb} i={i}: {a} vs {b}"
+                );
+            }
+            assert!(cost.barriers > 0, "scan rounds must have run");
+        }
+    }
+
+    #[test]
+    fn scan_reconstruction_depth_is_logarithmic() {
+        let data = field(256);
+        let out = dual_quant_reference(&data, 1e-3);
+        let mut cost = Cost::default();
+        dual_quant_reconstruct_kernel(&out, 1e-3, 256, &mut cost);
+        // One block of 256: ceil(log2(256)) = 8 scan rounds.
+        assert_eq!(cost.barriers, 8);
+    }
+
+    #[test]
+    fn histogram_counts_are_exact() {
+        let data = field(20_000);
+        let out = dual_quant_reference(&data, 1e-3);
+        let mut cost = Cost::default();
+        let hist = histogram_kernel(&out.codes, &mut cost);
+        assert_eq!(hist.iter().sum::<u64>(), out.codes.len() as u64);
+        let mut expected = vec![0u64; 2 * RADIUS as usize];
+        for &c in &out.codes {
+            expected[c as usize] += 1;
+        }
+        assert_eq!(hist, expected);
+        assert!(cost.barriers > 0 && cost.shared_ops > 0);
+    }
+
+    #[test]
+    fn smooth_data_concentrates_codes() {
+        // The premise of cuSZ's Huffman stage: deltas cluster near zero.
+        let data = field(50_000);
+        let out = dual_quant_reference(&data, 1e-3);
+        let center = RADIUS as u16;
+        let near: usize = out
+            .codes
+            .iter()
+            .filter(|&&c| c != 0 && (c as i64 - center as i64).abs() <= 64)
+            .count();
+        assert!(near * 10 > out.codes.len() * 9, "{near}/{}", out.codes.len());
+    }
+}

@@ -1,0 +1,287 @@
+//! The SIMT execution model: warp-synchronous primitives over lane arrays,
+//! with every operation charged to a [`Cost`] counter.
+//!
+//! A *block* is a flat lane array whose length is a multiple of the warp
+//! width (32). Primitives mirror CUDA warp intrinsics: `__shfl_up_sync`,
+//! `__shfl_xor_sync`, ballots, and warp reductions; block-wide collectives
+//! (scan, max-propagation) compose them exactly as §6.2 of the paper
+//! describes — two-level in-warp shuffles with shared memory carrying the
+//! per-warp partials across the seam.
+
+use crate::cost::Cost;
+
+/// Lanes per warp, as on every NVIDIA GPU.
+pub const WARP: usize = 32;
+
+/// Charge one warp-wide instruction per warp covering `lanes` lanes.
+#[inline]
+fn charge_warp_inst(cost: &mut Cost, lanes: usize) {
+    cost.warp_instructions += ((lanes + WARP - 1) / WARP) as u64;
+}
+
+/// `__shfl_up_sync` within each 32-lane warp segment: lane `i` receives the
+/// value of lane `i - delta` in its warp, or keeps its own value when the
+/// source is out of range (CUDA semantics).
+pub fn shfl_up<T: Copy>(vals: &[T], delta: usize, cost: &mut Cost) -> Vec<T> {
+    cost.shuffles += ((vals.len() + WARP - 1) / WARP) as u64;
+    let mut out = vals.to_vec();
+    for warp_start in (0..vals.len()).step_by(WARP) {
+        let end = (warp_start + WARP).min(vals.len());
+        for i in warp_start..end {
+            let lane = i - warp_start;
+            if lane >= delta {
+                out[i] = vals[i - delta];
+            }
+        }
+    }
+    out
+}
+
+/// `__shfl_xor_sync`: butterfly exchange within each warp.
+pub fn shfl_xor<T: Copy>(vals: &[T], mask: usize, cost: &mut Cost) -> Vec<T> {
+    cost.shuffles += ((vals.len() + WARP - 1) / WARP) as u64;
+    let mut out = vals.to_vec();
+    for warp_start in (0..vals.len()).step_by(WARP) {
+        let end = (warp_start + WARP).min(vals.len());
+        for i in warp_start..end {
+            let lane = i - warp_start;
+            let src = lane ^ mask;
+            if warp_start + src < end {
+                out[i] = vals[warp_start + src];
+            }
+        }
+    }
+    out
+}
+
+/// Warp-level min/max reduction via `shfl_xor` butterflies, then a block
+/// combine through shared memory — the §6.2.1 "parallel min and max with
+/// CUDA warp-level operations". Returns (min, max) of all lanes.
+pub fn block_minmax(vals: &[f32], cost: &mut Cost) -> (f32, f32) {
+    assert!(!vals.is_empty());
+    let mut mins = vals.to_vec();
+    let mut maxs = vals.to_vec();
+    let mut mask = 1;
+    while mask < WARP {
+        let m2 = shfl_xor(&mins, mask, cost);
+        let x2 = shfl_xor(&maxs, mask, cost);
+        charge_warp_inst(cost, vals.len()); // min op
+        charge_warp_inst(cost, vals.len()); // max op
+        for i in 0..vals.len() {
+            if m2[i] < mins[i] {
+                mins[i] = m2[i];
+            }
+            if x2[i] > maxs[i] {
+                maxs[i] = x2[i];
+            }
+        }
+        mask <<= 1;
+    }
+    // Lane 0 of each warp holds the warp result; combine via shared memory.
+    let nwarps = (vals.len() + WARP - 1) / WARP;
+    cost.shared_ops += nwarps as u64; // stores
+    cost.barriers += 1;
+    cost.shared_ops += 1; // first warp loads the partials
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for w in 0..nwarps {
+        let m = mins[w * WARP];
+        let x = maxs[w * WARP];
+        if m < lo {
+            lo = m;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    charge_warp_inst(cost, WARP.min(vals.len())); // final reduce in warp 0
+    (lo, hi)
+}
+
+/// Block-wide *exclusive* prefix sum over u32 lanes, built from two-level
+/// in-warp shuffle scans (Solution 1 of §6.2.2): intra-warp Hillis–Steele
+/// scan, per-warp totals staged in shared memory, warp-0 scan of the
+/// totals, then a broadcast add.
+pub fn block_exclusive_scan(vals: &[u32], cost: &mut Cost) -> Vec<u32> {
+    let n = vals.len();
+    let mut inclusive: Vec<u32> = vals.to_vec();
+    let mut delta = 1;
+    while delta < WARP {
+        let shifted = shfl_up(&inclusive, delta, cost);
+        charge_warp_inst(cost, n);
+        for i in 0..n {
+            if i % WARP >= delta {
+                inclusive[i] = inclusive[i].wrapping_add(shifted[i]);
+            }
+        }
+        delta <<= 1;
+    }
+    // Stage warp totals.
+    let nwarps = (n + WARP - 1) / WARP;
+    let mut warp_totals = Vec::with_capacity(nwarps);
+    for w in 0..nwarps {
+        let last = (w * WARP + WARP - 1).min(n - 1);
+        warp_totals.push(inclusive[last]);
+    }
+    cost.shared_ops += nwarps as u64;
+    cost.barriers += 1;
+    // Warp 0 scans the totals (sequentially here; ≤ 32 of them = one warp).
+    let mut warp_offsets = vec![0u32; nwarps];
+    let mut acc = 0u32;
+    for w in 0..nwarps {
+        warp_offsets[w] = acc;
+        acc = acc.wrapping_add(warp_totals[w]);
+    }
+    cost.shuffles += 5; // log2(32) shuffle steps in warp 0
+    cost.warp_instructions += 5;
+    cost.barriers += 1;
+    // Broadcast add + convert inclusive -> exclusive.
+    charge_warp_inst(cost, n);
+    let mut out = vec![0u32; n];
+    for i in 0..n {
+        let w = i / WARP;
+        out[i] = inclusive[i].wrapping_add(warp_offsets[w]).wrapping_sub(vals[i]);
+    }
+    out
+}
+
+/// Block-wide max-index propagation in recursive-doubling style — the
+/// paper's *index propagation* (§6.2.2, Figure 11) that resolves the
+/// leading-byte dependence chains of parallel decompression. Each lane
+/// starts with its own index if it *owns* a value (mid-byte) or a sentinel
+/// if it must inherit; after `log2(n)` rounds every lane knows the index of
+/// the nearest owner at or before it. Intra-warp rounds are shuffles;
+/// cross-warp seams go through shared memory.
+pub fn block_propagate_max(idx: &[i64], cost: &mut Cost) -> Vec<i64> {
+    let n = idx.len();
+    let mut cur = idx.to_vec();
+    let mut stride = 1;
+    while stride < n {
+        // One propagation round: lane i takes max(own, lane i-stride).
+        // Within-warp traffic is a shuffle; lanes whose source crosses a
+        // warp boundary read a shared-memory mirror written beforehand.
+        cost.shuffles += ((n + WARP - 1) / WARP) as u64;
+        cost.shared_ops += 2; // mirror store + load per round (warp-wide)
+        charge_warp_inst(cost, n);
+        cost.barriers += 1;
+        let mut next = cur.clone();
+        for i in stride..n {
+            if cur[i - stride] > next[i] {
+                next[i] = cur[i - stride];
+            }
+        }
+        cur = next;
+        stride <<= 1;
+    }
+    cur
+}
+
+/// Account a coalesced global read of `bytes`.
+#[inline]
+pub fn global_read(cost: &mut Cost, bytes: usize) {
+    cost.global_read_bytes += bytes as u64;
+}
+
+/// Account a coalesced global write of `bytes`.
+#[inline]
+pub fn global_write(cost: &mut Cost, bytes: usize) {
+    cost.global_write_bytes += bytes as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shfl_up_semantics() {
+        let mut c = Cost::default();
+        let v: Vec<u32> = (0..64).collect();
+        let s = shfl_up(&v, 1, &mut c);
+        assert_eq!(s[0], 0, "lane 0 keeps own value");
+        assert_eq!(s[1], 0);
+        assert_eq!(s[31], 30);
+        assert_eq!(s[32], 32, "warp boundary: lane 32 keeps own value");
+        assert_eq!(s[33], 32);
+        assert_eq!(c.shuffles, 2, "two warps");
+    }
+
+    #[test]
+    fn shfl_xor_butterfly() {
+        let mut c = Cost::default();
+        let v: Vec<u32> = (0..32).collect();
+        let s = shfl_xor(&v, 16, &mut c);
+        assert_eq!(s[0], 16);
+        assert_eq!(s[16], 0);
+        assert_eq!(s[5], 21);
+    }
+
+    #[test]
+    fn block_minmax_matches_sequential() {
+        let mut c = Cost::default();
+        let v: Vec<f32> = (0..128).map(|i| ((i * 37) % 97) as f32 - 50.0).collect();
+        let (lo, hi) = block_minmax(&v, &mut c);
+        let slo = v.iter().cloned().fold(f32::INFINITY, f32::min);
+        let shi = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(lo, slo);
+        assert_eq!(hi, shi);
+        assert!(c.shuffles > 0 && c.warp_instructions > 0 && c.barriers > 0);
+    }
+
+    #[test]
+    fn block_minmax_partial_warp() {
+        let mut c = Cost::default();
+        let v: Vec<f32> = vec![3.0, -1.0, 7.0];
+        assert_eq!(block_minmax(&v, &mut c), (-1.0, 7.0));
+    }
+
+    #[test]
+    fn exclusive_scan_matches_sequential() {
+        let mut c = Cost::default();
+        let v: Vec<u32> = (0..128).map(|i| (i * 7 % 5) as u32 + 1).collect();
+        let scan = block_exclusive_scan(&v, &mut c);
+        let mut acc = 0u32;
+        for i in 0..v.len() {
+            assert_eq!(scan[i], acc, "index {i}");
+            acc += v[i];
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_partial_and_tiny() {
+        let mut c = Cost::default();
+        for n in [1usize, 2, 31, 33, 100] {
+            let v: Vec<u32> = (0..n as u32).map(|i| i % 4).collect();
+            let scan = block_exclusive_scan(&v, &mut c);
+            let mut acc = 0;
+            for i in 0..n {
+                assert_eq!(scan[i], acc, "n={n} i={i}");
+                acc += v[i];
+            }
+        }
+    }
+
+    #[test]
+    fn propagate_max_resolves_chains() {
+        let mut c = Cost::default();
+        // Owners at 0, 3, 64; everyone else inherits the nearest owner left.
+        let mut idx = vec![i64::MIN; 128];
+        idx[0] = 0;
+        idx[3] = 3;
+        idx[64] = 64;
+        let out = block_propagate_max(&idx, &mut c);
+        assert_eq!(out[2], 0);
+        assert_eq!(out[3], 3);
+        assert_eq!(out[63], 3, "chain crosses warp seam sources");
+        assert_eq!(out[64], 64);
+        assert_eq!(out[127], 64);
+    }
+
+    #[test]
+    fn propagate_rounds_are_logarithmic() {
+        let mut c = Cost::default();
+        let idx = vec![0i64; 128];
+        block_propagate_max(&idx, &mut c);
+        // ceil(log2(128)) = 7 rounds, each one barrier.
+        assert_eq!(c.barriers, 7);
+    }
+}

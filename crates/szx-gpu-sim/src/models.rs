@@ -1,0 +1,201 @@
+//! GPU cost models for the Figure 14/15 comparators.
+//!
+//! The cuSZx bars come from *executing* the kernels in this crate and
+//! counting operations. cuSZ and cuZFP are not re-implemented at kernel
+//! granularity; instead each gets an operation-count model assembled from
+//! its published algorithm structure, with the *data-dependent* quantities
+//! (compressed size, symbol counts) taken from running the corresponding
+//! CPU baseline on the actual data:
+//!
+//! * **cuSZ-like** — dual-quantization pass (memory-streaming) + histogram
+//!   + Huffman encode; decompression is dominated by warp-divergent
+//!   variable-length Huffman decoding, charged as serial chain operations.
+//! * **cuZFP-like** — block transform (warp-parallel arithmetic) + bitplane
+//!   coding with warp-ballot assistance (partially serialized).
+//!
+//! Serial chain operations are charged by [`crate::cost::GpuSpec::time`] —
+//! the cost of a warp-divergent dependent step (shared-memory latency that
+//! occupancy cannot hide during variable-length coding). That latency is a
+//! hardware property, not fitted to the paper's figures; see EXPERIMENTS.md
+//! for the resulting model-vs-paper comparison.
+
+use szx_baselines::{szlike, zfplike};
+use szx_core::SzxConfig;
+
+use crate::cost::Cost;
+use crate::kernels;
+
+/// Scatter inefficiency for per-lane variable-length writes/reads (partial
+/// cache-line transactions), applied to SZx mid-byte traffic.
+pub const SCATTER_FACTOR: u64 = 4;
+
+/// Modeled compression + decompression costs for one field.
+#[derive(Debug, Clone)]
+pub struct ModelResult {
+    pub codec: &'static str,
+    pub comp: Cost,
+    pub decomp: Cost,
+    pub compressed_len: usize,
+    pub raw_len: usize,
+}
+
+/// cuSZx: execute the simulated kernels and count real operations. The
+/// mid-byte traffic is re-charged with the scatter factor (per-lane
+/// variable-length accesses do not coalesce).
+pub fn cuszx_model(data: &[f32], eb: f64) -> ModelResult {
+    let cfg = SzxConfig::absolute(eb);
+    let (bytes, mut comp) = kernels::compress_gpu(data, &cfg).expect("cuszx compress");
+    let (_, mut decomp) = kernels::decompress_gpu(&bytes).expect("cuszx decompress");
+    // Scattered payload writes/reads: charge the extra partial transactions.
+    comp.global_write_bytes += bytes.len() as u64 * (SCATTER_FACTOR - 1);
+    decomp.global_read_bytes += bytes.len() as u64 * (SCATTER_FACTOR - 1);
+    ModelResult {
+        codec: "cuSZx",
+        comp,
+        decomp,
+        compressed_len: bytes.len(),
+        raw_len: data.len() * 4,
+    }
+}
+
+/// cuSZ-like: the dual-quantization and histogram phases are *executed*
+/// on the SIMT model ([`crate::cusz_kernels`]) and their operations
+/// counted; the Huffman stage is modeled, with the real compressed size
+/// obtained from the SZ-like CPU codec on the same data.
+pub fn cusz_model(data: &[f32], dims: [usize; 3], eb: f64) -> ModelResult {
+    let n = data.len() as u64;
+    let eb = if eb > 0.0 { eb } else { 1e-30 };
+    let stream = szlike::compress(data, dims, eb).expect("szlike compress");
+    let clen = stream.len() as u64;
+
+    let mut comp = Cost::default();
+    // Phase 1+2, executed: prequant + integer Lorenzo, then the
+    // shared-memory histogram for codebook construction.
+    let dq = crate::cusz_kernels::dual_quant_kernel(data, eb, 256, &mut comp);
+    let _hist = crate::cusz_kernels::histogram_kernel(&dq.codes, &mut comp);
+    // Phase 3, modeled: Huffman encode — codebook lookup + bit placement;
+    // warp-cooperative in cuSZ but each symbol still takes a dependent
+    // bit-offset step.
+    comp.global_read_bytes += 2 * n;
+    comp.warp_instructions += 12 * n / 32;
+    comp.serial_chain_ops += n;
+    comp.global_write_bytes += clen;
+    comp.barriers += n / 1024;
+
+    let mut decomp = Cost::default();
+    // Huffman decode: per-symbol dependent table walk, warp-divergent —
+    // modeled (this is cuSZ's decompression bottleneck).
+    decomp.global_read_bytes += clen;
+    decomp.serial_chain_ops += n * 3 / 2;
+    decomp.warp_instructions += 10 * n / 32;
+    // Reverse dual-quant: executed — the segmented-scan Lorenzo inversion.
+    let _ = crate::cusz_kernels::dual_quant_reconstruct_kernel(&dq, eb, 256, &mut decomp);
+
+    ModelResult {
+        codec: "cuSZ",
+        comp,
+        decomp,
+        compressed_len: stream.len(),
+        raw_len: data.len() * 4,
+    }
+}
+
+/// cuZFP-like: block transform + warp-assisted bitplane coding, with the
+/// real compressed size from the ZFP-like CPU codec.
+pub fn cuzfp_model(data: &[f32], dims: [usize; 3], eb: f64) -> ModelResult {
+    let n = data.len() as u64;
+    let stream = zfplike::compress(data, dims, eb).expect("zfplike compress");
+    let clen = stream.len() as u64;
+    let encoded_bits = clen * 8;
+
+    let mut comp = Cost::default();
+    comp.global_read_bytes += 4 * n;
+    // Lifting transform: ~10 integer ops per value, warp-parallel.
+    comp.warp_instructions += 10 * n / 32;
+    // Bitplane emission: ballot-assisted but still partially serialized.
+    comp.serial_chain_ops += encoded_bits / 8;
+    comp.warp_instructions += encoded_bits / 64;
+    comp.global_write_bytes += clen;
+    comp.barriers += n / 4096;
+
+    let mut decomp = Cost::default();
+    decomp.global_read_bytes += clen;
+    // Bitplane parsing has a tighter dependence chain than emission.
+    decomp.serial_chain_ops += encoded_bits / 4;
+    decomp.warp_instructions += 12 * n / 32;
+    decomp.global_write_bytes += 4 * n;
+    decomp.barriers += n / 4096;
+
+    ModelResult {
+        codec: "cuZFP",
+        comp,
+        decomp,
+        compressed_len: stream.len(),
+        raw_len: data.len() * 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::A100;
+
+    fn field(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.002).sin() * 2.0 + (i as f32 * 0.05).sin() * 0.01).collect()
+    }
+
+    #[test]
+    fn cuszx_is_fastest_in_the_model() {
+        let data = field(200_000);
+        let dims = [data.len(), 1, 1];
+        let eb = 1e-3 * 4.0;
+        let x = cuszx_model(&data, eb);
+        let s = cusz_model(&data, dims, eb);
+        let z = cuzfp_model(&data, dims, eb);
+        let tx = A100.time(&x.comp) + A100.time(&x.decomp);
+        let ts = A100.time(&s.comp) + A100.time(&s.decomp);
+        let tz = A100.time(&z.comp) + A100.time(&z.decomp);
+        assert!(tx < ts, "cuSZx {tx} must beat cuSZ {ts}");
+        assert!(tx < tz, "cuSZx {tx} must beat cuZFP {tz}");
+    }
+
+    #[test]
+    fn model_throughputs_land_in_plausible_bands() {
+        // Paper (Figs 14-15, A100): cuSZx 150-264 GB/s compress; cuSZ and
+        // cuZFP 9.8-86 GB/s. Order-of-magnitude agreement with correct
+        // ordering is what the model promises.
+        let data = field(1_000_000);
+        let dims = [data.len(), 1, 1];
+        let eb = 1e-3 * 4.0;
+        let x = cuszx_model(&data, eb);
+        let s = cusz_model(&data, dims, eb);
+        let z = cuzfp_model(&data, dims, eb);
+        let gx = A100.throughput_gbps(x.raw_len, &x.comp);
+        let gs = A100.throughput_gbps(s.raw_len, &s.comp);
+        let gz = A100.throughput_gbps(z.raw_len, &z.comp);
+        assert!(gx > 100.0 && gx < 1200.0, "cuSZx compress {gx}");
+        assert!(gs > 3.0 && gs < 150.0, "cuSZ compress {gs}");
+        assert!(gz > 5.0 && gz < 300.0, "cuZFP compress {gz}");
+        let dx = A100.throughput_gbps(x.raw_len, &x.decomp);
+        assert!(dx > gs && dx > gz, "cuSZx decompress {dx} must dominate");
+    }
+
+    #[test]
+    fn compressed_sizes_come_from_real_codecs() {
+        // Use a 2-D grid: transform coding needs multidimensional blocks to
+        // shine, exactly as in the paper's datasets.
+        let (nx, ny) = (320, 320);
+        let mut data = Vec::with_capacity(nx * ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                data.push((x as f32 * 0.05).sin() * (y as f32 * 0.04).cos());
+            }
+        }
+        let dims = [nx, ny, 1];
+        let s = cusz_model(&data, dims, 1e-3);
+        let z = cuzfp_model(&data, dims, 1e-3);
+        let x = cuszx_model(&data, 1e-3);
+        assert!(s.compressed_len < x.compressed_len, "SZ CR beats SZx CR");
+        assert!(z.compressed_len < x.compressed_len, "ZFP CR beats SZx CR");
+    }
+}

@@ -1,0 +1,78 @@
+//! Parallel-file-system performance model.
+//!
+//! Models a Lustre-class PFS the way the paper's ThetaGPU experiment uses
+//! one: `n` ranks concurrently move their compressed payloads; each rank is
+//! limited by its own link, and together they are limited by the aggregate
+//! backend bandwidth. The model preserves the property Figure 16 turns on —
+//! with a fast PFS, (de)compression time dominates the end-to-end dump/load
+//! path, so the fastest compressor wins overall even with larger files.
+
+/// PFS bandwidth/latency parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PfsConfig {
+    /// Aggregate backend bandwidth shared by all ranks, bytes/s.
+    pub aggregate_bw: f64,
+    /// Per-rank link bandwidth, bytes/s.
+    pub rank_bw: f64,
+    /// Fixed per-operation latency (open/close, metadata), seconds.
+    pub latency: f64,
+}
+
+impl PfsConfig {
+    /// ThetaGPU-like: Grand Lustre aggregate ~650 GB/s, ~1.5 GB/s per rank.
+    pub fn theta_like() -> PfsConfig {
+        PfsConfig { aggregate_bw: 650e9, rank_bw: 1.5e9, latency: 0.005 }
+    }
+
+    /// Effective per-rank bandwidth with `n` concurrent ranks.
+    pub fn effective_rank_bw(&self, n_ranks: usize) -> f64 {
+        assert!(n_ranks > 0);
+        self.rank_bw.min(self.aggregate_bw / n_ranks as f64)
+    }
+
+    /// Wall time for `n` ranks to each move `bytes_per_rank` concurrently.
+    pub fn transfer_time(&self, n_ranks: usize, bytes_per_rank: usize) -> f64 {
+        self.latency + bytes_per_rank as f64 / self.effective_rank_bw(n_ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn few_ranks_are_link_limited() {
+        let pfs = PfsConfig::theta_like();
+        // 64 ranks: 650/64 ≈ 10 GB/s each > 1.5 GB/s link => link limited.
+        assert_eq!(pfs.effective_rank_bw(64), 1.5e9);
+    }
+
+    #[test]
+    fn many_ranks_saturate_the_backend() {
+        let pfs = PfsConfig::theta_like();
+        // 1024 ranks: 650/1024 ≈ 0.63 GB/s each < link.
+        let bw = pfs.effective_rank_bw(1024);
+        assert!((bw - 650e9 / 1024.0).abs() < 1.0);
+        assert!(bw < pfs.rank_bw);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_contention() {
+        let pfs = PfsConfig::theta_like();
+        let t64 = pfs.transfer_time(64, 100 << 20);
+        let t1024 = pfs.transfer_time(1024, 100 << 20);
+        assert!(t1024 > t64, "{t1024} vs {t64}");
+    }
+
+    #[test]
+    fn smaller_payloads_move_faster() {
+        let pfs = PfsConfig::theta_like();
+        assert!(pfs.transfer_time(256, 1 << 20) < pfs.transfer_time(256, 64 << 20));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_is_a_bug() {
+        PfsConfig::theta_like().effective_rank_bw(0);
+    }
+}

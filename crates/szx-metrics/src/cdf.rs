@@ -1,0 +1,124 @@
+//! Cumulative distribution of per-block *relative value ranges* — the
+//! smoothness characterization behind Figure 2 of the paper.
+//!
+//! A block's relative value range is `(max_block − min_block) / (max_D −
+//! min_D)`: the fraction of the dataset's dynamic range a block spans.
+//! Datasets where most blocks have tiny relative ranges are "smooth" and
+//! compress well under SZx's constant-block scheme.
+
+/// Relative value range of every `block_size`-element block of `data`.
+pub fn block_relative_ranges(data: &[f32], block_size: usize) -> Vec<f64> {
+    assert!(block_size > 0);
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let (mut glo, mut ghi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in data {
+        let v = v as f64;
+        if v < glo {
+            glo = v;
+        }
+        if v > ghi {
+            ghi = v;
+        }
+    }
+    let grange = if ghi > glo { ghi - glo } else { 1.0 };
+    data.chunks(block_size)
+        .map(|block| {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in block {
+                let v = v as f64;
+                if v < lo {
+                    lo = v;
+                }
+                if v > hi {
+                    hi = v;
+                }
+            }
+            if hi > lo {
+                (hi - lo) / grange
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Empirical CDF evaluated at `points`: for each threshold `t`, the fraction
+/// of samples ≤ `t`.
+pub fn empirical_cdf(samples: &[f64], points: &[f64]) -> Vec<f64> {
+    if samples.is_empty() {
+        return vec![0.0; points.len()];
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    points
+        .iter()
+        .map(|&t| {
+            let idx = sorted.partition_point(|&s| s <= t);
+            idx as f64 / sorted.len() as f64
+        })
+        .collect()
+}
+
+/// Figure-2 helper: CDF of block relative ranges at the paper's thresholds.
+pub fn block_range_cdf(data: &[f32], block_size: usize, points: &[f64]) -> Vec<f64> {
+    let ranges = block_relative_ranges(data, block_size);
+    empirical_cdf(&ranges, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_ranges_basic() {
+        // Global range 10; first block range 1, second block range 10.
+        let data = vec![0.0f32, 1.0, 0.5, 0.2, 0.0, 10.0, 3.0, 4.0];
+        let r = block_relative_ranges(&data, 4);
+        assert_eq!(r.len(), 2);
+        assert!((r[0] - 0.1).abs() < 1e-12);
+        assert!((r[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_data_has_zero_ranges() {
+        let data = vec![5.0f32; 100];
+        let r = block_relative_ranges(&data, 8);
+        assert!(r.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let samples = vec![0.1, 0.2, 0.2, 0.5, 0.9];
+        let pts: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let cdf = empirical_cdf(&samples, &pts);
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+        assert_eq!(cdf[0], 0.0); // nothing <= 0.0
+        assert!((cdf[2] - 0.6).abs() < 1e-12); // 3 of 5 samples <= 0.2
+    }
+
+    #[test]
+    fn smaller_blocks_are_smoother() {
+        // The core premise of Figure 2: with smaller blocks, more blocks
+        // have small relative ranges.
+        let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+        let c8 = block_range_cdf(&data, 8, &[0.01]);
+        let c128 = block_range_cdf(&data, 128, &[0.01]);
+        assert!(
+            c8[0] >= c128[0],
+            "blocksize 8 CDF {} must dominate blocksize 128 CDF {}",
+            c8[0],
+            c128[0]
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(block_relative_ranges(&[], 8).is_empty());
+        assert_eq!(empirical_cdf(&[], &[0.5]), vec![0.0]);
+    }
+}

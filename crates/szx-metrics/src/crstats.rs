@@ -1,0 +1,92 @@
+//! Compression-ratio aggregation across the fields of an application —
+//! the min / overall (harmonic mean) / max columns of Table 3.
+
+/// Aggregated compression-ratio statistics over a set of fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrStats {
+    pub min: f64,
+    /// Harmonic mean — the paper's "overall" CR. It equals the CR of
+    /// compressing all fields together when the fields have equal raw size:
+    /// total raw / total compressed.
+    pub harmonic_mean: f64,
+    pub max: f64,
+    pub n_fields: usize,
+}
+
+/// Aggregate per-field compression ratios. Panics on an empty slice or a
+/// non-positive ratio (both indicate harness bugs).
+pub fn aggregate(ratios: &[f64]) -> CrStats {
+    assert!(!ratios.is_empty(), "no compression ratios to aggregate");
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut inv_sum = 0.0;
+    for &r in ratios {
+        assert!(r > 0.0 && r.is_finite(), "invalid compression ratio {r}");
+        if r < min {
+            min = r;
+        }
+        if r > max {
+            max = r;
+        }
+        inv_sum += 1.0 / r;
+    }
+    CrStats {
+        min,
+        harmonic_mean: ratios.len() as f64 / inv_sum,
+        max,
+        n_fields: ratios.len(),
+    }
+}
+
+/// Overall CR from raw/compressed byte totals (exact weighted aggregate
+/// when field sizes differ).
+pub fn overall_from_sizes(pairs: &[(usize, usize)]) -> f64 {
+    let raw: usize = pairs.iter().map(|p| p.0).sum();
+    let comp: usize = pairs.iter().map(|p| p.1).sum();
+    assert!(comp > 0, "zero compressed size");
+    raw as f64 / comp as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_basic() {
+        let s = aggregate(&[2.0, 4.0, 8.0]);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 8.0);
+        // harmonic mean of 2,4,8 = 3 / (0.5+0.25+0.125) = 3.4285...
+        assert!((s.harmonic_mean - 3.428571428571429).abs() < 1e-12);
+        assert_eq!(s.n_fields, 3);
+    }
+
+    #[test]
+    fn harmonic_mean_equals_joint_cr_for_equal_sizes() {
+        // Two fields of 100 bytes each compressed to 50 and 10 bytes:
+        // joint CR = 200/60; harmonic mean of (2.0, 10.0) = 2/(0.5+0.1).
+        let s = aggregate(&[2.0, 10.0]);
+        assert!((s.harmonic_mean - 200.0 / 60.0).abs() < 1e-12);
+        assert!((overall_from_sizes(&[(100, 50), (100, 10)]) - 200.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_field() {
+        let s = aggregate(&[5.5]);
+        assert_eq!(s.min, 5.5);
+        assert_eq!(s.max, 5.5);
+        assert!((s.harmonic_mean - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no compression ratios")]
+    fn empty_panics() {
+        aggregate(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid compression ratio")]
+    fn invalid_ratio_panics() {
+        aggregate(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Error-distribution histograms (probability density function of the
+//! pointwise compression error), used for Figure 13.
+
+/// A binned probability density estimate of the compression error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorPdf {
+    /// Center of each bin.
+    pub centers: Vec<f64>,
+    /// Density value per bin (integrates to ~1 over the span).
+    pub density: Vec<f64>,
+    /// Fraction of errors that fell outside `[-span, span]` (should be 0 for
+    /// an error-bounded compressor evaluated at `span = eb`).
+    pub out_of_span: f64,
+    /// Half-width of the histogram domain.
+    pub span: f64,
+}
+
+impl ErrorPdf {
+    /// Fraction of errors inside `[-span, span]`.
+    pub fn coverage(&self) -> f64 {
+        1.0 - self.out_of_span
+    }
+}
+
+/// Histogram of the signed errors `original − reconstructed` over
+/// `[-span, span]` with `bins` equal-width bins. NaN pairs are skipped.
+pub fn error_pdf(original: &[f32], reconstructed: &[f32], span: f64, bins: usize) -> ErrorPdf {
+    assert_eq!(original.len(), reconstructed.len());
+    assert!(bins > 0, "need at least one bin");
+    assert!(span > 0.0, "span must be positive");
+    let mut counts = vec![0u64; bins];
+    let mut outside = 0u64;
+    let mut total = 0u64;
+    let width = 2.0 * span / bins as f64;
+    for (&a, &b) in original.iter().zip(reconstructed) {
+        if a.is_nan() || b.is_nan() {
+            continue;
+        }
+        total += 1;
+        let e = a as f64 - b as f64;
+        if e < -span || e > span {
+            outside += 1;
+            continue;
+        }
+        let idx = (((e + span) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    let centers = (0..bins).map(|i| -span + (i as f64 + 0.5) * width).collect();
+    let density = if total == 0 {
+        vec![0.0; bins]
+    } else {
+        counts.iter().map(|&c| c as f64 / total as f64 / width).collect()
+    };
+    let out_of_span = if total == 0 { 0.0 } else { outside as f64 / total as f64 };
+    ErrorPdf { centers, density, out_of_span, span }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_errors_give_flat_pdf() {
+        let n = 10_000;
+        let a: Vec<f32> = vec![0.0; n];
+        // Errors spread uniformly in [-1e-3, 1e-3].
+        let b: Vec<f32> = (0..n)
+            .map(|i| (i as f32 / n as f32 * 2.0 - 1.0) * 1e-3)
+            .collect();
+        let pdf = error_pdf(&a, &b, 1e-3, 20);
+        // f32 rounding can push a couple of endpoint errors a hair outside.
+        assert!(pdf.out_of_span <= 5e-4, "out of span {}", pdf.out_of_span);
+        let mean = pdf.density.iter().sum::<f64>() / 20.0;
+        for (&d, &c) in pdf.density.iter().zip(&pdf.centers) {
+            assert!((d - mean).abs() / mean < 0.1, "bin at {c} density {d} vs mean {mean}");
+        }
+        // Densities integrate to ~coverage.
+        let integral: f64 = pdf.density.iter().map(|d| d * 1e-4).sum();
+        assert!((integral - pdf.coverage()).abs() < 1e-9, "integral {integral}");
+    }
+
+    #[test]
+    fn zero_errors_concentrate_in_central_bins() {
+        let a: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let pdf = error_pdf(&a, &a, 1e-3, 11);
+        // All mass in the bin containing 0 (bin 5 of 11).
+        let hot = pdf.density.iter().enumerate().max_by(|x, y| x.1.total_cmp(y.1)).unwrap().0;
+        assert_eq!(hot, 5);
+        assert_eq!(pdf.coverage(), 1.0);
+    }
+
+    #[test]
+    fn out_of_span_errors_counted() {
+        let a = vec![0.0f32, 0.0, 0.0, 0.0];
+        let b = vec![0.0f32, 0.5, -0.5, 0.0001];
+        let pdf = error_pdf(&a, &b, 1e-3, 4);
+        assert!((pdf.out_of_span - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_pairs_skipped() {
+        let a = vec![f32::NAN, 0.0];
+        let b = vec![f32::NAN, 0.0];
+        let pdf = error_pdf(&a, &b, 1.0, 2);
+        assert_eq!(pdf.out_of_span, 0.0);
+        assert!(pdf.density.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        error_pdf(&[0.0], &[0.0], 1.0, 0);
+    }
+}

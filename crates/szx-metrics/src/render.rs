@@ -1,0 +1,105 @@
+//! Minimal heatmap rendering of 2-D field slices to PGM/PPM, used to
+//! regenerate the visualization figures (Figures 1 and 12) without any
+//! plotting dependency.
+
+/// Normalize a slice to [0, 1], mapping NaN to 0.
+fn normalize(data: &[f32]) -> Vec<f64> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in data {
+        if v.is_nan() {
+            continue;
+        }
+        let v = v as f64;
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    let range = if hi > lo { hi - lo } else { 1.0 };
+    data.iter()
+        .map(|&v| if v.is_nan() { 0.0 } else { ((v as f64) - lo) / range })
+        .collect()
+}
+
+/// Render a row-major `width × height` slice as a binary PGM (grayscale).
+pub fn to_pgm(data: &[f32], width: usize, height: usize) -> Vec<u8> {
+    assert_eq!(data.len(), width * height);
+    let norm = normalize(data);
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    out.extend(norm.iter().map(|&v| (v * 255.0).round() as u8));
+    out
+}
+
+/// A compact blue→cyan→yellow→red colormap (viridis-like ordering of hue,
+/// readable for the paper's field visualizations).
+fn colormap(t: f64) -> [u8; 3] {
+    let t = t.clamp(0.0, 1.0);
+    // Piecewise linear through 5 anchor colors.
+    const ANCHORS: [[f64; 3]; 5] = [
+        [13.0, 8.0, 135.0],    // deep blue
+        [84.0, 2.0, 163.0],    // purple
+        [204.0, 71.0, 120.0],  // magenta
+        [248.0, 149.0, 64.0],  // orange
+        [240.0, 249.0, 33.0],  // yellow
+    ];
+    let x = t * (ANCHORS.len() - 1) as f64;
+    let i = (x as usize).min(ANCHORS.len() - 2);
+    let f = x - i as f64;
+    let mut rgb = [0u8; 3];
+    for c in 0..3 {
+        rgb[c] = (ANCHORS[i][c] + (ANCHORS[i + 1][c] - ANCHORS[i][c]) * f).round() as u8;
+    }
+    rgb
+}
+
+/// Render a row-major slice as a binary PPM with a perceptual colormap.
+pub fn to_ppm(data: &[f32], width: usize, height: usize) -> Vec<u8> {
+    assert_eq!(data.len(), width * height);
+    let norm = normalize(data);
+    let mut out = format!("P6\n{width} {height}\n255\n").into_bytes();
+    for &v in &norm {
+        out.extend_from_slice(&colormap(v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_header_and_size() {
+        let img = to_pgm(&[0.0, 0.5, 1.0, 0.25], 2, 2);
+        assert!(img.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(img.len(), b"P5\n2 2\n255\n".len() + 4);
+        // min maps to 0, max to 255.
+        let pixels = &img[img.len() - 4..];
+        assert_eq!(pixels[0], 0);
+        assert_eq!(pixels[2], 255);
+    }
+
+    #[test]
+    fn ppm_is_three_bytes_per_pixel() {
+        let img = to_ppm(&[0.0; 6], 3, 2);
+        assert!(img.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(img.len(), b"P6\n3 2\n255\n".len() + 18);
+    }
+
+    #[test]
+    fn colormap_endpoints() {
+        assert_eq!(colormap(0.0), [13, 8, 135]);
+        assert_eq!(colormap(1.0), [240, 249, 33]);
+        assert_eq!(colormap(-5.0), colormap(0.0), "clamped below");
+        assert_eq!(colormap(7.0), colormap(1.0), "clamped above");
+    }
+
+    #[test]
+    fn nan_and_constant_data_render() {
+        let img = to_pgm(&[f32::NAN, 1.0, 1.0, 1.0], 2, 2);
+        assert_eq!(img.len(), b"P5\n2 2\n255\n".len() + 4);
+        let img = to_ppm(&[2.0; 4], 2, 2);
+        assert!(!img.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Structural similarity (SSIM) over 2-D slices, the second reconstruction-
+//! quality metric of the paper (Figure 12).
+//!
+//! Mean SSIM over dense 8×8 windows (stride 1), computed in O(N) with
+//! summed-area tables — the same windowed formulation Z-checker uses for
+//! scientific data:
+//!
+//! ```text
+//! SSIM(x, y) = (2 μx μy + C1)(2 σxy + C2) / ((μx² + μy² + C1)(σx² + σy² + C2))
+//! C1 = (0.01 L)², C2 = (0.03 L)², L = value range of the original slice
+//! ```
+
+/// Summed-area table for O(1) window sums.
+struct Integral {
+    w: usize,
+    table: Vec<f64>, // (w+1) x (h+1)
+}
+
+impl Integral {
+    fn build(data: &[f64], w: usize, h: usize) -> Self {
+        let stride = w + 1;
+        let mut table = vec![0.0; stride * (h + 1)];
+        for y in 0..h {
+            let mut row = 0.0;
+            for x in 0..w {
+                row += data[y * w + x];
+                table[(y + 1) * stride + (x + 1)] = table[y * stride + (x + 1)] + row;
+            }
+        }
+        Integral { w, table }
+    }
+
+    /// Sum over the rectangle `[x0, x0+win) × [y0, y0+win)`.
+    #[inline]
+    fn window_sum(&self, x0: usize, y0: usize, win: usize) -> f64 {
+        let s = self.w + 1;
+        let (x1, y1) = (x0 + win, y0 + win);
+        self.table[y1 * s + x1] + self.table[y0 * s + x0]
+            - self.table[y0 * s + x1]
+            - self.table[y1 * s + x0]
+    }
+}
+
+/// Mean SSIM between two `width × height` slices stored row-major.
+///
+/// Window size defaults to 8 when `window = 0`. Slices smaller than the
+/// window are compared with one window covering the whole slice.
+pub fn ssim_2d(original: &[f32], reconstructed: &[f32], width: usize, height: usize, window: usize) -> f64 {
+    assert_eq!(original.len(), width * height, "original size mismatch");
+    assert_eq!(reconstructed.len(), width * height, "reconstruction size mismatch");
+    let win = if window == 0 { 8 } else { window }.min(width).min(height);
+    if win == 0 {
+        return 1.0;
+    }
+
+    let a: Vec<f64> = original.iter().map(|&v| v as f64).collect();
+    let b: Vec<f64> = reconstructed.iter().map(|&v| v as f64).collect();
+
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in &a {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    let range = if hi > lo { hi - lo } else { 1.0 };
+    let c1 = (0.01 * range) * (0.01 * range);
+    let c2 = (0.03 * range) * (0.03 * range);
+
+    let aa: Vec<f64> = a.iter().map(|&v| v * v).collect();
+    let bb: Vec<f64> = b.iter().map(|&v| v * v).collect();
+    let ab: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+
+    let ia = Integral::build(&a, width, height);
+    let ib = Integral::build(&b, width, height);
+    let iaa = Integral::build(&aa, width, height);
+    let ibb = Integral::build(&bb, width, height);
+    let iab = Integral::build(&ab, width, height);
+
+    let npix = (win * win) as f64;
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for y0 in 0..=(height - win) {
+        for x0 in 0..=(width - win) {
+            let mx = ia.window_sum(x0, y0, win) / npix;
+            let my = ib.window_sum(x0, y0, win) / npix;
+            let vx = iaa.window_sum(x0, y0, win) / npix - mx * mx;
+            let vy = ibb.window_sum(x0, y0, win) / npix - my * my;
+            let cxy = iab.window_sum(x0, y0, win) / npix - mx * my;
+            let s = ((2.0 * mx * my + c1) * (2.0 * cxy + c2))
+                / ((mx * mx + my * my + c1) * (vx + vy + c2));
+            total += s;
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice(w: usize, h: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+        let mut out = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                out.push(f(x, y));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identical_slices_have_ssim_one() {
+        let img = slice(32, 32, |x, y| ((x + y) as f32 * 0.1).sin());
+        let s = ssim_2d(&img, &img, 32, 32, 0);
+        assert!((s - 1.0).abs() < 1e-12, "ssim {s}");
+    }
+
+    #[test]
+    fn ssim_decreases_with_noise() {
+        let img = slice(64, 64, |x, y| ((x * y) as f32 * 0.01).sin());
+        let noisy_small: Vec<f32> = img
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let noisy_big: Vec<f32> = img
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        let s_small = ssim_2d(&img, &noisy_small, 64, 64, 0);
+        let s_big = ssim_2d(&img, &noisy_big, 64, 64, 0);
+        assert!(s_small > s_big, "{s_small} vs {s_big}");
+        assert!(s_small > 0.9);
+        assert!(s_big < 0.9);
+    }
+
+    #[test]
+    fn ssim_is_symmetric_in_structure() {
+        let a = slice(16, 16, |x, _| x as f32);
+        let b = slice(16, 16, |x, _| x as f32 + 0.5);
+        let s = ssim_2d(&a, &b, 16, 16, 0);
+        // Constant offsets are penalized only through the luminance term.
+        assert!(s > 0.8 && s < 1.0, "ssim {s}");
+    }
+
+    #[test]
+    fn tiny_slice_uses_one_window() {
+        let a = vec![1.0f32, 2.0, 3.0, 4.0];
+        let s = ssim_2d(&a, &a, 2, 2, 0);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_window_size() {
+        let img = slice(32, 32, |x, y| (x ^ y) as f32);
+        let s8 = ssim_2d(&img, &img, 32, 32, 8);
+        let s4 = ssim_2d(&img, &img, 32, 32, 4);
+        assert!((s8 - 1.0).abs() < 1e-12);
+        assert!((s4 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn dimension_mismatch_panics() {
+        ssim_2d(&[1.0; 4], &[1.0; 4], 3, 2, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the quality metrics: mathematical invariants
+//! that must hold for arbitrary inputs.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use szx_metrics::{distortion, empirical_cdf, error_pdf, ssim_2d};
+
+fn finite_f32s(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    pvec(-1e6f32..1e6f32, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distortion_identity_is_perfect(data in finite_f32s(1..500)) {
+        let s = distortion(&data, &data);
+        prop_assert_eq!(s.max_abs_error, 0.0);
+        prop_assert_eq!(s.mse, 0.0);
+        prop_assert!(s.psnr.is_infinite());
+    }
+
+    #[test]
+    fn distortion_matches_independent_computation(
+        a in finite_f32s(2..300),
+        noise in -1.0f32..1.0,
+    ) {
+        // Note: `v + noise` rounds to f32 (the ulp can exceed `noise` for
+        // large magnitudes), so compare against the *actual* differences
+        // rather than the nominal noise.
+        let b: Vec<f32> = a.iter().map(|v| v + noise).collect();
+        let s1 = distortion(&a, &b);
+        let diffs: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| (x as f64 - y as f64).abs()).collect();
+        let expect_max = diffs.iter().cloned().fold(0.0, f64::max);
+        let expect_mse = diffs.iter().map(|d| d * d).sum::<f64>() / diffs.len() as f64;
+        prop_assert!((s1.max_abs_error - expect_max).abs() <= 1e-12 * (1.0 + expect_max));
+        prop_assert!((s1.mse - expect_mse).abs() <= 1e-9 * (1.0 + expect_mse));
+    }
+
+    #[test]
+    fn psnr_decreases_as_noise_grows(base in finite_f32s(64..256)) {
+        let range = {
+            let lo = base.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = base.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            hi - lo
+        };
+        prop_assume!(range > 1.0);
+        let small: Vec<f32> = base.iter().map(|v| v + range * 1e-4).collect();
+        let big: Vec<f32> = base.iter().map(|v| v + range * 1e-2).collect();
+        let s_small = distortion(&base, &small);
+        let s_big = distortion(&base, &big);
+        prop_assert!(s_small.psnr > s_big.psnr,
+            "{} vs {}", s_small.psnr, s_big.psnr);
+    }
+
+    #[test]
+    fn error_pdf_mass_accounts_for_everything(
+        a in finite_f32s(1..400),
+        span_exp in -3i32..3,
+        bins in 1usize..40,
+    ) {
+        let span = 10f64.powi(span_exp);
+        let b: Vec<f32> = a.iter().map(|v| v * 1.0001).collect();
+        let pdf = error_pdf(&a, &b, span, bins);
+        let width = 2.0 * span / bins as f64;
+        let inside: f64 = pdf.density.iter().map(|d| d * width).sum();
+        prop_assert!((inside + pdf.out_of_span - 1.0).abs() < 1e-9,
+            "inside {} + outside {}", inside, pdf.out_of_span);
+        prop_assert!(pdf.density.iter().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn empirical_cdf_is_monotone_and_normalized(
+        samples in pvec(0.0f64..1.0, 1..300),
+        points in pvec(0.0f64..1.0, 1..40),
+    ) {
+        let mut pts = points;
+        pts.sort_by(|a, b| a.total_cmp(b));
+        let cdf = empirical_cdf(&samples, &pts);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        for &c in &cdf {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+        let full = empirical_cdf(&samples, &[1.0]);
+        prop_assert_eq!(full[0], 1.0, "everything is <= the max");
+    }
+
+    #[test]
+    fn ssim_is_one_for_identical_and_bounded(
+        data in pvec(-100f32..100.0, 64..256),
+    ) {
+        // Make a square-ish slice from whatever length we got.
+        let w = (data.len() as f64).sqrt() as usize;
+        prop_assume!(w >= 8);
+        let img = &data[..w * w];
+        let s = ssim_2d(img, img, w, w, 0);
+        prop_assert!((s - 1.0).abs() < 1e-9, "self-SSIM {}", s);
+        let noisy: Vec<f32> = img.iter().enumerate()
+            .map(|(i, &v)| v + if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let s = ssim_2d(img, &noisy, w, w, 0);
+        prop_assert!((-1.0..=1.0 + 1e-12).contains(&s), "SSIM out of range: {}", s);
+    }
+}

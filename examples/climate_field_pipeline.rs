@@ -1,0 +1,56 @@
+//! Climate-field pipeline: compress every field of a CESM-ATM-like
+//! dataset under a per-field relative bound, assess quality field by field
+//! (CR, PSNR, SSIM on the first slice), and print a compact report — the
+//! workflow a climate data manager would run before archiving model output.
+//!
+//! ```sh
+//! cargo run --release -p szx-examples --bin climate_field_pipeline
+//! ```
+
+use szx_core::{compress, decompress, SzxConfig};
+use szx_data::{Application, Scale};
+use szx_metrics::{distortion, ssim_2d};
+
+fn main() {
+    let dataset = Application::CesmAtm.generate_limited(Scale::Small, 2026, 12);
+    let rel = 1e-3;
+    let cfg = SzxConfig::relative(rel);
+
+    println!("CESM-ATM archive pass (REL={rel:.0e}, {} fields)", dataset.fields.len());
+    println!(
+        "{:<10} {:>12} {:>8} {:>9} {:>8} {:>10}",
+        "field", "elements", "CR", "PSNR(dB)", "SSIM", "max|err|"
+    );
+
+    let mut total_raw = 0usize;
+    let mut total_compressed = 0usize;
+    for field in &dataset.fields {
+        let compressed = compress(&field.data, &cfg).expect("compress");
+        let restored: Vec<f32> = decompress(&compressed).expect("decompress");
+        let stats = distortion(&field.data, &restored);
+
+        let (w, h, orig_slice) = field.slice_z(0);
+        let rec_slice = &restored[0..w * h];
+        let ssim = ssim_2d(&orig_slice, rec_slice, w, h, 0);
+
+        total_raw += field.raw_bytes();
+        total_compressed += compressed.len();
+        println!(
+            "{:<10} {:>12} {:>8.2} {:>9.1} {:>8.3} {:>10.2e}",
+            field.name,
+            field.len(),
+            field.raw_bytes() as f64 / compressed.len() as f64,
+            stats.psnr,
+            ssim,
+            stats.max_abs_error
+        );
+        let eb = rel * field.value_range();
+        assert!(stats.max_abs_error <= eb + f64::EPSILON, "{}: bound violated", field.name);
+    }
+    println!(
+        "\narchive total: {:.2} MB -> {:.2} MB (overall CR {:.2})",
+        total_raw as f64 / 1e6,
+        total_compressed as f64 / 1e6,
+        total_raw as f64 / total_compressed as f64
+    );
+}

@@ -1,0 +1,43 @@
+//! Quickstart: compress a scientific field with a value-range-based
+//! relative error bound, decompress it, and verify the guarantee.
+//!
+//! ```sh
+//! cargo run --release -p szx-examples --bin quickstart
+//! ```
+
+use szx_core::{compress, decompress, inspect, SzxConfig};
+
+fn main() {
+    // A smooth-ish synthetic signal standing in for simulation output.
+    let data: Vec<f32> = (0..1_000_000)
+        .map(|i| {
+            let x = i as f32 * 1e-4;
+            (x * 3.0).sin() * 10.0 + (x * 41.0).sin() * 0.05
+        })
+        .collect();
+
+    // REL 1e-3: pointwise error at most 0.1% of the global value range.
+    let cfg = SzxConfig::relative(1e-3);
+    let compressed = compress(&data, &cfg).expect("compression failed");
+    let restored: Vec<f32> = decompress(&compressed).expect("decompression failed");
+
+    let header = inspect(&compressed).expect("valid stream");
+    let max_err = data
+        .iter()
+        .zip(&restored)
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .fold(0.0f64, f64::max);
+
+    println!("elements:          {}", data.len());
+    println!("raw size:          {} bytes", data.len() * 4);
+    println!("compressed size:   {} bytes", compressed.len());
+    println!("compression ratio: {:.2}x", (data.len() * 4) as f64 / compressed.len() as f64);
+    println!("absolute bound:    {:.3e}", header.eb);
+    println!("max |error|:       {:.3e}", max_err);
+    println!(
+        "constant blocks:   {:.1}%",
+        100.0 * (header.num_blocks() - header.n_nonconstant) as f64 / header.num_blocks() as f64
+    );
+    assert!(max_err <= header.eb, "SZx must respect the bound");
+    println!("bound respected ✓");
+}

@@ -1,0 +1,52 @@
+//! Figure-16-path integration: the dump/load experiment on real generated
+//! Nyx data, plus disk round-trips through the raw-file I/O helpers.
+
+use szx_data::Application;
+use szx_integration_tests::tiny;
+use szx_io_sim::{dump, load, IoCodec, PfsConfig};
+
+#[test]
+fn dump_and_load_breakdowns_are_consistent() {
+    let ds = tiny(Application::Nyx);
+    let f = ds.field("baryon-density").unwrap();
+    let eb = 1e-2 * f.value_range();
+    let pfs = PfsConfig::theta_like();
+    for codec in [IoCodec::Szx, IoCodec::SzLike, IoCodec::ZfpLike] {
+        let d = dump(&f.data, f.dims, eb, codec, 256, &pfs);
+        let l = load(&f.data, f.dims, eb, codec, 256, &pfs);
+        assert!(d.total() > 0.0 && l.total() > 0.0);
+        assert_eq!(d.bytes_per_rank, l.bytes_per_rank, "{codec:?}");
+        assert!(d.bytes_per_rank < f.raw_bytes(), "{codec:?} must compress");
+    }
+}
+
+#[test]
+fn szx_has_fastest_codec_phase() {
+    let ds = tiny(Application::Nyx);
+    let f = ds.field("temperature").unwrap();
+    let eb = 1e-3 * f.value_range();
+    let pfs = PfsConfig::theta_like();
+    let szx = dump(&f.data, f.dims, eb, IoCodec::Szx, 512, &pfs);
+    let sz = dump(&f.data, f.dims, eb, IoCodec::SzLike, 512, &pfs);
+    let zfp = dump(&f.data, f.dims, eb, IoCodec::ZfpLike, 512, &pfs);
+    assert!(
+        szx.codec_time < sz.codec_time && szx.codec_time < zfp.codec_time,
+        "szx {} sz {} zfp {}",
+        szx.codec_time,
+        sz.codec_time,
+        zfp.codec_time
+    );
+}
+
+#[test]
+fn raw_field_files_roundtrip_through_disk() {
+    let ds = tiny(Application::CesmAtm);
+    let f = &ds.fields[0];
+    let dir = std::env::temp_dir().join("szx-int-io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("field.f32");
+    szx_data::io::write_f32_raw(&path, &f.data).unwrap();
+    let back = szx_data::io::read_f32_raw(&path).unwrap();
+    assert_eq!(back, f.data);
+    std::fs::remove_file(path).unwrap();
+}

@@ -1,0 +1,89 @@
+//! Metrics-level integration: reconstruction quality statistics on real
+//! generator output behave the way the paper's evaluation relies on.
+
+use szx_core::SzxConfig;
+use szx_data::Application;
+use szx_integration_tests::tiny;
+use szx_metrics::{block_range_cdf, distortion, error_pdf, ssim_2d};
+
+#[test]
+fn psnr_improves_with_tighter_bounds() {
+    let ds = tiny(Application::Miranda);
+    let f = ds.field("pressure").unwrap();
+    let mut last_psnr = 0.0;
+    for rel in [1e-2, 1e-3, 1e-4] {
+        let bytes = szx_core::compress(&f.data, &SzxConfig::relative(rel)).unwrap();
+        let back: Vec<f32> = szx_core::decompress(&bytes).unwrap();
+        let stats = distortion(&f.data, &back);
+        assert!(
+            stats.psnr > last_psnr + 10.0,
+            "PSNR must improve ~20dB per decade: {last_psnr} -> {}",
+            stats.psnr
+        );
+        last_psnr = stats.psnr;
+    }
+}
+
+#[test]
+fn error_pdf_is_fully_inside_the_bound() {
+    for app in Application::ALL {
+        let ds = tiny(app);
+        let f = &ds.fields[0];
+        let eb = (1e-3 * f.value_range()).max(1e-12);
+        let bytes = szx_core::compress(&f.data, &SzxConfig::absolute(eb)).unwrap();
+        let back: Vec<f32> = szx_core::decompress(&bytes).unwrap();
+        let pdf = error_pdf(&f.data, &back, eb, 21);
+        assert_eq!(pdf.out_of_span, 0.0, "{}/{}", ds.name, f.name);
+    }
+}
+
+#[test]
+fn figure2_smoothness_ordering() {
+    // Miranda must be smoother than Nyx at the same threshold — the
+    // qualitative contrast between Figures 2(a) and 2(b).
+    let miranda = tiny(Application::Miranda);
+    let nyx = tiny(Application::Nyx);
+    let m = block_range_cdf(&miranda.field("pressure").unwrap().data, 8, &[0.02])[0];
+    let n = block_range_cdf(&nyx.field("velocity-x").unwrap().data, 8, &[0.02])[0];
+    assert!(m > n, "Miranda CDF {m} must dominate Nyx {n}");
+    assert!(m > 0.6, "Miranda is very smooth: {m}");
+}
+
+#[test]
+fn ssim_degrades_monotonically_with_bound() {
+    let ds = tiny(Application::Hurricane);
+    let f = ds.field("CLOUD").unwrap();
+    let (w, h, orig) = f.slice_z(f.dims[2] / 2);
+    let mut last = f64::NEG_INFINITY;
+    let plane = w * h;
+    let z = f.dims[2] / 2;
+    // Loosest bound first: SSIM must improve (or hold) as the bound tightens.
+    for rel in [1e-1, 1e-2, 1e-3] {
+        let bytes = szx_core::compress(&f.data, &SzxConfig::relative(rel)).unwrap();
+        let back: Vec<f32> = szx_core::decompress(&bytes).unwrap();
+        let s = ssim_2d(&orig, &back[z * plane..(z + 1) * plane], w, h, 0);
+        assert!(s >= last - 1e-9, "SSIM must not degrade with tighter bound: {last} -> {s}");
+        last = s;
+    }
+}
+
+#[test]
+fn compression_ratio_decreases_with_tighter_bounds_everywhere() {
+    for app in Application::ALL {
+        let ds = tiny(app);
+        for f in ds.fields.iter().take(3) {
+            let mut last = f64::INFINITY;
+            for rel in [1e-2, 1e-3, 1e-4] {
+                let bytes = szx_core::compress(&f.data, &SzxConfig::relative(rel)).unwrap();
+                let cr = f.raw_bytes() as f64 / bytes.len() as f64;
+                assert!(
+                    cr <= last * 1.001,
+                    "{}/{}: CR should not grow with tighter bound ({last} -> {cr})",
+                    ds.name,
+                    f.name
+                );
+                last = cr;
+            }
+        }
+    }
+}
