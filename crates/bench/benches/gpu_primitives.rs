@@ -10,7 +10,9 @@ use szx_gpu_sim::Cost;
 
 fn chain_input(n: usize) -> Vec<i64> {
     // Owners every 5 lanes: realistic leading-byte chains.
-    (0..n).map(|i| if i % 5 == 0 { i as i64 } else { i64::MIN }).collect()
+    (0..n)
+        .map(|i| if i % 5 == 0 { i as i64 } else { i64::MIN })
+        .collect()
 }
 
 fn sequential_resolve(idx: &[i64]) -> Vec<i64> {

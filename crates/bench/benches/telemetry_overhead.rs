@@ -1,0 +1,44 @@
+//! Cost of the observability layer: compression throughput with telemetry
+//! disabled (the default — every instrument site is behind one relaxed
+//! atomic load) versus enabled (chunk-local accumulation, flushed once per
+//! pass at the assemble join point). The acceptance bar is <2% overhead
+//! enabled on a ≥64 MB field.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szx_core::SzxConfig;
+
+/// 16 Mi f32 = 64 MB, a synthetic field with the usual mix of smooth
+/// (constant-block) stretches and oscillatory (non-constant) ones.
+fn field() -> Vec<f32> {
+    let n = 16 * 1024 * 1024;
+    (0..n)
+        .map(|i| {
+            let x = i as f32 * 1.9e-4;
+            // Slowly-varying envelope gates a fast carrier: long plateaus
+            // where the envelope is tiny, busy blocks where it is not.
+            let envelope = (x * 0.11).sin().max(0.0);
+            envelope * (x * 37.0).sin() * 12.5
+        })
+        .collect()
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let data = field();
+    let bytes = data.len() * 4;
+    let cfg = SzxConfig::relative(1e-3);
+
+    let mut g = c.benchmark_group("telemetry-overhead");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.sample_size(10);
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        g.bench_function(BenchmarkId::new("compress-64MB", label), |b| {
+            szx_telemetry::set_enabled(enabled);
+            b.iter(|| szx_core::compress(&data, &cfg).unwrap());
+        });
+    }
+    szx_telemetry::set_enabled(false);
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -10,7 +10,11 @@ use szx_metrics::to_ppm;
 fn main() {
     let scale = scale_from_env();
     let panels: [(Application, &str, &str); 4] = [
-        (Application::Miranda, "pressure", "fig1a_miranda_pressure.ppm"),
+        (
+            Application::Miranda,
+            "pressure",
+            "fig1a_miranda_pressure.ppm",
+        ),
         (Application::Nyx, "temperature", "fig1b_nyx_temperature.ppm"),
         (Application::QmcPack, "inspline", "fig1c_qmcpack_slice.ppm"),
         (Application::Hurricane, "U", "fig1d_hurricane_u.ppm"),

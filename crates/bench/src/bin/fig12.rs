@@ -13,7 +13,11 @@ fn main() {
     let field = ds.field("CLOUD").expect("CLOUD field");
     let z = field.dims[2] / 2;
     let (w, h, orig_slice) = field.slice_z(z);
-    std::fs::write(results_path("fig12_original.ppm"), to_ppm(&orig_slice, w, h)).unwrap();
+    std::fs::write(
+        results_path("fig12_original.ppm"),
+        to_ppm(&orig_slice, w, h),
+    )
+    .unwrap();
 
     println!("Figure 12: SZx visual quality on Hurricane CLOUD ({scale:?})");
     println!("{:>8} {:>8} {:>8} {:>8}", "REL", "CR", "PSNR", "SSIM");
@@ -28,7 +32,13 @@ fn main() {
         let ssim = ssim_2d(&orig_slice, back_slice, w, h, 0);
         let file = results_path(&format!("fig12_rel{rel:.0e}.ppm"));
         std::fs::write(&file, to_ppm(back_slice, w, h)).unwrap();
-        println!("{rel:>8.0e} {cr:>8.2} {:>8.1} {ssim:>8.3}   -> {}", stats.psnr, file.display());
+        println!(
+            "{rel:>8.0e} {cr:>8.2} {:>8.1} {ssim:>8.3}   -> {}",
+            stats.psnr,
+            file.display()
+        );
     }
-    println!("(paper at e=1e-3/4e-3/1e-2: CR 14.6/18/20.6, PSNR 74.4/62/54.6, SSIM 0.93/0.89/0.865)");
+    println!(
+        "(paper at e=1e-3/4e-3/1e-2: CR 14.6/18/20.6, PSNR 74.4/62/54.6, SSIM 0.93/0.89/0.865)"
+    );
 }

@@ -45,7 +45,12 @@ fn main() {
                 .map(|(&a, &b)| (a as f64 - b as f64).abs())
                 .fold(0.0f64, f64::max);
             // Sparkline-ish shape: normalize to the hottest bin.
-            let hot = pdf.density.iter().cloned().fold(0.0f64, f64::max).max(1e-300);
+            let hot = pdf
+                .density
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max)
+                .max(1e-300);
             let shape: String = pdf
                 .density
                 .iter()
@@ -73,7 +78,10 @@ fn main() {
             for (c, d) in pdf.centers.iter().zip(&pdf.density) {
                 writeln!(csv, "{label},{c:.3e},{d:.5e}").unwrap();
             }
-            assert!(max_err <= eb, "error bound violated for {label}: {max_err} > {eb}");
+            assert!(
+                max_err <= eb,
+                "error bound violated for {label}: {max_err} > {eb}"
+            );
         }
         std::fs::write(results_path(&format!("fig13_eb{eb:.0e}.csv")), csv).unwrap();
     }

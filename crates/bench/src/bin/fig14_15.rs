@@ -15,15 +15,22 @@ fn main() {
     println!("Figures 14/15: modeled GPU throughput per application (REL={rel:.0e}, {scale:?})");
     for gpu in [A100, V100] {
         for decomp in [false, true] {
-            let label = if decomp { "decompression (Fig 15)" } else { "compression (Fig 14)" };
+            let label = if decomp {
+                "decompression (Fig 15)"
+            } else {
+                "compression (Fig 14)"
+            };
             println!("\n  {} — {label} (GB/s)", gpu.name);
             print!("  {:<8}", "codec");
             for app in Application::ALL {
                 print!(" {:>9}", app.short_name());
             }
             println!();
-            let mut rows: Vec<(&str, Vec<f64>)> =
-                vec![("cuSZx", Vec::new()), ("cuSZ", Vec::new()), ("cuZFP", Vec::new())];
+            let mut rows: Vec<(&str, Vec<f64>)> = vec![
+                ("cuSZx", Vec::new()),
+                ("cuSZ", Vec::new()),
+                ("cuZFP", Vec::new()),
+            ];
             for app in Application::ALL {
                 let ds = app.generate(scale, seed_for(app));
                 // Aggregate model costs over all fields of the app.

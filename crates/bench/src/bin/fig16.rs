@@ -36,7 +36,9 @@ fn main() {
             println!(
                 "{:<6} {}",
                 "",
-                ranks.map(|_| format!("{:>8} {:>7}", "codec", "io")).join(" ")
+                ranks
+                    .map(|_| format!("{:>8} {:>7}", "codec", "io"))
+                    .join(" ")
             );
             for codec in [IoCodec::Szx, IoCodec::SzLike, IoCodec::ZfpLike] {
                 print!("{:<6}", codec.name());

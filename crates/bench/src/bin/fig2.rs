@@ -56,6 +56,11 @@ fn main() {
         // The paper's qualitative claim: smaller blocks dominate the CDF.
         let small = series[0][2];
         let large = series[4][2];
-        println!("  (bs=8 CDF at {:.3}: {:.0}%  >=  bs=128: {:.0}%)", points[2], small * 100.0, large * 100.0);
+        println!(
+            "  (bs=8 CDF at {:.3}: {:.0}%  >=  bs=128: {:.0}%)",
+            points[2],
+            small * 100.0,
+            large * 100.0
+        );
     }
 }

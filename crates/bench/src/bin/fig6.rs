@@ -26,7 +26,9 @@ fn main() {
                     .iter()
                     .map(|f| {
                         let cfg = SzxConfig::relative(rel).with_block_size(bs);
-                        shift_overhead(&f.data, &cfg).expect("overhead").overhead_ratio()
+                        shift_overhead(&f.data, &cfg)
+                            .expect("overhead")
+                            .overhead_ratio()
                     })
                     .collect();
                 overheads.sort_by(|a, b| a.total_cmp(b));

@@ -8,8 +8,8 @@ fn main() {
     let scale = scale_from_env();
     println!("Table 2: Applications (synthetic stand-ins; scale {scale:?})");
     println!(
-        "{:<12} {:>8}  {:<18} {:<18} {}",
-        "Application", "#fields", "full size/field", "generated size", "description"
+        "{:<12} {:>8}  {:<18} {:<18} description",
+        "Application", "#fields", "full size/field", "generated size"
     );
     for app in Application::ALL {
         let (count, dims, desc) = app.spec();

@@ -19,7 +19,9 @@ fn main() {
         "{:<6} {:>5} | {}",
         "codec",
         "REL",
-        Application::ALL.map(|a| format!("{:>20}", a.short_name())).join(" ")
+        Application::ALL
+            .map(|a| format!("{:>20}", a.short_name()))
+            .join(" ")
     );
 
     let datasets: Vec<_> = Application::ALL

@@ -35,9 +35,7 @@ fn main() {
                         let t = match (codec, decomp) {
                             ("SZx", false) => {
                                 let cfg = SzxConfig::absolute(eb);
-                                median_time(3, || {
-                                    szx_core::compress(&f.data, &cfg).expect("szx")
-                                })
+                                median_time(3, || szx_core::compress(&f.data, &cfg).expect("szx"))
                             }
                             ("SZx", true) => {
                                 let cfg = SzxConfig::absolute(eb);
@@ -51,8 +49,7 @@ fn main() {
                                 zfplike::compress(&f.data, f.dims, eb).expect("zfp")
                             }),
                             ("ZFP", true) => {
-                                let bytes =
-                                    zfplike::compress(&f.data, f.dims, eb).expect("zfp");
+                                let bytes = zfplike::compress(&f.data, f.dims, eb).expect("zfp");
                                 median_time(3, || zfplike::decompress(&bytes).expect("zfp d"))
                             }
                             ("SZ", false) => median_time(3, || {

@@ -76,9 +76,7 @@ fn main() {
                                     threads,
                                 )
                                 .expect("sz");
-                                median_time(3, || {
-                                    chunked::decompress_par(&bytes).expect("sz d")
-                                })
+                                median_time(3, || chunked::decompress_par(&bytes).expect("sz d"))
                             }
                         };
                         total_time += t;

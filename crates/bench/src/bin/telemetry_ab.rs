@@ -1,0 +1,47 @@
+//! Interleaved A/B check of telemetry overhead on a 64 MB field, reported
+//! as min-of-N (robust to background load): the acceptance bar is <2%.
+use szx_core::SzxConfig;
+
+fn field() -> Vec<f32> {
+    let n = 16 * 1024 * 1024; // 64 MB of f32
+    (0..n)
+        .map(|i| {
+            let x = i as f32 * 1.9e-4;
+            // Slow envelope gates a fast carrier: long constant-block
+            // plateaus plus busy non-constant stretches.
+            let envelope = (x * 0.11).sin().max(0.0);
+            envelope * (x * 37.0).sin() * 12.5
+        })
+        .collect()
+}
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let data = field();
+    let cfg = SzxConfig::relative(1e-3);
+    for _ in 0..2 {
+        szx_core::compress(&data, &cfg).unwrap();
+    }
+    let mut best = [f64::INFINITY; 2];
+    for round in 0..rounds {
+        for (k, enabled) in [false, true].into_iter().enumerate() {
+            szx_telemetry::set_enabled(enabled);
+            let t = std::time::Instant::now();
+            let b = szx_core::compress(&data, &cfg).unwrap();
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            best[k] = best[k].min(ms);
+            println!(
+                "round {round} enabled={enabled:<5} {ms:8.2} ms  ({} bytes)",
+                b.len()
+            );
+        }
+    }
+    let overhead = (best[1] - best[0]) / best[0] * 100.0;
+    println!(
+        "min disabled {:.2} ms, min enabled {:.2} ms, overhead {overhead:+.2}%",
+        best[0], best[1]
+    );
+}

@@ -23,7 +23,12 @@ fn main() {
     for (app, field_name) in picks {
         let ds = app.generate(scale, seed_for(app));
         let f = ds.field(field_name).unwrap();
-        println!("\nTrade-off surface: {} / {} ({} elems, {scale:?})", ds.name, f.name, f.len());
+        println!(
+            "\nTrade-off surface: {} / {} ({} elems, {scale:?})",
+            ds.name,
+            f.name,
+            f.len()
+        );
         println!(
             "{:<6} {:>7} | {:>8} {:>9} {:>11} {:>11}",
             "codec", "REL", "CR", "PSNR(dB)", "comp MB/s", "decomp MB/s"

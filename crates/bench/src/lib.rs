@@ -8,7 +8,11 @@ use szx_data::{Application, Scale};
 /// Experiment scale, overridable with `SZX_SCALE=tiny|small|medium|large|full`
 /// (default `small` = the paper's grids divided by 8 per axis).
 pub fn scale_from_env() -> Scale {
-    match std::env::var("SZX_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("SZX_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => Scale::Tiny,
         "medium" => Scale::Medium,
         "large" => Scale::Large,

@@ -206,7 +206,10 @@ mod tests {
         for k in [1, 2, 5, 64] {
             let bytes = compress_par(&data, dims, 1e-4, Codec::SzLike, k).unwrap();
             let (back, _) = decompress_par(&bytes).unwrap();
-            assert!(data.iter().zip(&back).all(|(a, b)| (a - b).abs() as f64 <= 1e-4));
+            assert!(data
+                .iter()
+                .zip(&back)
+                .all(|(a, b)| (a - b).abs() as f64 <= 1e-4));
         }
     }
 
@@ -215,7 +218,10 @@ mod tests {
         let (data, dims) = grid(2000, 1, 1);
         let bytes = compress_par(&data, dims, 1e-3, Codec::ZfpLike, 4).unwrap();
         let (back, _) = decompress_par(&bytes).unwrap();
-        assert!(data.iter().zip(&back).all(|(a, b)| (a - b).abs() as f64 <= 1e-3));
+        assert!(data
+            .iter()
+            .zip(&back)
+            .all(|(a, b)| (a - b).abs() as f64 <= 1e-3));
     }
 
     #[test]

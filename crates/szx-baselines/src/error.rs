@@ -29,7 +29,11 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(BaselineError::Invalid("x".into()).to_string().contains("invalid"));
-        assert!(BaselineError::Corrupt("y".into()).to_string().contains("corrupt"));
+        assert!(BaselineError::Invalid("x".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(BaselineError::Corrupt("y".into())
+            .to_string()
+            .contains("corrupt"));
     }
 }

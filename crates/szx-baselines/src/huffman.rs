@@ -46,7 +46,10 @@ impl HuffmanCode {
             let Reverse((_, sym)) = heap.pop().unwrap();
             let mut lengths = vec![0u8; n];
             lengths[sym] = 1;
-            let mut code = HuffmanCode { lengths, codes: vec![0; n] };
+            let mut code = HuffmanCode {
+                lengths,
+                codes: vec![0; n],
+            };
             code.assign_canonical();
             return code;
         }
@@ -75,7 +78,10 @@ impl HuffmanCode {
             *length = d.max(1) as u8;
         }
         limit_lengths(&mut lengths, MAX_LEN as u8);
-        let mut code = HuffmanCode { lengths, codes: vec![0; n] };
+        let mut code = HuffmanCode {
+            lengths,
+            codes: vec![0; n],
+        };
         code.assign_canonical();
         code
     }
@@ -97,7 +103,10 @@ impl HuffmanCode {
         if !any || kraft > 1u64 << MAX_LEN {
             return None;
         }
-        let mut code = HuffmanCode { codes: vec![0; lengths.len()], lengths };
+        let mut code = HuffmanCode {
+            codes: vec![0; lengths.len()],
+            lengths,
+        };
         code.assign_canonical();
         Some(code)
     }
@@ -183,8 +192,7 @@ impl HuffmanCode {
                 let mut lengths = vec![0u8; n];
                 for k in 0..used {
                     let off = 9 + k * 5;
-                    let sym =
-                        u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+                    let sym = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
                     if sym >= n {
                         return None;
                     }
@@ -279,7 +287,7 @@ fn limit_lengths(lengths: &mut [u8], max: u8) {
         // Find the symbol with the smallest length > 0 that can grow.
         let mut best: Option<usize> = None;
         for (i, &l) in lengths.iter().enumerate() {
-            if l > 0 && l < max && best.map_or(true, |b| l < lengths[b]) {
+            if l > 0 && l < max && best.is_none_or(|b| l < lengths[b]) {
                 best = Some(i);
             }
         }
@@ -359,7 +367,10 @@ mod tests {
     #[test]
     fn deserialize_rejects_garbage() {
         assert!(HuffmanCode::deserialize(&[]).is_none());
-        assert!(HuffmanCode::deserialize(&[1, 0, 0, 0]).is_none(), "truncated lengths");
+        assert!(
+            HuffmanCode::deserialize(&[1, 0, 0, 0]).is_none(),
+            "truncated lengths"
+        );
         // Kraft violation: three 1-bit codes.
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&3u32.to_le_bytes());
@@ -395,7 +406,11 @@ mod tests {
     fn limit_lengths_repairs_kraft() {
         let mut lengths = vec![30u8, 30, 2, 2, 2, 2];
         limit_lengths(&mut lengths, 24);
-        let kraft: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (24 - l as u32)).sum();
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (24 - l as u32))
+            .sum();
         assert!(kraft <= 1 << 24);
     }
 }

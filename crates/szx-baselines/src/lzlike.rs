@@ -228,7 +228,11 @@ mod tests {
     fn roundtrip_repetitive() {
         let data: Vec<u8> = (0..10_000).map(|i| ((i / 100) % 7) as u8).collect();
         let c = compress(&data).unwrap();
-        assert!(c.len() < data.len() / 5, "repetitive data must crush: {}", c.len());
+        assert!(
+            c.len() < data.len() / 5,
+            "repetitive data must crush: {}",
+            c.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 
@@ -268,7 +272,9 @@ mod tests {
     #[test]
     fn long_literal_runs_escape_correctly() {
         // >255 literals with no matches exercises the length escapes.
-        let data: Vec<u8> = (0..1000u32).map(|i| (i.wrapping_mul(2654435761) >> 9) as u8).collect();
+        let data: Vec<u8> = (0..1000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 9) as u8)
+            .collect();
         roundtrip(&data);
     }
 

@@ -30,7 +30,7 @@ pub fn compress(data: &[f32], dims: [usize; 3], eb: f64) -> Result<Vec<u8>> {
             data.len()
         )));
     }
-    if !(eb >= 0.0) || !eb.is_finite() {
+    if !eb.is_finite() || eb < 0.0 {
         return Err(BaselineError::Invalid(format!("bad error bound {eb}")));
     }
     let twice_eb = 2.0 * eb;
@@ -49,7 +49,11 @@ pub fn compress(data: &[f32], dims: [usize; 3], eb: f64) -> Result<Vec<u8>> {
                 let d = data[i];
                 let diff = d as f64 - pred as f64;
                 // The division per point — SZ's signature expensive op.
-                let bin = if twice_eb > 0.0 { (diff / twice_eb).round() } else { f64::NAN };
+                let bin = if twice_eb > 0.0 {
+                    (diff / twice_eb).round()
+                } else {
+                    f64::NAN
+                };
                 let mut escaped = true;
                 if bin.is_finite() && bin.abs() < (RADIUS - 1) as f64 {
                     let bin = bin as i64;
@@ -178,7 +182,15 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, [usize; 3])> {
 /// First-order Lorenzo predictor from previously-visited (reconstructed)
 /// neighbors; out-of-grid neighbors contribute 0, as in SZ.
 #[inline(always)]
-fn lorenzo_pred(recon: &[f32], i: usize, x: usize, y: usize, z: usize, nx: usize, plane: usize) -> f32 {
+fn lorenzo_pred(
+    recon: &[f32],
+    i: usize,
+    x: usize,
+    y: usize,
+    z: usize,
+    nx: usize,
+    plane: usize,
+) -> f32 {
     let fx = x > 0;
     let fy = y > 0;
     let fz = z > 0;
@@ -216,7 +228,10 @@ mod tests {
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
-                    v.push(((x as f32 * 0.1).sin() + (y as f32 * 0.07).cos()) * (1.0 + z as f32 * 0.01));
+                    v.push(
+                        ((x as f32 * 0.1).sin() + (y as f32 * 0.07).cos())
+                            * (1.0 + z as f32 * 0.01),
+                    );
                 }
             }
         }
@@ -231,7 +246,10 @@ mod tests {
             let (back, bdims) = decompress(&bytes).unwrap();
             assert_eq!(bdims, dims);
             for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
-                assert!((a as f64 - b as f64).abs() <= eb, "eb={eb} i={i}: {a} vs {b}");
+                assert!(
+                    (a as f64 - b as f64).abs() <= eb,
+                    "eb={eb} i={i}: {a} vs {b}"
+                );
             }
         }
     }
@@ -241,12 +259,18 @@ mod tests {
         let (data, _) = grid3(500, 1, 1);
         let bytes = compress(&data, [500, 1, 1], 1e-3).unwrap();
         let (back, _) = decompress(&bytes).unwrap();
-        assert!(data.iter().zip(&back).all(|(a, b)| (a - b).abs() <= 1e-3 + 1e-9));
+        assert!(data
+            .iter()
+            .zip(&back)
+            .all(|(a, b)| (a - b).abs() <= 1e-3 + 1e-9));
 
         let (data, dims) = grid3(64, 48, 1);
         let bytes = compress(&data, dims, 1e-3).unwrap();
         let (back, _) = decompress(&bytes).unwrap();
-        assert!(data.iter().zip(&back).all(|(a, b)| (a - b).abs() as f64 <= 1e-3));
+        assert!(data
+            .iter()
+            .zip(&back)
+            .all(|(a, b)| (a - b).abs() as f64 <= 1e-3));
     }
 
     #[test]

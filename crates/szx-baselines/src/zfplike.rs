@@ -266,7 +266,7 @@ pub fn compress(data: &[f32], dims: [usize; 3], eb: f64) -> Result<Vec<u8>> {
             data.len()
         )));
     }
-    if !(eb > 0.0) || !eb.is_finite() {
+    if !eb.is_finite() || eb <= 0.0 {
         return Err(BaselineError::Invalid(format!(
             "zfp-like accuracy mode needs a positive finite bound, got {eb}"
         )));
@@ -344,7 +344,7 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, [usize; 3])> {
         return Err(BaselineError::Corrupt("implausible element count".into()));
     }
     let eb = f64::from_le_bytes(bytes[28..36].try_into().unwrap());
-    if !(eb > 0.0) || !eb.is_finite() {
+    if !eb.is_finite() || eb <= 0.0 {
         return Err(BaselineError::Corrupt("bad error bound".into()));
     }
     let d = block_dim(dims);
@@ -404,9 +404,9 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f32>, [usize; 3])> {
 
 /// Iterate block origins in x-fastest order.
 fn for_each_block(dims: [usize; 3], d: usize, mut f: impl FnMut([usize; 3], bool)) {
-    let bx = (dims[0] + 3) / 4;
-    let by = if d >= 2 { (dims[1] + 3) / 4 } else { 1 };
-    let bz = if d >= 3 { (dims[2] + 3) / 4 } else { 1 };
+    let bx = dims[0].div_ceil(4);
+    let by = if d >= 2 { dims[1].div_ceil(4) } else { 1 };
+    let bz = if d >= 3 { dims[2].div_ceil(4) } else { 1 };
     // For 1-/2-D decompositions, the unused trailing axes are iterated
     // plane-by-plane so every sample is covered.
     let extra_y = if d >= 2 { 1 } else { dims[1] };
@@ -429,15 +429,22 @@ fn for_each_block(dims: [usize; 3], d: usize, mut f: impl FnMut([usize; 3], bool
     }
 }
 
-fn gather_block(data: &[f32], dims: [usize; 3], d: usize, base: [usize; 3], block: &mut [f32], _pad: bool) {
+fn gather_block(
+    data: &[f32],
+    dims: [usize; 3],
+    d: usize,
+    base: [usize; 3],
+    block: &mut [f32],
+    _pad: bool,
+) {
     let [nx, ny, _nz] = dims;
     let plane = nx * ny;
     let ext = |axis_len: usize, v: usize| v.min(axis_len - 1);
     match d {
         1 => {
-            for i in 0..4 {
+            for (i, b) in block.iter_mut().enumerate().take(4) {
                 let x = ext(nx, base[0] + i);
-                block[i] = data[base[2] * plane + base[1] * nx + x];
+                *b = data[base[2] * plane + base[1] * nx + x];
             }
         }
         2 => {
@@ -470,10 +477,10 @@ fn scatter_block(out: &mut [f32], dims: [usize; 3], d: usize, base: [usize; 3], 
     let plane = nx * ny;
     match d {
         1 => {
-            for i in 0..4 {
+            for (i, &v) in block.iter().enumerate().take(4) {
                 let x = base[0] + i;
                 if x < nx {
-                    out[base[2] * plane + base[1] * nx + x] = block[i];
+                    out[base[2] * plane + base[1] * nx + x] = v;
                 }
             }
         }
@@ -536,7 +543,10 @@ mod tests {
             fwd_lift(&mut v, 1);
             inv_lift(&mut v, 1);
             for (a, b) in v.iter().zip(&orig) {
-                assert!((*a as i64 - *b as i64).abs() <= 4, "seed {seed}: {orig:?} -> {v:?}");
+                assert!(
+                    (*a as i64 - *b as i64).abs() <= 4,
+                    "seed {seed}: {orig:?} -> {v:?}"
+                );
             }
         }
     }
@@ -576,7 +586,9 @@ mod tests {
 
     #[test]
     fn encode_decode_ints_roundtrip() {
-        let coeffs: Vec<u32> = (0..64u32).map(|i| i.wrapping_mul(0x0101_0101) >> (i % 7)).collect();
+        let coeffs: Vec<u32> = (0..64u32)
+            .map(|i| i.wrapping_mul(0x0101_0101) >> (i % 7))
+            .collect();
         for kmin in [0u32, 8, 24, 31] {
             let mut w = BitWriter::new();
             encode_ints(&coeffs, kmin, &mut w);
@@ -584,7 +596,11 @@ mod tests {
             let mut r = BitReader::new(&bytes);
             let back = decode_ints(64, kmin, &mut r).unwrap();
             for (i, (&a, &b)) in coeffs.iter().zip(&back).enumerate() {
-                let mask = if kmin == 0 { u32::MAX } else { !((1u32 << kmin) - 1) };
+                let mask = if kmin == 0 {
+                    u32::MAX
+                } else {
+                    !((1u32 << kmin) - 1)
+                };
                 assert_eq!(a & mask, b, "kmin={kmin} i={i}");
             }
         }
@@ -654,7 +670,10 @@ mod tests {
     #[test]
     fn invalid_and_corrupt_inputs_error() {
         assert!(compress(&[1.0], [2, 1, 1], 1e-3).is_err());
-        assert!(compress(&[1.0], [1, 1, 1], 0.0).is_err(), "accuracy mode needs eb > 0");
+        assert!(
+            compress(&[1.0], [1, 1, 1], 0.0).is_err(),
+            "accuracy mode needs eb > 0"
+        );
         let (data, dims) = grid3(16, 16, 1);
         let bytes = compress(&data, dims, 1e-3).unwrap();
         assert!(decompress(&bytes[..20]).is_err());

@@ -9,8 +9,11 @@ use szx_core::bitio::{BitReader, BitWriter};
 fn grids() -> impl Strategy<Value = ([usize; 3], Vec<f32>)> {
     (1usize..40, 1usize..12, 1usize..6).prop_flat_map(|(nx, ny, nz)| {
         let n = nx * ny * nz;
-        pvec(prop_oneof![-1e6f32..1e6f32, -1.0f32..1.0, Just(0.0f32)], n..=n)
-            .prop_map(move |v| ([nx, ny, nz], v))
+        pvec(
+            prop_oneof![-1e6f32..1e6f32, -1.0f32..1.0, Just(0.0f32)],
+            n..=n,
+        )
+        .prop_map(move |v| ([nx, ny, nz], v))
     })
 }
 

@@ -37,18 +37,26 @@ szx — ultrafast error-bounded lossy compression (SZx, HPDC '22)
 USAGE:
   szx compress   <in.f32> <out.szx> --abs <e> | --rel <r>
                  [--f64] [--block <n>] [--parallel] [--strategy a|b|c]
-  szx decompress <in.szx> <out.f32> [--parallel]
-  szx assess     <orig.f32> <in.szx>
-  szx info       <in.szx>
+                 [--stats [--json]]
+  szx decompress <in.szx> <out.f32> [--parallel] [--stats [--json]]
+  szx assess     <orig.f32> <in.szx> [--stats [--json]]
+  szx info       <in.szx> [--stats]
   szx gen        <cesm|hurricane|miranda|nyx|qmcpack|scale> <out-dir>
                  [--scale tiny|small|medium|large|full]
   szx archive    <out.szxa> <field1.f32> [field2.f32 ...] --abs <e> | --rel <r>
   szx list       <in.szxa>
   szx extract    <in.szxa> <field-name> <out.f32>
+
+  --stats collects per-stage wall times, block classification counters, and
+  the required-length histogram (szx-telemetry); the report goes to stderr
+  as a table, or to stdout as one JSON line with --json. Setting
+  SZX_TELEMETRY=1 enables collection without the flag.
 ";
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn has_flag(args: &[String], flag: &str) -> bool {
@@ -57,6 +65,56 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 
 fn read_f32s(path: &Path) -> Result<Vec<f32>, String> {
     szx_data::io::read_f32_raw(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Honor `--stats` (and the `SZX_TELEMETRY` env var, which
+/// `szx_telemetry::enabled` reads on its own). Returns whether a report
+/// should be emitted at the end of the command.
+fn stats_requested(args: &[String]) -> bool {
+    if has_flag(args, "--stats") {
+        szx_telemetry::set_enabled(true);
+    }
+    szx_telemetry::enabled()
+}
+
+/// Emit the telemetry report: a human table on stderr, or — with `--json` —
+/// exactly one JSON object line on stdout (JSON-lines framing, so pipelines
+/// can append and `jq` can parse).
+fn emit_stats(json: bool, extra: Vec<(&str, szx_telemetry::Value)>) {
+    let mut report = szx_telemetry::global().snapshot();
+    for (k, v) in extra {
+        report.push_extra(k, v);
+    }
+    if json {
+        println!("{}", szx_telemetry::render_jsonl(&report));
+    } else {
+        eprint!("{}", szx_telemetry::render_table(&report));
+    }
+}
+
+/// `\"label\": value` pairs summarizing one timed codec pass.
+fn pass_extras(
+    mode: &str,
+    raw_bytes: usize,
+    stream_bytes: usize,
+    elapsed: std::time::Duration,
+) -> Vec<(&'static str, szx_telemetry::Value)> {
+    use szx_telemetry::Value;
+    let secs = elapsed.as_secs_f64();
+    vec![
+        ("mode", Value::Str(mode.to_string())),
+        ("raw_bytes", Value::U64(raw_bytes as u64)),
+        ("stream_bytes", Value::U64(stream_bytes as u64)),
+        (
+            "compression_ratio",
+            Value::F64(raw_bytes as f64 / stream_bytes as f64),
+        ),
+        ("elapsed_ms", Value::F64(secs * 1e3)),
+        (
+            "throughput_gbps",
+            Value::F64(raw_bytes as f64 / 1e9 / secs.max(1e-12)),
+        ),
+    ]
 }
 
 /// First two non-flag tokens, skipping the values of value-taking flags.
@@ -69,7 +127,10 @@ fn io_pair(args: &[String]) -> Result<(PathBuf, PathBuf), String> {
             continue;
         }
         if a.starts_with("--") {
-            if matches!(a.as_str(), "--abs" | "--rel" | "--block" | "--strategy" | "--scale") {
+            if matches!(
+                a.as_str(),
+                "--abs" | "--rel" | "--block" | "--strategy" | "--scale"
+            ) {
                 skip = true;
             }
             continue;
@@ -101,9 +162,17 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         Some("c") | None => CommitStrategy::ByteAligned,
         Some(other) => return Err(format!("unknown strategy {other}")),
     };
-    let cfg = SzxConfig { block_size: block, error_bound: bound, strategy };
+    let cfg = SzxConfig {
+        block_size: block,
+        error_bound: bound,
+        strategy,
+    };
+    let stats = stats_requested(args);
+    let json = has_flag(args, "--json");
+    let parallel = has_flag(args, "--parallel");
 
     let bytes = std::fs::read(&input).map_err(|e| format!("{}: {e}", input.display()))?;
+    let start = std::time::Instant::now();
     let compressed = if has_flag(args, "--f64") {
         if bytes.len() % 8 != 0 {
             return Err("input length is not a multiple of 8".into());
@@ -112,7 +181,7 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        run_compress(&data, &cfg, has_flag(args, "--parallel"))?
+        run_compress(&data, &cfg, parallel)?
     } else {
         if bytes.len() % 4 != 0 {
             return Err("input length is not a multiple of 4 (use --f64 for doubles?)".into());
@@ -121,11 +190,12 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        run_compress(&data, &cfg, has_flag(args, "--parallel"))?
+        run_compress(&data, &cfg, parallel)?
     };
+    let elapsed = start.elapsed();
     let cr = bytes.len() as f64 / compressed.len() as f64;
     std::fs::write(&output, &compressed).map_err(|e| format!("{}: {e}", output.display()))?;
-    println!(
+    let summary = format!(
         "{} -> {} ({} -> {} bytes, CR {:.2})",
         input.display(),
         output.display(),
@@ -133,6 +203,19 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         compressed.len(),
         cr
     );
+    // With --json, stdout carries exactly the JSON report line.
+    if stats && json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+    if stats {
+        let mode = if parallel { "parallel" } else { "serial" };
+        emit_stats(
+            json,
+            pass_extras(mode, bytes.len(), compressed.len(), elapsed),
+        );
+    }
     Ok(())
 }
 
@@ -154,6 +237,9 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     let bytes = std::fs::read(&input).map_err(|e| format!("{}: {e}", input.display()))?;
     let header = szx_core::inspect(&bytes).map_err(|e| e.to_string())?;
     let parallel = has_flag(args, "--parallel");
+    let stats = stats_requested(args);
+    let json = has_flag(args, "--json");
+    let start = std::time::Instant::now();
     let out: Vec<u8> = if header.dtype == 0 {
         let data: Vec<f32> = if parallel {
             szx_core::parallel::decompress(&bytes)
@@ -171,8 +257,23 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
         data.iter().flat_map(|v| v.to_le_bytes()).collect()
     };
+    let elapsed = start.elapsed();
     std::fs::write(&output, &out).map_err(|e| format!("{}: {e}", output.display()))?;
-    println!("{} -> {} ({} values)", input.display(), output.display(), header.n);
+    let summary = format!(
+        "{} -> {} ({} values)",
+        input.display(),
+        output.display(),
+        header.n
+    );
+    if stats && json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+    if stats {
+        let mode = if parallel { "parallel" } else { "serial" };
+        emit_stats(json, pass_extras(mode, out.len(), bytes.len(), elapsed));
+    }
     Ok(())
 }
 
@@ -184,9 +285,16 @@ fn cmd_assess(args: &[String]) -> Result<(), String> {
     if header.dtype != 0 {
         return Err("assess supports f32 streams".into());
     }
+    let stats_on = stats_requested(args);
+    let start = std::time::Instant::now();
     let recon: Vec<f32> = szx_core::decompress(&bytes).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
     if recon.len() != orig.len() {
-        return Err(format!("length mismatch: {} vs {}", orig.len(), recon.len()));
+        return Err(format!(
+            "length mismatch: {} vs {}",
+            orig.len(),
+            recon.len()
+        ));
     }
     let stats = szx_metrics::distortion(&orig, &recon);
     println!("elements:     {}", stats.n);
@@ -194,19 +302,38 @@ fn cmd_assess(args: &[String]) -> Result<(), String> {
     println!("max |error|:  {:.6e}", stats.max_abs_error);
     println!("PSNR:         {:.2} dB", stats.psnr);
     println!("NRMSE:        {:.6e}", stats.nrmse);
-    println!("CR:           {:.2}", (orig.len() * 4) as f64 / bytes.len() as f64);
+    println!(
+        "CR:           {:.2}",
+        (orig.len() * 4) as f64 / bytes.len() as f64
+    );
     println!(
         "bound ok:     {}",
-        if stats.max_abs_error <= header.eb { "yes" } else { "NO — BUG" }
+        if stats.max_abs_error <= header.eb {
+            "yes"
+        } else {
+            "NO — BUG"
+        }
     );
+    if stats_on {
+        emit_stats(
+            has_flag(args, "--json"),
+            pass_extras("serial", orig.len() * 4, bytes.len(), elapsed),
+        );
+    }
     Ok(())
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("need a file")?;
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("need a file")?;
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     let h = szx_core::inspect(&bytes).map_err(|e| e.to_string())?;
-    println!("element type:     {}", if h.dtype == 0 { "f32" } else { "f64" });
+    println!(
+        "element type:     {}",
+        if h.dtype == 0 { "f32" } else { "f64" }
+    );
     println!("elements:         {}", h.n);
     println!("block size:       {}", h.block_size);
     println!("blocks:           {}", h.num_blocks());
@@ -218,6 +345,28 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("abs error bound:  {:.6e}", h.eb);
     println!("strategy:         {:?}", h.strategy);
     println!("stream bytes:     {}", bytes.len());
+    if has_flag(args, "--stats") {
+        let mut zs: Vec<u16> = if h.dtype == 0 {
+            szx_core::decode::ParsedStream::parse::<f32>(&bytes)
+        } else {
+            szx_core::decode::ParsedStream::parse::<f64>(&bytes)
+        }
+        .map_err(|e| e.to_string())?
+        .zsizes()
+        .to_vec();
+        if zs.is_empty() {
+            println!("block zsize:      n/a (all blocks constant)");
+        } else {
+            zs.sort_unstable();
+            println!(
+                "block zsize:      min {}  median {}  max {}  (over {} non-constant blocks)",
+                zs[0],
+                zs[zs.len() / 2],
+                zs[zs.len() - 1],
+                zs.len()
+            );
+        }
+    }
     Ok(())
 }
 
@@ -229,7 +378,10 @@ fn cmd_archive(args: &[String]) -> Result<(), String> {
     } else {
         return Err("need --abs <e> or --rel <r>".into());
     };
-    let cfg = SzxConfig { error_bound: bound, ..SzxConfig::relative(1e-3) };
+    let cfg = SzxConfig {
+        error_bound: bound,
+        ..SzxConfig::relative(1e-3)
+    };
     let mut positional = Vec::new();
     let mut skip = false;
     for a in args {
@@ -259,7 +411,12 @@ fn cmd_archive(args: &[String]) -> Result<(), String> {
     }
     let bytes = w.finish();
     std::fs::write(&out_path, &bytes).map_err(|e| format!("{}: {e}", out_path.display()))?;
-    println!("{} ({} fields, {} bytes)", out_path.display(), positional.len(), bytes.len());
+    println!(
+        "{} ({} fields, {} bytes)",
+        out_path.display(),
+        positional.len(),
+        bytes.len()
+    );
     Ok(())
 }
 
@@ -267,7 +424,10 @@ fn cmd_list(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("need an archive file")?;
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     let r = szx_core::ArchiveReader::new(&bytes).map_err(|e| e.to_string())?;
-    println!("{:<20} {:>10} {:>12} {:>12} {:>8}", "field", "elements", "compressed", "eb", "CR");
+    println!(
+        "{:<20} {:>10} {:>12} {:>12} {:>8}",
+        "field", "elements", "compressed", "eb", "CR"
+    );
     for name in r.names() {
         let h = r.header(name).map_err(|e| e.to_string())?;
         let clen = r.stream(name).unwrap().len();
@@ -320,7 +480,13 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     for f in &ds.fields {
         let path = dir.join(format!("{}.f32", f.name.replace('/', "_")));
         szx_data::io::write_f32_raw(&path, &f.data).map_err(|e| e.to_string())?;
-        println!("{}  ({}x{}x{})", path.display(), f.dims[0], f.dims[1], f.dims[2]);
+        println!(
+            "{}  ({}x{}x{})",
+            path.display(),
+            f.dims[0],
+            f.dims[1],
+            f.dims[2]
+        );
     }
     Ok(())
 }

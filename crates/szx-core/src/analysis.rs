@@ -140,7 +140,12 @@ pub fn shift_overhead<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<ShiftO
     }
 
     let compressed_len = crate::compress(data, cfg)?.len();
-    Ok(ShiftOverhead { bits_exact, bits_byte_aligned, compressed_len, n: data.len() })
+    Ok(ShiftOverhead {
+        bits_exact,
+        bits_byte_aligned,
+        compressed_len,
+        n: data.len(),
+    })
 }
 
 #[cfg(test)]
@@ -149,7 +154,9 @@ mod tests {
     use crate::config::CommitStrategy;
 
     fn field(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.002).sin() * 4.0 + (i as f32 * 0.09).cos() * 0.01).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.002).sin() * 4.0 + (i as f32 * 0.09).cos() * 0.01)
+            .collect()
     }
 
     #[test]
@@ -158,7 +165,13 @@ mod tests {
             ((x as f64 * 12.9898).sin() * 43758.5453).fract()
         }
         let data: Vec<f32> = (0..256)
-            .map(|i| if i < 128 { 1.0 } else { rand_ish(i as f32) as f32 })
+            .map(|i| {
+                if i < 128 {
+                    1.0
+                } else {
+                    rand_ish(i as f32) as f32
+                }
+            })
             .collect();
         let report = classify(&data, &SzxConfig::absolute(1e-3).with_block_size(128)).unwrap();
         assert_eq!(report.n_blocks, 2);

@@ -45,7 +45,9 @@ impl ArchiveWriter {
             )));
         }
         if self.entries.iter().any(|(n, _)| n == name) {
-            return Err(SzxError::InvalidConfig(format!("duplicate field name {name:?}")));
+            return Err(SzxError::InvalidConfig(format!(
+                "duplicate field name {name:?}"
+            )));
         }
         self.entries.push((name.to_string(), stream));
         Ok(())
@@ -118,7 +120,9 @@ impl<'a> ArchiveReader<'a> {
         let payload = &bytes[pos..];
         let mut toc = Vec::with_capacity(count);
         for (name, offset, len) in raw_toc {
-            let end = offset.checked_add(len).ok_or_else(|| corrupt("TOC overflow"))?;
+            let end = offset
+                .checked_add(len)
+                .ok_or_else(|| corrupt("TOC overflow"))?;
             if end > payload.len() {
                 return Err(corrupt("TOC points past payload"));
             }
@@ -167,7 +171,9 @@ mod tests {
     use super::*;
 
     fn field(k: usize) -> Vec<f32> {
-        (0..2000).map(|i| ((i + k * 911) as f32 * 0.01).sin() * (k + 1) as f32).collect()
+        (0..2000)
+            .map(|i| ((i + k * 911) as f32 * 0.01).sin() * (k + 1) as f32)
+            .collect()
     }
 
     #[test]
@@ -180,11 +186,17 @@ mod tests {
         assert_eq!(w.len(), 3);
         let bytes = w.finish();
         let r = ArchiveReader::new(&bytes).unwrap();
-        assert_eq!(r.names().collect::<Vec<_>>(), vec!["pressure", "density", "velocity-x"]);
+        assert_eq!(
+            r.names().collect::<Vec<_>>(),
+            vec!["pressure", "density", "velocity-x"]
+        );
         for (k, name) in ["pressure", "density", "velocity-x"].iter().enumerate() {
             let back: Vec<f32> = r.field(name).unwrap();
             let orig = field(k);
-            assert!(orig.iter().zip(&back).all(|(a, b)| (a - b).abs() <= 1e-4), "{name}");
+            assert!(
+                orig.iter().zip(&back).all(|(a, b)| (a - b).abs() <= 1e-4),
+                "{name}"
+            );
         }
         assert!(r.field::<f32>("missing").is_err());
     }
@@ -202,7 +214,10 @@ mod tests {
         // The single extracted stream excludes the sibling field and TOC.
         let b_len = r.stream("b").unwrap().len();
         let a_len = r.stream("a").unwrap().len();
-        assert!(b_len + a_len < bytes.len(), "streams plus TOC fill the archive");
+        assert!(
+            b_len + a_len < bytes.len(),
+            "streams plus TOC fill the archive"
+        );
         assert!(b_len < bytes.len() * 3 / 5);
     }
 
@@ -212,7 +227,10 @@ mod tests {
         let mut w = ArchiveWriter::new();
         w.add("x", &field(0), &cfg).unwrap();
         assert!(w.add("x", &field(1), &cfg).is_err(), "duplicate");
-        assert!(w.add_raw_stream("y", vec![1, 2, 3]).is_err(), "not an SZx stream");
+        assert!(
+            w.add_raw_stream("y", vec![1, 2, 3]).is_err(),
+            "not an SZx stream"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl BitWriter {
     }
 
     pub fn with_capacity(bytes: usize) -> Self {
-        BitWriter { buf: Vec::with_capacity(bytes), used: 0 }
+        BitWriter {
+            buf: Vec::with_capacity(bytes),
+            used: 0,
+        }
     }
 
     /// Reset to empty, keeping the allocation (for per-block reuse).
@@ -47,7 +50,11 @@ impl BitWriter {
         }
         // Mask away anything above the requested width so callers can pass
         // raw words.
-        let value = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let value = if n == 64 {
+            value
+        } else {
+            value & ((1u64 << n) - 1)
+        };
         let mut remaining = n;
         while remaining > 0 {
             if self.used == 0 {
@@ -169,7 +176,7 @@ impl<'a> BitReader<'a> {
 
     /// Skip forward to the next byte boundary.
     pub fn align(&mut self) {
-        self.pos = (self.pos + 7) / 8 * 8;
+        self.pos = self.pos.div_ceil(8) * 8;
     }
 
     /// Absolute bit position (for diagnostics).
@@ -180,7 +187,7 @@ impl<'a> BitReader<'a> {
 
 /// Pack one `bool` per block into the paper's state bit array (MSB-first).
 pub fn pack_state_bits(states: &[bool]) -> Vec<u8> {
-    let mut w = BitWriter::with_capacity((states.len() + 7) / 8);
+    let mut w = BitWriter::with_capacity(states.len().div_ceil(8));
     for &s in states {
         w.write_bit(s);
     }
@@ -189,7 +196,7 @@ pub fn pack_state_bits(states: &[bool]) -> Vec<u8> {
 
 /// Unpack `n` state bits.
 pub fn unpack_state_bits(bytes: &[u8], n: usize) -> Option<Vec<bool>> {
-    if bytes.len() < (n + 7) / 8 {
+    if bytes.len() < n.div_ceil(8) {
         return None;
     }
     let mut r = BitReader::new(bytes);

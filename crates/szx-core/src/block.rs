@@ -26,7 +26,7 @@ impl<F: SzxFloat> BlockStats<F> {
         // skipped by the min/max scan; track it in the same loop (branchless
         // OR) so NaN-carrying blocks degrade to bit-exact storage instead of
         // corrupting the payload.
-        let mut has_nan = block[0] != block[0];
+        let mut has_nan = block[0].is_nan();
         for &d in &block[1..] {
             if d < min {
                 min = d;
@@ -34,10 +34,13 @@ impl<F: SzxFloat> BlockStats<F> {
             if d > max {
                 max = d;
             }
-            has_nan |= d != d;
+            has_nan |= d.is_nan();
         }
         if has_nan {
-            return BlockStats { mu: F::ZERO, radius: F::from_f64(f64::NAN) };
+            return BlockStats {
+                mu: F::ZERO,
+                radius: F::from_f64(f64::NAN),
+            };
         }
         let mu = F::half_sum(min, max);
         let radius = max - mu;
@@ -109,7 +112,7 @@ pub fn shift_for(req_len: u32) -> u32 {
 /// Number of whole bytes holding the (shifted) significant bits.
 #[inline]
 pub fn bytes_for(req_len: u32) -> usize {
-    ((req_len + 7) / 8) as usize
+    req_len.div_ceil(8) as usize
 }
 
 #[cfg(test)]
@@ -146,8 +149,15 @@ mod tests {
             let mut block = vec![1.0f32; 128];
             block[pos] = f32::NAN;
             let s = BlockStats::compute(&block);
-            assert!(!s.is_constant(f64::INFINITY), "NaN at {pos} must be non-constant");
-            assert_eq!(required_length::<f32>(s.radius, 1e-3), 32, "NaN forces bit-exact");
+            assert!(
+                !s.is_constant(f64::INFINITY),
+                "NaN at {pos} must be non-constant"
+            );
+            assert_eq!(
+                required_length::<f32>(s.radius, 1e-3),
+                32,
+                "NaN forces bit-exact"
+            );
         }
     }
 
@@ -158,7 +168,11 @@ mod tests {
         // then stored inf as the representative value.
         let s = BlockStats::compute(&[2.2873212e38f32]);
         assert!(!s.is_constant(1e-3));
-        assert_eq!(required_length::<f32>(s.radius, 1e-3), 32, "must fall back to bit-exact");
+        assert_eq!(
+            required_length::<f32>(s.radius, 1e-3),
+            32,
+            "must fall back to bit-exact"
+        );
         let s = BlockStats::compute(&[3e38f32, 3.2e38]);
         assert!(!s.is_constant(f64::MAX));
     }
@@ -171,7 +185,10 @@ mod tests {
         let s = BlockStats::compute(&block);
         assert!(s.is_constant(0.0), "numerically constant");
         assert!(!s.is_constant_for(0.0, &block), "but not bit-constant");
-        assert!(s.is_constant_for(1e-9, &block), "lossy bounds may collapse zeros");
+        assert!(
+            s.is_constant_for(1e-9, &block),
+            "lossy bounds may collapse zeros"
+        );
         let same = [-0.0f32, -0.0];
         assert!(BlockStats::compute(&same).is_constant_for(0.0, &same));
     }

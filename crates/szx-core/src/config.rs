@@ -64,7 +64,7 @@ pub fn value_range<F: SzxFloat>(data: &[F]) -> f64 {
 }
 
 /// The three ways of committing the necessary mantissa bits (§5.1, Figure 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CommitStrategy {
     /// Solution A: treat the necessary bits as one arbitrary-width integer
     /// and pack it with shift/and/or into a single bit pool (Pastri-style).
@@ -75,6 +75,7 @@ pub enum CommitStrategy {
     /// Solution C — the paper's contribution: right-shift the normalized
     /// value by `s = (8 - R%8) % 8` so the necessary bits always form whole
     /// bytes, committed with plain memcpy. Default.
+    #[default]
     ByteAligned,
 }
 
@@ -96,12 +97,6 @@ impl CommitStrategy {
                 "unknown commit-strategy code {other}"
             ))),
         }
-    }
-}
-
-impl Default for CommitStrategy {
-    fn default() -> Self {
-        CommitStrategy::ByteAligned
     }
 }
 
@@ -160,7 +155,9 @@ impl SzxConfig {
             )));
         }
         let e = self.error_bound.raw();
-        if !(e >= 0.0) || !e.is_finite() {
+        // NaN fails is_finite, so the NaN-rejecting `!(e >= 0.0)` spelling
+        // is not needed.
+        if !e.is_finite() || e < 0.0 {
             return Err(SzxError::InvalidConfig(format!(
                 "error bound must be finite and non-negative, got {e}"
             )));
@@ -181,13 +178,22 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_block_sizes() {
-        assert!(SzxConfig::absolute(1e-3).with_block_size(0).validate().is_err());
+        assert!(SzxConfig::absolute(1e-3)
+            .with_block_size(0)
+            .validate()
+            .is_err());
         assert!(SzxConfig::absolute(1e-3)
             .with_block_size(MAX_BLOCK_SIZE + 1)
             .validate()
             .is_err());
-        assert!(SzxConfig::absolute(1e-3).with_block_size(MAX_BLOCK_SIZE).validate().is_ok());
-        assert!(SzxConfig::absolute(1e-3).with_block_size(1).validate().is_ok());
+        assert!(SzxConfig::absolute(1e-3)
+            .with_block_size(MAX_BLOCK_SIZE)
+            .validate()
+            .is_ok());
+        assert!(SzxConfig::absolute(1e-3)
+            .with_block_size(1)
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -195,7 +201,10 @@ mod tests {
         assert!(SzxConfig::absolute(-1.0).validate().is_err());
         assert!(SzxConfig::absolute(f64::NAN).validate().is_err());
         assert!(SzxConfig::absolute(f64::INFINITY).validate().is_err());
-        assert!(SzxConfig::absolute(0.0).validate().is_ok(), "zero bound = lossless mode");
+        assert!(
+            SzxConfig::absolute(0.0).validate().is_ok(),
+            "zero bound = lossless mode"
+        );
         assert!(SzxConfig::relative(1e-2).validate().is_ok());
     }
 
@@ -217,7 +226,11 @@ mod tests {
 
     #[test]
     fn strategy_codes_roundtrip() {
-        for s in [CommitStrategy::BitPack, CommitStrategy::BytePlusResidual, CommitStrategy::ByteAligned] {
+        for s in [
+            CommitStrategy::BitPack,
+            CommitStrategy::BytePlusResidual,
+            CommitStrategy::ByteAligned,
+        ] {
             assert_eq!(CommitStrategy::from_code(s.code()).unwrap(), s);
         }
         assert!(CommitStrategy::from_code(7).is_err());

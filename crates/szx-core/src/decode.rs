@@ -40,11 +40,9 @@ impl<'a> StreamIndex<'a> {
             )));
         }
         let nblocks = header.num_blocks();
-        let states = crate::bitio::unpack_state_bits(
-            &bytes[layout.state_off..layout.mu_off],
-            nblocks,
-        )
-        .ok_or_else(|| SzxError::CorruptStream("state bit section truncated".into()))?;
+        let states =
+            crate::bitio::unpack_state_bits(&bytes[layout.state_off..layout.mu_off], nblocks)
+                .ok_or_else(|| SzxError::CorruptStream("state bit section truncated".into()))?;
 
         let n_nonconstant = states.iter().filter(|&&s| s).count();
         if n_nonconstant != header.n_nonconstant {
@@ -73,7 +71,14 @@ impl<'a> StreamIndex<'a> {
                 payloads.len()
             )));
         }
-        Ok(StreamIndex { header, states, mu_bytes, payload_offsets, zsizes, payloads })
+        Ok(StreamIndex {
+            header,
+            states,
+            mu_bytes,
+            payload_offsets,
+            zsizes,
+            payloads,
+        })
     }
 
     #[inline]
@@ -108,7 +113,12 @@ impl<'a> ParsedStream<'a> {
         }
         let states = index.states.clone();
         let payloads = index.payloads;
-        Ok(ParsedStream { index, nc_before, states, payloads })
+        Ok(ParsedStream {
+            index,
+            nc_before,
+            states,
+            payloads,
+        })
     }
 
     /// Parsed header.
@@ -121,21 +131,35 @@ impl<'a> ParsedStream<'a> {
         self.index.mu::<F>(b)
     }
 
+    /// Compressed payload sizes of the non-constant blocks, in stream order
+    /// (the `zsize_array` of §6.1). Constant blocks have no payload and do
+    /// not appear here.
+    pub fn zsizes(&self) -> &[u16] {
+        &self.index.zsizes
+    }
+
     /// (offset, length) of block `b`'s payload within [`Self::payloads`].
     /// Block `b` must be non-constant.
     pub fn payload_span(&self, b: usize) -> (usize, usize) {
         debug_assert!(self.states[b], "block {b} is constant");
         let nc = self.nc_before[b];
-        (self.index.payload_offsets[nc], self.index.zsizes[nc] as usize)
+        (
+            self.index.payload_offsets[nc],
+            self.index.zsizes[nc] as usize,
+        )
     }
 }
 
 /// Decompress a stream produced by [`crate::compress`]. The element type
 /// must match the stream's; use [`crate::stream::inspect`] to discover it.
 pub fn decompress<F: SzxFloat>(bytes: &[u8]) -> Result<Vec<F>> {
+    let _total = szx_telemetry::span("decompress.total");
     // Build (and thereby validate) the index *before* allocating the output:
     // a forged header could otherwise demand an absurd allocation.
-    let index = StreamIndex::build::<F>(bytes)?;
+    let index = {
+        let _s = szx_telemetry::span("decompress.index");
+        StreamIndex::build::<F>(bytes)?
+    };
     let mut out = vec![F::ZERO; index.header.n];
     decompress_with_index(&index, &mut out)?;
     Ok(out)
@@ -144,8 +168,25 @@ pub fn decompress<F: SzxFloat>(bytes: &[u8]) -> Result<Vec<F>> {
 /// Decompress into a caller-provided buffer of exactly `header.n` elements
 /// (allocation-free reuse across repeated decompressions).
 pub fn decompress_into<F: SzxFloat>(bytes: &[u8], out: &mut [F]) -> Result<()> {
-    let index = StreamIndex::build::<F>(bytes)?;
+    let _total = szx_telemetry::span("decompress.total");
+    let index = {
+        let _s = szx_telemetry::span("decompress.index");
+        StreamIndex::build::<F>(bytes)?
+    };
     decompress_with_index(&index, out)
+}
+
+/// Publish what a decompression saw — block classes come for free from the
+/// already-built index, so decode telemetry costs nothing per block.
+pub(crate) fn flush_decode_telemetry<F: SzxFloat>(index: &StreamIndex<'_>) {
+    let tel = szx_telemetry::global();
+    let nblocks = index.states.len() as u64;
+    let nc = index.header.n_nonconstant as u64;
+    tel.counter("decompress.calls").incr();
+    tel.counter("decompress.blocks.constant").add(nblocks - nc);
+    tel.counter("decompress.blocks.nonconstant").add(nc);
+    tel.counter("decompress.bytes.out")
+        .add((index.header.n * F::BYTES) as u64);
 }
 
 fn decompress_with_index<F: SzxFloat>(index: &StreamIndex<'_>, out: &mut [F]) -> Result<()> {
@@ -156,6 +197,10 @@ fn decompress_with_index<F: SzxFloat>(index: &StreamIndex<'_>, out: &mut [F]) ->
             index.header.n
         )));
     }
+    if szx_telemetry::enabled() {
+        flush_decode_telemetry::<F>(index);
+    }
+    let _s = szx_telemetry::span("decompress.blocks");
     let bs = index.header.block_size;
     let strategy = index.header.strategy;
     let mut nc = 0usize;
@@ -182,7 +227,7 @@ pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
     strategy: CommitStrategy,
 ) -> Result<()> {
     let blen = out.len();
-    let lead_bytes = (2 * blen + 7) / 8;
+    let lead_bytes = (2 * blen).div_ceil(8);
     if payload.len() < 1 + lead_bytes {
         return Err(SzxError::CorruptStream("block payload truncated".into()));
     }
@@ -294,7 +339,9 @@ mod tests {
     use crate::encode::compress;
 
     fn wave(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.01).sin() * 10.0 + 0.3).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.01).sin() * 10.0 + 0.3)
+            .collect()
     }
 
     #[test]
@@ -412,7 +459,7 @@ mod tests {
         // Blow up the first zsize entry.
         let layout_zsize_off = {
             let nblocks = h.num_blocks();
-            crate::stream::HEADER_LEN + (nblocks + 7) / 8 + nblocks * 4
+            crate::stream::HEADER_LEN + nblocks.div_ceil(8) + nblocks * 4
         };
         bytes[layout_zsize_off] = 0xff;
         bytes[layout_zsize_off + 1] = 0xff;

@@ -7,6 +7,89 @@ use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
 use crate::stream::Header;
 
+/// Per-chunk telemetry accumulated with plain (non-atomic) arithmetic while
+/// blocks are encoded, then merged and flushed to the global registry once
+/// per top-level call in [`assemble`]. Rayon workers each own one of these
+/// inside their `ChunkOutput`, so enabling telemetry adds no shared-memory
+/// traffic to the block loop.
+#[derive(Debug)]
+pub(crate) struct BlockEncodeStats {
+    /// Blocks representable by `μ` alone.
+    pub constant: u64,
+    /// Blocks with a truncated-significand payload.
+    pub nonconstant: u64,
+    /// Non-constant blocks stored bit-exactly (`R_k == FULL_BITS`: NaN/∞
+    /// carriers or radii that defeat normalization).
+    pub fallback: u64,
+    /// Mid-bytes (payload body after the `R_k` byte and the leading-code
+    /// section) actually written.
+    pub mid_bytes: u64,
+    /// Bytes the XOR leading-byte codes avoided writing, relative to a
+    /// codec that stores every value at full required width.
+    pub lead_saved_bytes: u64,
+    /// Histogram of `R_k` over non-constant blocks (index = required
+    /// length, 0..=64) — same shape as
+    /// [`crate::analysis::BlockReport::req_len_histogram`].
+    pub req_len_hist: [u64; 65],
+}
+
+impl Default for BlockEncodeStats {
+    fn default() -> Self {
+        BlockEncodeStats {
+            constant: 0,
+            nonconstant: 0,
+            fallback: 0,
+            mid_bytes: 0,
+            lead_saved_bytes: 0,
+            req_len_hist: [0; 65],
+        }
+    }
+}
+
+impl BlockEncodeStats {
+    fn merge(&mut self, other: &BlockEncodeStats) {
+        self.constant += other.constant;
+        self.nonconstant += other.nonconstant;
+        self.fallback += other.fallback;
+        self.mid_bytes += other.mid_bytes;
+        self.lead_saved_bytes += other.lead_saved_bytes;
+        for (a, b) in self.req_len_hist.iter_mut().zip(&other.req_len_hist) {
+            *a += b;
+        }
+    }
+
+    /// Record one non-constant block. The space accounting is derived from
+    /// the payload size so the hot strategy loops stay untouched: `zsize`
+    /// minus the `R_k` byte and the leading-code section is the body
+    /// actually written, and the no-deduplication body size follows from
+    /// `R_k` and the strategy.
+    fn record_nonconstant(
+        &mut self,
+        req_len: u32,
+        zsize: usize,
+        blen: usize,
+        full_bits: u32,
+        strategy: CommitStrategy,
+    ) {
+        self.nonconstant += 1;
+        self.req_len_hist[req_len as usize] += 1;
+        if req_len == full_bits {
+            self.fallback += 1;
+        }
+        let lead_section = (2 * blen).div_ceil(8);
+        let body = zsize.saturating_sub(1 + lead_section) as u64;
+        self.mid_bytes += body;
+        let no_dedup = match strategy {
+            CommitStrategy::ByteAligned => bytes_for(req_len) * blen,
+            CommitStrategy::BitPack => (req_len as usize * blen).div_ceil(8),
+            CommitStrategy::BytePlusResidual => {
+                (req_len as usize / 8) * blen + ((req_len as usize % 8) * blen).div_ceil(8)
+            }
+        } as u64;
+        self.lead_saved_bytes += no_dedup.saturating_sub(body);
+    }
+}
+
 /// Per-chunk compression output; chunks are later stitched into one stream.
 /// The serial compressor uses a single chunk covering every block.
 #[derive(Debug, Default)]
@@ -19,6 +102,8 @@ pub(crate) struct ChunkOutput<F: SzxFloat> {
     pub zsizes: Vec<u16>,
     /// Concatenated non-constant payloads.
     pub payload: Vec<u8>,
+    /// Telemetry local to this chunk (untouched when telemetry is off).
+    pub stats: BlockEncodeStats,
 }
 
 impl<F: SzxFloat> ChunkOutput<F> {
@@ -30,6 +115,7 @@ impl<F: SzxFloat> ChunkOutput<F> {
             // Non-constant payloads rarely exceed half the raw size on
             // compressible data; growing is cheap if they do.
             payload: Vec::with_capacity(data_bytes / 2 + 64),
+            stats: BlockEncodeStats::default(),
         }
     }
 }
@@ -49,21 +135,35 @@ pub(crate) struct Scratch {
 /// against the global value range here and the stream records the resulting
 /// absolute bound.
 pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
+    let _total = szx_telemetry::span("compress.total");
     cfg.validate()?;
     if data.is_empty() {
         return Err(SzxError::EmptyInput);
     }
-    let eb = cfg.error_bound.resolve(data);
+    let eb = {
+        let _s = szx_telemetry::span("compress.range_scan");
+        cfg.error_bound.resolve(data)
+    };
     if !eb.is_finite() || eb < 0.0 {
         return Err(SzxError::InvalidConfig(format!(
             "resolved error bound is not usable: {eb}"
         )));
     }
 
-    let nblocks = (data.len() + cfg.block_size - 1) / cfg.block_size;
+    let nblocks = data.len().div_ceil(cfg.block_size);
     let mut chunk = ChunkOutput::with_capacity(nblocks, data.len() * F::BYTES);
     let mut scratch = Scratch::default();
-    encode_blocks(data, cfg.block_size, eb, cfg.strategy, &mut chunk, &mut scratch);
+    {
+        let _s = szx_telemetry::span("compress.encode_blocks");
+        encode_blocks(
+            data,
+            cfg.block_size,
+            eb,
+            cfg.strategy,
+            &mut chunk,
+            &mut scratch,
+        );
+    }
 
     Ok(assemble(&[chunk], data.len(), eb, cfg))
 }
@@ -78,19 +178,33 @@ pub(crate) fn encode_blocks<F: SzxFloat>(
     out: &mut ChunkOutput<F>,
     scratch: &mut Scratch,
 ) {
+    // Hoisted once per chunk: with telemetry off the block loop carries no
+    // accounting at all, with it on the accounting is chunk-local.
+    let record = szx_telemetry::enabled();
     for block in data.chunks(block_size) {
         let stats = BlockStats::compute(block);
         if stats.is_constant_for(eb, block) {
             out.states.push(false);
             out.mus.push(stats.mu);
+            if record {
+                out.stats.constant += 1;
+            }
         } else {
             out.states.push(true);
             let start = out.payload.len();
-            let mu = encode_nonconstant(block, &stats, eb, strategy, &mut out.payload, scratch);
+            let (mu, req_len) =
+                encode_nonconstant(block, &stats, eb, strategy, &mut out.payload, scratch);
             out.mus.push(mu);
             let zsize = out.payload.len() - start;
-            debug_assert!(zsize <= u16::MAX as usize, "payload {zsize} exceeds zsize range");
+            debug_assert!(
+                zsize <= u16::MAX as usize,
+                "payload {zsize} exceeds zsize range"
+            );
             out.zsizes.push(zsize as u16);
+            if record {
+                out.stats
+                    .record_nonconstant(req_len, zsize, block.len(), F::FULL_BITS, strategy);
+            }
         }
     }
 }
@@ -102,6 +216,7 @@ pub(crate) fn assemble<F: SzxFloat>(
     eb: f64,
     cfg: &SzxConfig,
 ) -> Vec<u8> {
+    let _s = szx_telemetry::span("compress.assemble");
     let n_nonconstant: usize = chunks.iter().map(|c| c.zsizes.len()).sum();
     let nblocks: usize = chunks.iter().map(|c| c.states.len()).sum();
     let payload_len: usize = chunks.iter().map(|c| c.payload.len()).sum();
@@ -117,7 +232,7 @@ pub(crate) fn assemble<F: SzxFloat>(
 
     let mut bytes = Vec::with_capacity(
         crate::stream::HEADER_LEN
-            + (nblocks + 7) / 8
+            + nblocks.div_ceil(8)
             + nblocks * F::BYTES
             + n_nonconstant * 2
             + payload_len,
@@ -127,7 +242,7 @@ pub(crate) fn assemble<F: SzxFloat>(
     // State bits. Chunk boundaries are multiples of 8 blocks (enforced by
     // the parallel splitter), so per-chunk bit packing concatenates cleanly;
     // the serial path has a single chunk and needs no such care.
-    let mut bitw = BitWriter::with_capacity((nblocks + 7) / 8);
+    let mut bitw = BitWriter::with_capacity(nblocks.div_ceil(8));
     for c in chunks {
         for &s in &c.states {
             bitw.write_bit(s);
@@ -148,11 +263,54 @@ pub(crate) fn assemble<F: SzxFloat>(
     for c in chunks {
         bytes.extend_from_slice(&c.payload);
     }
+
+    if szx_telemetry::enabled() {
+        flush_encode_telemetry(chunks, n * F::BYTES, bytes.len());
+    }
     bytes
 }
 
+/// Merge every chunk's local stats and publish them to the global registry —
+/// the single join point shared by the serial and parallel compressors, so
+/// the registry sees exactly one flush per top-level call regardless of how
+/// many rayon workers produced the chunks.
+fn flush_encode_telemetry<F: SzxFloat>(
+    chunks: &[ChunkOutput<F>],
+    raw_bytes: usize,
+    stream_bytes: usize,
+) {
+    let mut merged = BlockEncodeStats::default();
+    for c in chunks {
+        merged.merge(&c.stats);
+    }
+
+    let tel = szx_telemetry::global();
+    tel.counter("compress.calls").incr();
+    tel.counter("compress.blocks.constant").add(merged.constant);
+    tel.counter("compress.blocks.nonconstant")
+        .add(merged.nonconstant);
+    tel.counter("compress.blocks.fallback").add(merged.fallback);
+    tel.counter("compress.bytes.mid").add(merged.mid_bytes);
+    tel.counter("compress.bytes.lead_saved")
+        .add(merged.lead_saved_bytes);
+    tel.counter("compress.bytes.raw").add(raw_bytes as u64);
+    tel.counter("compress.bytes.stream")
+        .add(stream_bytes as u64);
+
+    let req_hist = tel.hist_linear("compress.req_len", 64);
+    for (r, &count) in merged.req_len_hist.iter().enumerate() {
+        req_hist.record_n(r as u64, count);
+    }
+    let zsize_hist = tel.hist_log2("compress.block_zsize");
+    for c in chunks {
+        for &z in &c.zsizes {
+            zsize_hist.record(z as u64);
+        }
+    }
+}
+
 /// Encode one non-constant block. Returns the μ actually used (0.0 when the
-/// block is stored bit-exactly).
+/// block is stored bit-exactly) and the block's required length `R_k`.
 ///
 /// Payload layout (all strategies): `[R_k: u8][2-bit leading codes][data...]`
 /// where `data` depends on the strategy:
@@ -167,14 +325,14 @@ fn encode_nonconstant<F: SzxFloat>(
     strategy: CommitStrategy,
     payload: &mut Vec<u8>,
     scratch: &mut Scratch,
-) -> F {
+) -> (F, u32) {
     let req_len = required_length::<F>(stats.radius, eb);
     let raw = req_len == F::FULL_BITS;
     let mu = if raw { F::ZERO } else { stats.mu };
 
     payload.push(req_len as u8);
     let lead_off = payload.len();
-    let lead_bytes = (2 * block.len() + 7) / 8;
+    let lead_bytes = (2 * block.len()).div_ceil(8);
     payload.resize(lead_off + lead_bytes, 0);
 
     match strategy {
@@ -228,7 +386,9 @@ fn encode_nonconstant<F: SzxFloat>(
                 // α whole bytes after the identical prefix...
                 let alpha = (req_len / 8) as usize - lead;
                 let be = w.to_be_bytes();
-                scratch.bytes_pool.extend_from_slice(&be[lead..lead + alpha]);
+                scratch
+                    .bytes_pool
+                    .extend_from_slice(&be[lead..lead + alpha]);
                 // ...then β residual bits, identical width for every value.
                 if beta > 0 {
                     let shift_out = 8 * (lead + alpha) as u32;
@@ -241,7 +401,7 @@ fn encode_nonconstant<F: SzxFloat>(
             payload.extend_from_slice(scratch.bits.as_bytes());
         }
     }
-    mu
+    (mu, req_len)
 }
 
 #[cfg(test)]
@@ -288,7 +448,7 @@ mod tests {
     fn payload_grows_with_entropy() {
         let smooth: Vec<f32> = (0..4096).map(|i| (i as f32 * 1e-4).sin()).collect();
         let rough: Vec<f32> = (0..4096)
-            .map(|i| ((i as f32 * 12.9898).sin() * 43758.5453).fract())
+            .map(|i| ((i as f32 * 12.9898).sin() * 43_758.547).fract())
             .collect();
         let cfg = SzxConfig::absolute(1e-3);
         let a = compress(&smooth, &cfg).unwrap().len();

@@ -13,7 +13,10 @@ pub enum SzxError {
     CorruptStream(String),
     /// The stream was produced for a different element type than the one
     /// requested (e.g. decompressing an f64 stream as f32).
-    TypeMismatch { expected: &'static str, found: &'static str },
+    TypeMismatch {
+        expected: &'static str,
+        found: &'static str,
+    },
     /// The input is empty. SZx streams always carry at least one block.
     EmptyInput,
 }
@@ -24,7 +27,10 @@ impl fmt::Display for SzxError {
             SzxError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SzxError::CorruptStream(msg) => write!(f, "corrupt compressed stream: {msg}"),
             SzxError::TypeMismatch { expected, found } => {
-                write!(f, "element type mismatch: stream holds {found}, requested {expected}")
+                write!(
+                    f,
+                    "element type mismatch: stream holds {found}, requested {expected}"
+                )
             }
             SzxError::EmptyInput => write!(f, "input dataset is empty"),
         }
@@ -44,7 +50,10 @@ mod tests {
     fn display_is_informative() {
         let e = SzxError::InvalidConfig("block size must be nonzero".into());
         assert!(e.to_string().contains("block size"));
-        let e = SzxError::TypeMismatch { expected: "f32", found: "f64" };
+        let e = SzxError::TypeMismatch {
+            expected: "f32",
+            found: "f64",
+        };
         assert!(e.to_string().contains("f64"));
         let e = SzxError::CorruptStream("truncated header".into());
         assert!(e.to_string().contains("truncated"));

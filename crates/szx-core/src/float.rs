@@ -59,6 +59,8 @@ pub trait SzxFloat:
     /// `(a + b) * 0.5` — the only multiplication in the whole compressor,
     /// executed once per block exactly as the reference implementation does.
     fn half_sum(a: Self, b: Self) -> Self;
+    /// NaN test (generic code can't use the inherent `is_nan`).
+    fn is_nan(self) -> bool;
     /// Lossless widening for metrics and error-bound math.
     fn to_f64(self) -> f64;
     /// Narrowing conversion used when resolving relative error bounds.
@@ -99,6 +101,11 @@ impl SzxFloat for f32 {
     #[inline(always)]
     fn half_sum(a: Self, b: Self) -> Self {
         (a + b) * 0.5
+    }
+
+    #[inline(always)]
+    fn is_nan(self) -> bool {
+        f32::is_nan(self)
     }
 
     #[inline(always)]
@@ -154,6 +161,11 @@ impl SzxFloat for f64 {
     }
 
     #[inline(always)]
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+
+    #[inline(always)]
     fn to_f64(self) -> f64 {
         self
     }
@@ -170,7 +182,9 @@ impl SzxFloat for f64 {
 
     #[inline]
     fn read_le(src: &[u8]) -> Self {
-        f64::from_le_bytes([src[0], src[1], src[2], src[3], src[4], src[5], src[6], src[7]])
+        f64::from_le_bytes([
+            src[0], src[1], src[2], src[3], src[4], src[5], src[6], src[7],
+        ])
     }
 }
 
@@ -187,7 +201,16 @@ mod tests {
 
     #[test]
     fn f32_word_roundtrip() {
-        for v in [0.0f32, -0.0, 1.0, -1.5, 3.4e38, 1e-44, f32::INFINITY, f32::MIN_POSITIVE] {
+        for v in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.5,
+            3.4e38,
+            1e-44,
+            f32::INFINITY,
+            f32::MIN_POSITIVE,
+        ] {
             assert_eq!(f32::from_word(v.to_word()).to_bits(), v.to_bits());
         }
         let nan = f32::from_bits(0x7fc0_1234);
@@ -212,7 +235,13 @@ mod tests {
 
     #[test]
     fn exponent_matches_log2_for_normals() {
-        for (v, e) in [(1.0f32, 0), (2.0, 1), (3.99, 1), (0.5, -1), (0.0009765625, -10)] {
+        for (v, e) in [
+            (1.0f32, 0),
+            (2.0, 1),
+            (3.99, 1),
+            (0.5, -1),
+            (0.0009765625, -10),
+        ] {
             assert_eq!(v.exponent(), e, "exponent of {v}");
             assert_eq!((-v).exponent(), e, "exponent of -{v}");
         }

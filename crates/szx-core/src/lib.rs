@@ -74,7 +74,7 @@ pub use error::{Result, SzxError};
 pub use float::SzxFloat;
 pub use random_access::RandomAccess;
 pub use stream::{inspect, Header};
-pub use streaming::{FrameReader, FrameWriter};
+pub use streaming::{FrameReader, FrameStats, FrameWriter};
 
 /// Compression ratio helper: original bytes / compressed bytes.
 pub fn compression_ratio<F: SzxFloat>(n_elements: usize, compressed_len: usize) -> f64 {

@@ -54,13 +54,17 @@ fn value_range_par<F: SzxFloat>(data: &[F]) -> f64 {
 /// Multicore SZx compression. Produces a stream byte-identical in format to
 /// the serial [`crate::compress`] (and decodable by either decompressor).
 pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
+    let _total = szx_telemetry::span("compress.total");
     cfg.validate()?;
     if data.is_empty() {
         return Err(SzxError::EmptyInput);
     }
-    let eb = match cfg.error_bound {
-        crate::config::ErrorBound::Absolute(e) => e,
-        crate::config::ErrorBound::Relative(rel) => rel * value_range_par(data),
+    let eb = {
+        let _s = szx_telemetry::span("compress.range_scan");
+        match cfg.error_bound {
+            crate::config::ErrorBound::Absolute(e) => e,
+            crate::config::ErrorBound::Relative(rel) => rel * value_range_par(data),
+        }
     };
     if !eb.is_finite() || eb < 0.0 {
         return Err(SzxError::InvalidConfig(format!(
@@ -69,32 +73,41 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
     }
 
     let bs = cfg.block_size;
-    let nblocks = (data.len() + bs - 1) / bs;
+    let nblocks = data.len().div_ceil(bs);
     // Multiple-of-8 blocks per chunk keeps state bits byte-aligned at chunk
     // seams; aim for a few chunks per thread for load balance.
     let target_chunks = rayon::current_num_threads() * 4;
-    let mut blocks_per_chunk = (nblocks + target_chunks - 1) / target_chunks;
-    blocks_per_chunk = ((blocks_per_chunk + 7) / 8 * 8).max(8);
+    let mut blocks_per_chunk = nblocks.div_ceil(target_chunks);
+    blocks_per_chunk = (blocks_per_chunk.div_ceil(8) * 8).max(8);
     let elems_per_chunk = blocks_per_chunk * bs;
 
-    let chunks: Vec<ChunkOutput<F>> = data
-        .par_chunks(elems_per_chunk)
-        .map(|chunk_data| {
-            let chunk_blocks = (chunk_data.len() + bs - 1) / bs;
-            let mut out = ChunkOutput::with_capacity(chunk_blocks, chunk_data.len() * F::BYTES);
-            let mut scratch = Scratch::default();
-            encode_blocks(chunk_data, bs, eb, cfg.strategy, &mut out, &mut scratch);
-            out
-        })
-        .collect();
+    // Each worker accumulates telemetry into its own ChunkOutput.stats;
+    // the single flush happens inside assemble() at the join point, so
+    // rayon workers never contend on shared counters.
+    let chunks: Vec<ChunkOutput<F>> = {
+        let _s = szx_telemetry::span("compress.encode_blocks");
+        data.par_chunks(elems_per_chunk)
+            .map(|chunk_data| {
+                let chunk_blocks = chunk_data.len().div_ceil(bs);
+                let mut out = ChunkOutput::with_capacity(chunk_blocks, chunk_data.len() * F::BYTES);
+                let mut scratch = Scratch::default();
+                encode_blocks(chunk_data, bs, eb, cfg.strategy, &mut out, &mut scratch);
+                out
+            })
+            .collect()
+    };
 
     Ok(assemble(&chunks, data.len(), eb, cfg))
 }
 
 /// Multicore SZx decompression.
 pub fn decompress<F: SzxFloat>(bytes: &[u8]) -> Result<Vec<F>> {
+    let _total = szx_telemetry::span("decompress.total");
     // Validate the stream before allocating the output (see decode.rs).
-    let index = StreamIndex::build::<F>(bytes)?;
+    let index = {
+        let _s = szx_telemetry::span("decompress.index");
+        StreamIndex::build::<F>(bytes)?
+    };
     let mut out = vec![F::ZERO; index.header.n];
     decompress_with_index(&index, &mut out)?;
     Ok(out)
@@ -102,7 +115,11 @@ pub fn decompress<F: SzxFloat>(bytes: &[u8]) -> Result<Vec<F>> {
 
 /// Multicore decompression into a caller-provided buffer.
 pub fn decompress_into<F: SzxFloat>(bytes: &[u8], out: &mut [F]) -> Result<()> {
-    let index = StreamIndex::build::<F>(bytes)?;
+    let _total = szx_telemetry::span("decompress.total");
+    let index = {
+        let _s = szx_telemetry::span("decompress.index");
+        StreamIndex::build::<F>(bytes)?
+    };
     decompress_with_index(&index, out)
 }
 
@@ -114,6 +131,10 @@ fn decompress_with_index<F: SzxFloat>(index: &StreamIndex<'_>, out: &mut [F]) ->
             index.header.n
         )));
     }
+    if szx_telemetry::enabled() {
+        crate::decode::flush_decode_telemetry::<F>(index);
+    }
+    let _s = szx_telemetry::span("decompress.blocks");
     let bs = index.header.block_size;
     let strategy = index.header.strategy;
 
@@ -214,7 +235,9 @@ mod tests {
 
     #[test]
     fn parallel_f64_roundtrip() {
-        let data: Vec<f64> = (0..40_000).map(|i| (i as f64 * 0.001).sinh().sin()).collect();
+        let data: Vec<f64> = (0..40_000)
+            .map(|i| (i as f64 * 0.001).sinh().sin())
+            .collect();
         let cfg = SzxConfig::absolute(1e-7);
         let bytes = compress(&data, &cfg).unwrap();
         let back: Vec<f64> = decompress(&bytes).unwrap();

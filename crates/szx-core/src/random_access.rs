@@ -128,7 +128,9 @@ mod tests {
     use crate::config::SzxConfig;
 
     fn wave(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.013).sin() * 7.0 + (i as f32 * 0.11).cos() * 0.02).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.013).sin() * 7.0 + (i as f32 * 0.11).cos() * 0.02)
+            .collect()
     }
 
     #[test]
@@ -138,7 +140,14 @@ mod tests {
         let full: Vec<f32> = crate::decompress(&bytes).unwrap();
         let ra = RandomAccess::<f32>::new(&bytes).unwrap();
         assert_eq!(ra.len(), 10_000);
-        for (start, end) in [(0, 10), (0, 10_000), (127, 129), (5000, 5001), (9_990, 10_000), (42, 42)] {
+        for (start, end) in [
+            (0, 10),
+            (0, 10_000),
+            (127, 129),
+            (5000, 5001),
+            (9_990, 10_000),
+            (42, 42),
+        ] {
             let range = ra.decode_range(start, end).unwrap();
             assert_eq!(range, &full[start..end], "{start}..{end}");
         }
@@ -181,7 +190,11 @@ mod tests {
             let bytes = crate::compress(&data, &cfg).unwrap();
             let full: Vec<f64> = crate::decompress(&bytes).unwrap();
             let ra = RandomAccess::<f64>::new(&bytes).unwrap();
-            assert_eq!(ra.decode_range(100, 400).unwrap(), &full[100..400], "{strategy:?}");
+            assert_eq!(
+                ra.decode_range(100, 400).unwrap(),
+                &full[100..400],
+                "{strategy:?}"
+            );
         }
     }
 

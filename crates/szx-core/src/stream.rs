@@ -48,7 +48,7 @@ impl Header {
     /// Number of blocks the stream describes. Written to avoid the
     /// `n + bs - 1` overflow a forged header could trigger.
     pub fn num_blocks(&self) -> usize {
-        self.n / self.block_size + usize::from(self.n % self.block_size != 0)
+        self.n / self.block_size + usize::from(!self.n.is_multiple_of(self.block_size))
     }
 
     /// Serialize the header (public for alternative stream producers, e.g.
@@ -83,7 +83,9 @@ impl Header {
         }
         let dtype = bytes[5];
         if dtype > 1 {
-            return Err(SzxError::CorruptStream(format!("unknown dtype code {dtype}")));
+            return Err(SzxError::CorruptStream(format!(
+                "unknown dtype code {dtype}"
+            )));
         }
         let strategy = CommitStrategy::from_code(bytes[6])?;
         let block_size = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
@@ -94,14 +96,23 @@ impl Header {
         }
         let n = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
         if n == 0 {
-            return Err(SzxError::CorruptStream("stream declares zero elements".into()));
+            return Err(SzxError::CorruptStream(
+                "stream declares zero elements".into(),
+            ));
         }
         let eb = f64::from_le_bytes(bytes[20..28].try_into().unwrap());
         if !eb.is_finite() || eb < 0.0 {
             return Err(SzxError::CorruptStream(format!("bad error bound {eb}")));
         }
         let n_nonconstant = u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
-        let header = Header { dtype, strategy, block_size, n, eb, n_nonconstant };
+        let header = Header {
+            dtype,
+            strategy,
+            block_size,
+            n,
+            eb,
+            n_nonconstant,
+        };
         if n_nonconstant > header.num_blocks() {
             return Err(SzxError::CorruptStream(format!(
                 "{n_nonconstant} non-constant blocks exceeds {} total",
@@ -114,7 +125,10 @@ impl Header {
     pub(crate) fn expect_dtype<F: SzxFloat>(&self) -> Result<()> {
         if self.dtype != F::DTYPE_CODE {
             let found = if self.dtype == 0 { "f32" } else { "f64" };
-            return Err(SzxError::TypeMismatch { expected: F::NAME, found });
+            return Err(SzxError::TypeMismatch {
+                expected: F::NAME,
+                found,
+            });
         }
         Ok(())
     }
@@ -137,7 +151,9 @@ impl SectionLayout {
         let nblocks = h.num_blocks();
         let state_off = HEADER_LEN;
         let overflow = || SzxError::CorruptStream("section offsets overflow".into());
-        let mu_off = state_off.checked_add(nblocks / 8 + usize::from(nblocks % 8 != 0)).ok_or_else(overflow)?;
+        let mu_off = state_off
+            .checked_add(nblocks / 8 + usize::from(!nblocks.is_multiple_of(8)))
+            .ok_or_else(overflow)?;
         let zsize_off = nblocks
             .checked_mul(F::BYTES)
             .and_then(|b| mu_off.checked_add(b))
@@ -147,7 +163,12 @@ impl SectionLayout {
             .checked_mul(2)
             .and_then(|b| zsize_off.checked_add(b))
             .ok_or_else(overflow)?;
-        Ok(SectionLayout { state_off, mu_off, zsize_off, payload_off })
+        Ok(SectionLayout {
+            state_off,
+            mu_off,
+            zsize_off,
+            payload_off,
+        })
     }
 }
 
@@ -236,7 +257,13 @@ mod tests {
         let h = sample_header();
         assert!(h.expect_dtype::<f32>().is_ok());
         let err = h.expect_dtype::<f64>().unwrap_err();
-        assert_eq!(err, SzxError::TypeMismatch { expected: "f64", found: "f32" });
+        assert_eq!(
+            err,
+            SzxError::TypeMismatch {
+                expected: "f64",
+                found: "f32"
+            }
+        );
     }
 
     #[test]

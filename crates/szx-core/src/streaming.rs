@@ -20,32 +20,116 @@ use crate::float::SzxFloat;
 
 const MAGIC: [u8; 4] = *b"SZXS";
 
+/// Per-frame accounting a [`FrameWriter`] keeps as it goes — the numbers an
+/// instrument pipeline watches live (frame latency, sustained ratio). Always
+/// maintained: one clock read per frame is noise next to compressing the
+/// frame, and it spares callers ad-hoc `Instant` bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrameStats {
+    /// Frames compressed so far.
+    pub frames: u64,
+    /// Uncompressed input bytes so far.
+    pub raw_bytes: u64,
+    /// Compressed stream bytes so far (excluding container framing).
+    pub compressed_bytes: u64,
+    /// Total wall time spent compressing, in nanoseconds.
+    pub compress_ns: u64,
+    /// Fastest single frame, in nanoseconds (0 before the first frame).
+    pub min_frame_ns: u64,
+    /// Slowest single frame, in nanoseconds.
+    pub max_frame_ns: u64,
+}
+
+impl FrameStats {
+    /// Cumulative compression ratio (raw / compressed).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            0.0
+        } else {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+
+    /// Mean per-frame compression wall time in nanoseconds.
+    pub fn mean_frame_ns(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.compress_ns as f64 / self.frames as f64
+        }
+    }
+
+    /// Sustained compression throughput in GB/s (raw bytes over wall time).
+    pub fn throughput_gbps(&self) -> f64 {
+        if self.compress_ns == 0 {
+            0.0
+        } else {
+            self.raw_bytes as f64 / self.compress_ns as f64
+        }
+    }
+
+    fn record(&mut self, raw: usize, compressed: usize, ns: u64) {
+        self.frames += 1;
+        self.raw_bytes += raw as u64;
+        self.compressed_bytes += compressed as u64;
+        self.compress_ns += ns;
+        self.min_frame_ns = if self.frames == 1 {
+            ns
+        } else {
+            self.min_frame_ns.min(ns)
+        };
+        self.max_frame_ns = self.max_frame_ns.max(ns);
+    }
+}
+
 /// Appends compressed frames to an in-memory container (wrap your own
 /// `Write` sink around [`FrameWriter::as_bytes`] flushes as needed).
 pub struct FrameWriter {
     cfg: SzxConfig,
     buf: Vec<u8>,
-    frames: usize,
+    stats: FrameStats,
 }
 
 impl FrameWriter {
     pub fn new(cfg: SzxConfig) -> Result<Self> {
         cfg.validate()?;
-        Ok(FrameWriter { cfg, buf: MAGIC.to_vec(), frames: 0 })
+        Ok(FrameWriter {
+            cfg,
+            buf: MAGIC.to_vec(),
+            stats: FrameStats::default(),
+        })
     }
 
     /// Compress and append one frame. Frames may have different lengths.
     pub fn push<F: SzxFloat>(&mut self, frame: &[F]) -> Result<()> {
+        let start = std::time::Instant::now();
         let bytes = crate::compress(frame, &self.cfg)?;
-        self.buf.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        let ns = start.elapsed().as_nanos() as u64;
+        self.buf
+            .extend_from_slice(&(bytes.len() as u64).to_le_bytes());
         self.buf.extend_from_slice(&bytes);
-        self.frames += 1;
+        self.stats.record(frame.len() * F::BYTES, bytes.len(), ns);
+        if szx_telemetry::enabled() {
+            let tel = szx_telemetry::global();
+            tel.span_stats("stream.frame").record(ns);
+            tel.hist_log2("stream.frame_bytes")
+                .record(bytes.len() as u64);
+            tel.counter("stream.bytes.raw")
+                .add((frame.len() * F::BYTES) as u64);
+            tel.counter("stream.bytes.compressed")
+                .add(bytes.len() as u64);
+        }
         Ok(())
     }
 
     /// Frames appended so far.
     pub fn frames(&self) -> usize {
-        self.frames
+        self.stats.frames as usize
+    }
+
+    /// Cumulative per-frame statistics (latency, sizes, ratio).
+    pub fn stats(&self) -> &FrameStats {
+        &self.stats
     }
 
     /// The container so far.
@@ -70,7 +154,9 @@ impl<'a> FrameReader<'a> {
     /// Parse the container's frame index (headers only).
     pub fn new(bytes: &'a [u8]) -> Result<Self> {
         if bytes.len() < 4 || bytes[0..4] != MAGIC {
-            return Err(SzxError::CorruptStream("bad streaming container magic".into()));
+            return Err(SzxError::CorruptStream(
+                "bad streaming container magic".into(),
+            ));
         }
         let mut index = Vec::new();
         let mut pos = 4usize;
@@ -107,7 +193,9 @@ impl<'a> FrameReader<'a> {
 
     /// Raw compressed bytes of frame `i` (e.g. to forward downstream).
     pub fn frame_bytes(&self, i: usize) -> Option<&'a [u8]> {
-        self.index.get(i).map(|&(off, len)| &self.bytes[off..off + len])
+        self.index
+            .get(i)
+            .map(|&(off, len)| &self.bytes[off..off + len])
     }
 
     /// Iterate all frames, decompressing lazily.
@@ -121,7 +209,9 @@ mod tests {
     use super::*;
 
     fn frame(k: usize, n: usize) -> Vec<f32> {
-        (0..n).map(|i| ((i + 37 * k) as f32 * 0.01).sin() * (k + 1) as f32).collect()
+        (0..n)
+            .map(|i| ((i + 37 * k) as f32 * 0.01).sin() * (k + 1) as f32)
+            .collect()
     }
 
     #[test]
@@ -177,10 +267,32 @@ mod tests {
         let mut w = FrameWriter::new(SzxConfig::absolute(1e-3)).unwrap();
         w.push(&frame(0, 100)).unwrap();
         let bytes = w.into_bytes();
-        assert!(FrameReader::new(&bytes[..bytes.len() - 3]).is_err(), "truncated frame");
+        assert!(
+            FrameReader::new(&bytes[..bytes.len() - 3]).is_err(),
+            "truncated frame"
+        );
         assert!(FrameReader::new(&bytes[..7]).is_err(), "truncated length");
         // Empty container is fine — zero frames.
         assert_eq!(FrameReader::new(&MAGIC).unwrap().num_frames(), 0);
+    }
+
+    #[test]
+    fn frame_stats_track_sizes_and_latency() {
+        let mut w = FrameWriter::new(SzxConfig::absolute(1e-3)).unwrap();
+        assert_eq!(w.stats().frames, 0);
+        assert_eq!(w.stats().ratio(), 0.0);
+        for k in 0..3 {
+            w.push(&frame(k, 1000)).unwrap();
+        }
+        let s = *w.stats();
+        assert_eq!(s.frames, 3);
+        assert_eq!(s.raw_bytes, 3 * 1000 * 4);
+        // Container = magic + 3 × (8-byte length + stream).
+        assert_eq!(s.compressed_bytes as usize, w.as_bytes().len() - 4 - 3 * 8);
+        assert!(s.ratio() > 1.0, "sine frames compress: {}", s.ratio());
+        assert!(s.compress_ns > 0);
+        assert!(s.min_frame_ns <= s.max_frame_ns);
+        assert!(s.mean_frame_ns() * 3.0 <= s.compress_ns as f64 + 1.0);
     }
 
     #[test]

@@ -25,10 +25,26 @@ fn stream_bytes_are_frozen() {
     assert_eq!(bytes[5], 0, "dtype f32");
     assert_eq!(bytes[6], 2, "strategy C");
     assert_eq!(bytes[7], 0, "reserved");
-    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 8, "block size");
-    assert_eq!(u64::from_le_bytes(bytes[12..20].try_into().unwrap()), 24, "n");
-    assert_eq!(f64::from_le_bytes(bytes[20..28].try_into().unwrap()), 0.01, "eb");
-    assert_eq!(u64::from_le_bytes(bytes[28..36].try_into().unwrap()), 1, "non-constant");
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        8,
+        "block size"
+    );
+    assert_eq!(
+        u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+        24,
+        "n"
+    );
+    assert_eq!(
+        f64::from_le_bytes(bytes[20..28].try_into().unwrap()),
+        0.01,
+        "eb"
+    );
+    assert_eq!(
+        u64::from_le_bytes(bytes[28..36].try_into().unwrap()),
+        1,
+        "non-constant"
+    );
 
     // State bits: blocks C, NC, C -> 0b010 packed MSB-first = 0x40.
     assert_eq!(bytes[36], 0x40, "state bits");
@@ -74,7 +90,9 @@ fn all_strategy_codes_are_stable() {
         (CommitStrategy::BytePlusResidual, 1),
         (CommitStrategy::ByteAligned, 2),
     ] {
-        let cfg = SzxConfig::absolute(0.01).with_block_size(8).with_strategy(strategy);
+        let cfg = SzxConfig::absolute(0.01)
+            .with_block_size(8)
+            .with_strategy(strategy);
         let bytes = szx_core::compress(&golden_input(), &cfg).unwrap();
         assert_eq!(bytes[6], code, "{strategy:?}");
     }

@@ -31,11 +31,10 @@ pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
 
     for i in 0..n_fields {
         let fseed = seed.wrapping_mul(1000).wrapping_add(i as u64);
-        let name = if i < NAMES.len() {
-            NAMES[i].to_string()
-        } else {
-            format!("FLD{i:03}")
-        };
+        let name = NAMES
+            .get(i)
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| format!("FLD{i:03}"));
         // Cycle profiles the way the real variable list does: ~1/3 cloud- or
         // ice-fraction-like, ~1/5 sparse precipitation, the rest smooth state.
         let data = match i % 5 {
@@ -45,9 +44,11 @@ pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
                 plateau(&mut f, -0.15, 0.15);
                 f
             }
-            // Sparse precipitation-like field, tiny magnitudes.
+            // Sparse precipitation-like field, tiny magnitudes. Density is
+            // low enough that most 128-element blocks are entirely zero —
+            // the plateau-dominated extreme of Table 3's CESM CR spread.
             1 => {
-                let mut f = grf::spike_field(dims, 0.003, 2, 0.25, fseed);
+                let mut f = grf::spike_field(dims, 0.002, 2, 0.3, fseed);
                 for v in f.iter_mut() {
                     *v *= 3.2e-7;
                 }
@@ -76,7 +77,10 @@ pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
         fields.push(Field::new(name, dims, data));
     }
 
-    Dataset { name: "CESM".into(), fields }
+    Dataset {
+        name: "CESM".into(),
+        fields,
+    }
 }
 
 #[cfg(test)]

@@ -97,7 +97,10 @@ pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
         fields.push(Field::new(*name, dims, data));
     }
 
-    Dataset { name: "Hurricane".into(), fields }
+    Dataset {
+        name: "Hurricane".into(),
+        fields,
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,13 @@ use crate::registry::{Application, Scale};
 
 /// The seven Miranda fields, paper spelling included ("viscocity").
 const NAMES: [&str; 7] = [
-    "density", "diffusivity", "pressure", "velocity-x", "velocity-y", "velocity-z", "viscocity",
+    "density",
+    "diffusivity",
+    "pressure",
+    "velocity-x",
+    "velocity-y",
+    "velocity-z",
+    "viscocity",
 ];
 
 pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
@@ -54,7 +60,10 @@ pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
         fields.push(Field::new(*name, dims, data));
     }
 
-    Dataset { name: "Miranda".into(), fields }
+    Dataset {
+        name: "Miranda".into(),
+        fields,
+    }
 }
 
 #[cfg(test)]

@@ -70,7 +70,13 @@ pub(crate) fn stratified_field(
 ) -> Vec<f32> {
     let mut f = grf::fractal_field(dims, octaves, seed);
     if strat_amp != 0.0 {
-        grf::add_axis_profile(&mut f, dims, strat_axis, strat_amp, (seed % 13) as f32 * 0.23);
+        grf::add_axis_profile(
+            &mut f,
+            dims,
+            strat_axis,
+            strat_amp,
+            (seed % 13) as f32 * 0.23,
+        );
     }
     f
 }

@@ -53,8 +53,11 @@ pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
             _ => {
                 // Bulk flows: large-scale coherent, moderate small-scale power
                 // (Nyx is distinctly rougher than Miranda, per Figure 2b).
+                // The low modulation power keeps a sizable fraction of the
+                // volume turbulently active, so the Miranda-vs-Nyx contrast
+                // is decisive rather than a knife-edge of the realization.
                 let mut f = stratified_field(dims, 2, 0.8, &[(40, 0.02)], fseed);
-                add_intermittency(&mut f, dims, 4, 0.9, 14, 12, fseed ^ 0xa5);
+                add_intermittency(&mut f, dims, 4, 0.9, 14, 6, fseed ^ 0xa5);
                 rescale(&mut f, -2.6e7, 2.6e7); // cm/s, as in the real data
                 f
             }
@@ -62,7 +65,10 @@ pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
         fields.push(Field::new(*name, dims, data));
     }
 
-    Dataset { name: "NYX".into(), fields }
+    Dataset {
+        name: "NYX".into(),
+        fields,
+    }
 }
 
 #[cfg(test)]

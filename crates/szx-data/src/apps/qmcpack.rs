@@ -44,11 +44,14 @@ fn orbital_field(grid: [usize; 3], orbitals: usize, seed: u64) -> Vec<f32> {
                     let dy = y as f32 - cy;
                     let dz = z as f32 - cz;
                     let envelope = (-(dx * dx + dy * dy + dz * dz) * inv2).exp();
-                    let wave = (x as f32 * k).sin() * (y as f32 * k * 0.83).cos()
+                    let wave = (x as f32 * k).sin()
+                        * (y as f32 * k * 0.83).cos()
                         * (z as f32 * k * 1.21).sin();
                     // Mid-amplitude shell: the orbital's slower decay ring,
                     // resolved at coarse bounds but constant at fine ones.
-                    let shell = envelope.sqrt() * 0.04 * (x as f32 * k * 0.47).cos()
+                    let shell = envelope.sqrt()
+                        * 0.04
+                        * (x as f32 * k * 0.47).cos()
                         * (y as f32 * k * 0.53).sin();
                     out.push(envelope * wave + shell + noise[i]);
                     i += 1;
@@ -66,13 +69,20 @@ pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
     let grid = scale.apply([69, 69, 115]);
     let orbitals = (288 / scale.factor()).max(4);
     let mut fields = Vec::new();
-    for (i, name) in ["inspline", "inspline-p"].iter().enumerate().take(count.min(max_fields)) {
+    for (i, name) in ["inspline", "inspline-p"]
+        .iter()
+        .enumerate()
+        .take(count.min(max_fields))
+    {
         let fseed = seed.wrapping_mul(389).wrapping_add(i as u64);
         let data = orbital_field(grid, orbitals, fseed);
         let dims = [grid[0], grid[1], grid[2] * orbitals];
         fields.push(Field::new(*name, dims, data));
     }
-    Dataset { name: "QMCPACK".into(), fields }
+    Dataset {
+        name: "QMCPACK".into(),
+        fields,
+    }
 }
 
 #[cfg(test)]

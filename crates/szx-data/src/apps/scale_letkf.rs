@@ -44,7 +44,11 @@ pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
             }
             "QV" | "RH" => {
                 let mut f = stratified_field(dims, 2, 0.9, &[(20, 0.06)], fseed);
-                let (lo, hi) = if *name == "QV" { (0.0, 0.018) } else { (2.0, 100.0) };
+                let (lo, hi) = if *name == "QV" {
+                    (0.0, 0.018)
+                } else {
+                    (2.0, 100.0)
+                };
                 rescale(&mut f, lo, hi);
                 f
             }
@@ -61,7 +65,10 @@ pub fn generate(scale: Scale, seed: u64, max_fields: usize) -> Dataset {
         fields.push(Field::new(*name, dims, data));
     }
 
-    Dataset { name: "SCALE".into(), fields }
+    Dataset {
+        name: "SCALE".into(),
+        fields,
+    }
 }
 
 #[cfg(test)]
@@ -81,7 +88,10 @@ mod tests {
         let qc = ds.field("QC").unwrap();
         let peak = qc.data.iter().fold(0.0f32, |a, &v| a.max(v));
         let near_zero = qc.data.iter().filter(|&&v| v < 0.05 * peak).count();
-        assert!(near_zero > qc.data.len() / 2, "QC must be concentration-sparse");
+        assert!(
+            near_zero > qc.data.len() / 2,
+            "QC must be concentration-sparse"
+        );
         let t = ds.field("T").unwrap();
         let tmin = t.data.iter().fold(f32::INFINITY, |a, &v| a.min(v));
         assert!(tmin > 100.0, "temperature has no empty regions");

@@ -14,8 +14,17 @@ pub struct Field {
 
 impl Field {
     pub fn new(name: impl Into<String>, dims: [usize; 3], data: Vec<f32>) -> Self {
-        let field = Field { name: name.into(), dims, data };
-        assert_eq!(field.len(), field.data.len(), "dims/data mismatch for {}", field.name);
+        let field = Field {
+            name: name.into(),
+            dims,
+            data,
+        };
+        assert_eq!(
+            field.len(),
+            field.data.len(),
+            "dims/data mismatch for {}",
+            field.name
+        );
         field
     }
 

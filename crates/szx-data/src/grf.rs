@@ -131,7 +131,13 @@ pub fn fractal_field(dims: [usize; 3], octaves: &[(usize, f32)], seed: u64) -> V
 /// `[0, 1]`, blurred by `radius`, then everything below `floor` clamped to
 /// zero. Mimics physically-sparse fields (cloud water, snow mixing ratios)
 /// whose large empty regions give SZx its extreme compression ratios.
-pub fn spike_field(dims: [usize; 3], density: f64, radius: usize, floor: f32, seed: u64) -> Vec<f32> {
+pub fn spike_field(
+    dims: [usize; 3],
+    density: f64,
+    radius: usize,
+    floor: f32,
+    seed: u64,
+) -> Vec<f32> {
     let n = dims[0] * dims[1] * dims[2];
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = vec![0.0f32; n];
@@ -179,7 +185,10 @@ pub fn intermittent_field(
     // fraction decays geometrically per decade of error bound, matching the
     // gradual constant-block falloff of real turbulence data.
     let std = {
-        let var = modulation.iter().map(|&m| (m as f64) * (m as f64)).sum::<f64>()
+        let var = modulation
+            .iter()
+            .map(|&m| (m as f64) * (m as f64))
+            .sum::<f64>()
             / n.max(1) as f64;
         (var.sqrt() as f32).max(1e-12)
     };
@@ -200,15 +209,20 @@ pub fn intermittent_field(
 /// *within* a fast-axis block — the anisotropy that makes real datasets so
 /// compressible under SZx. Being a function of the fractional coordinate,
 /// it is exactly scale-invariant.
-pub fn add_axis_profile(data: &mut [f32], dims: [usize; 3], axis: usize, amplitude: f32, phase: f32) {
+pub fn add_axis_profile(
+    data: &mut [f32],
+    dims: [usize; 3],
+    axis: usize,
+    amplitude: f32,
+    phase: f32,
+) {
     let [nx, ny, nz] = dims;
     let len = dims[axis].max(1);
     let inv = 1.0 / len as f32;
     let profile = |i: usize| {
         let t = i as f32 * inv;
         amplitude
-            * ((core::f32::consts::PI * t + phase).cos()
-                + 0.3 * (core::f32::consts::TAU * t).cos())
+            * ((core::f32::consts::PI * t + phase).cos() + 0.3 * (core::f32::consts::TAU * t).cos())
     };
     // Precompute per-axis values once.
     let table: Vec<f32> = (0..len).map(profile).collect();
@@ -352,7 +366,11 @@ mod tests {
         let f = spike_field([128, 128, 1], 0.002, 2, 0.02, 11);
         assert!(f.iter().all(|&v| v >= 0.0));
         let zeros = f.iter().filter(|&&v| v == 0.0).count();
-        assert!(zeros > f.len() / 2, "expected mostly zeros, got {zeros}/{}", f.len());
+        assert!(
+            zeros > f.len() / 2,
+            "expected mostly zeros, got {zeros}/{}",
+            f.len()
+        );
         assert!(f.iter().any(|&v| v > 0.1), "expected some peaks");
     }
 

@@ -52,9 +52,7 @@ impl Application {
                 [3600, 1800, 1],
                 "Atmosphere simulation of Community Earth System Model",
             ),
-            Application::Hurricane => {
-                (13, [500, 500, 100], "simulation of Hurricane ISABEL")
-            }
+            Application::Hurricane => (13, [500, 500, 100], "simulation of Hurricane ISABEL"),
             Application::Miranda => (
                 7,
                 [384, 384, 256],
@@ -154,7 +152,11 @@ mod tests {
     fn scale_shrinks_dims() {
         assert_eq!(Scale::Small.apply([512, 512, 512]), [64, 64, 64]);
         assert_eq!(Scale::Full.apply([512, 512, 512]), [512, 512, 512]);
-        assert_eq!(Scale::Tiny.apply([100, 1, 1]), [8, 1, 1], "floor and keep 1s");
+        assert_eq!(
+            Scale::Tiny.apply([100, 1, 1]),
+            [8, 1, 1],
+            "floor and keep 1s"
+        );
     }
 
     #[test]
@@ -198,7 +200,15 @@ mod tests {
             (Application::Hurricane, &["CLOUD", "QSNOW", "U"]),
             (
                 Application::Miranda,
-                &["density", "diffusivity", "pressure", "velocity-x", "velocity-y", "velocity-z", "viscocity"],
+                &[
+                    "density",
+                    "diffusivity",
+                    "pressure",
+                    "velocity-x",
+                    "velocity-y",
+                    "velocity-z",
+                    "viscocity",
+                ],
             ),
             (Application::Nyx, &["baryon-density", "temperature"]),
             (Application::QmcPack, &["inspline"]),
@@ -207,7 +217,11 @@ mod tests {
         for (app, names) in checks {
             let ds = app.generate(Scale::Tiny, 3);
             for name in names {
-                assert!(ds.field(name).is_some(), "{} missing {name}", app.short_name());
+                assert!(
+                    ds.field(name).is_some(),
+                    "{} missing {name}",
+                    app.short_name()
+                );
             }
         }
     }

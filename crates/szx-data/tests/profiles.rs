@@ -60,8 +60,14 @@ fn cesm_has_extreme_and_ordinary_fields() {
         .map(|f| (f.name.clone(), cdf_at(&f.data, 128, 0.001)))
         .collect();
     cdfs.sort_by(|a, b| a.1.total_cmp(&b.1));
-    assert!(cdfs.last().unwrap().1 > 0.35, "some field is mostly-constant: {cdfs:?}");
-    assert!(cdfs.first().unwrap().1 < 0.3, "some field is busy: {cdfs:?}");
+    assert!(
+        cdfs.last().unwrap().1 > 0.35,
+        "some field is mostly-constant: {cdfs:?}"
+    );
+    assert!(
+        cdfs.first().unwrap().1 < 0.3,
+        "some field is busy: {cdfs:?}"
+    );
 }
 
 #[test]
@@ -98,8 +104,18 @@ fn all_apps_have_finite_reasonable_fields_with_max_fields_cap() {
         let ds = app.generate_limited(Scale::Tiny, 11, 3);
         assert!(ds.fields.len() <= 3);
         for f in &ds.fields {
-            assert!(f.data.iter().all(|v| v.is_finite()), "{}/{}", ds.name, f.name);
-            assert!(f.value_range() > 0.0, "{}/{} is degenerate", ds.name, f.name);
+            assert!(
+                f.data.iter().all(|v| v.is_finite()),
+                "{}/{}",
+                ds.name,
+                f.name
+            );
+            assert!(
+                f.value_range() > 0.0,
+                "{}/{} is degenerate",
+                ds.name,
+                f.name
+            );
         }
     }
 }

@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn memory_bound_kernel_hits_bandwidth() {
         // A kernel that only streams memory should approach device BW.
-        let c = Cost { global_read_bytes: 1 << 30, ..Default::default() };
+        let c = Cost {
+            global_read_bytes: 1 << 30,
+            ..Default::default()
+        };
         let t = A100.time(&c);
         let gbps = (1u64 << 30) as f64 / t / 1e9;
         assert!((gbps - 1555.0).abs() < 1.0, "{gbps}");
@@ -116,7 +119,10 @@ mod tests {
 
     #[test]
     fn serial_chains_dominate_when_large() {
-        let streaming = Cost { global_read_bytes: 1 << 20, ..Default::default() };
+        let streaming = Cost {
+            global_read_bytes: 1 << 20,
+            ..Default::default()
+        };
         let chained = Cost {
             global_read_bytes: 1 << 20,
             serial_chain_ops: 1 << 28,
@@ -127,8 +133,16 @@ mod tests {
 
     #[test]
     fn cost_accumulates() {
-        let mut a = Cost { shuffles: 1, barriers: 2, ..Default::default() };
-        let b = Cost { shuffles: 3, global_write_bytes: 7, ..Default::default() };
+        let mut a = Cost {
+            shuffles: 1,
+            barriers: 2,
+            ..Default::default()
+        };
+        let b = Cost {
+            shuffles: 3,
+            global_write_bytes: 7,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.shuffles, 4);
         assert_eq!(a.barriers, 2);
@@ -137,7 +151,10 @@ mod tests {
 
     #[test]
     fn v100_is_slower_than_a100_on_memory() {
-        let c = Cost { global_read_bytes: 1 << 30, ..Default::default() };
+        let c = Cost {
+            global_read_bytes: 1 << 30,
+            ..Default::default()
+        };
         assert!(V100.time(&c) > A100.time(&c));
     }
 }

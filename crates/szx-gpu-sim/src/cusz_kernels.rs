@@ -68,7 +68,11 @@ pub fn dual_quant_reconstruct(out: &DualQuantOutput, eb: f64) -> Vec<f32> {
             next_outlier += 1;
             // Re-derive the quantized value so later deltas chain correctly.
             let qf = (v as f64 * inv).round();
-            prev_q = if qf.is_finite() && qf.abs() < 1e18 { qf as i64 } else { 0 };
+            prev_q = if qf.is_finite() && qf.abs() < 1e18 {
+                qf as i64
+            } else {
+                0
+            };
             values.push(v);
         } else {
             let delta = code as i64 - RADIUS;
@@ -92,8 +96,8 @@ pub fn dual_quant_kernel(data: &[f32], eb: f64, block: usize, cost: &mut Cost) -
         let base = b * block;
         global_read(cost, chunk.len() * 4);
         global_read(cost, chunk.len() * 4); // predecessor re-reads
-        // round, cast, sub, compare, add — per lane, warp-wide.
-        cost.warp_instructions += 8 * ((chunk.len() + WARP - 1) / WARP) as u64;
+                                            // round, cast, sub, compare, add — per lane, warp-wide.
+        cost.warp_instructions += 8 * chunk.len().div_ceil(WARP) as u64;
         for (i, &v) in chunk.iter().enumerate() {
             let gi = base + i;
             let quant = |x: f32| -> Option<i64> {
@@ -121,8 +125,8 @@ pub fn dual_quant_kernel(data: &[f32], eb: f64, block: usize, cost: &mut Cost) -
     // Outlier compaction: a device-wide prefix scan locates each escape's
     // slot (cuSZ uses the same pattern); gather afterwards.
     let n_out = codes.iter().filter(|&&c| c == 0).count();
-    cost.warp_instructions += 2 * ((data.len() + WARP - 1) / WARP) as u64;
-    cost.shared_ops += ((data.len() + WARP - 1) / WARP) as u64;
+    cost.warp_instructions += 2 * data.len().div_ceil(WARP) as u64;
+    cost.shared_ops += data.len().div_ceil(WARP) as u64;
     for (i, &c) in codes.iter().enumerate() {
         if c == 0 {
             outliers.push(data[i]);
@@ -147,7 +151,10 @@ fn seg_combine(a: SegItem, b: SegItem) -> SegItem {
     if b.anchored {
         b
     } else {
-        SegItem { sum: a.sum.wrapping_add(b.sum), anchored: a.anchored }
+        SegItem {
+            sum: a.sum.wrapping_add(b.sum),
+            anchored: a.anchored,
+        }
     }
 }
 
@@ -156,6 +163,9 @@ fn seg_combine(a: SegItem, b: SegItem) -> SegItem {
 /// scan* over the deltas — prefix sums turn the serial recurrence into
 /// O(log n) rounds. Escape positions re-anchor the chain with their own
 /// prequantized value (the scan's segment boundaries).
+// Lane-indexed on purpose: the loop mirrors the kernel's per-lane view,
+// where `i` *is* the lane id across several arrays.
+#[allow(clippy::needless_range_loop)]
 pub fn dual_quant_reconstruct_kernel(
     out: &DualQuantOutput,
     eb: f64,
@@ -175,14 +185,24 @@ pub fn dual_quant_reconstruct_kernel(
             let v = out.outliers[next_outlier];
             next_outlier += 1;
             let qf = (v as f64 * inv).round();
-            let q = if qf.is_finite() && qf.abs() < 1e18 { qf as i64 } else { 0 };
+            let q = if qf.is_finite() && qf.abs() < 1e18 {
+                qf as i64
+            } else {
+                0
+            };
             values[i] = v; // escapes reproduce the raw value
-            items.push(SegItem { sum: q, anchored: true });
+            items.push(SegItem {
+                sum: q,
+                anchored: true,
+            });
         } else {
-            items.push(SegItem { sum: out.codes[i] as i64 - RADIUS, anchored: false });
+            items.push(SegItem {
+                sum: out.codes[i] as i64 - RADIUS,
+                anchored: false,
+            });
         }
     }
-    cost.warp_instructions += 4 * ((n + WARP - 1) / WARP) as u64;
+    cost.warp_instructions += 4 * n.div_ceil(WARP) as u64;
 
     // Intra-block Hillis–Steele segmented scan, then a sequential carry of
     // one SegItem per block (cuSZ's two-pass scan structure).
@@ -192,8 +212,8 @@ pub fn dual_quant_reconstruct_kernel(
         let len = chunk_end - chunk_start;
         let mut stride = 1;
         while stride < len {
-            cost.shuffles += ((len + WARP - 1) / WARP) as u64;
-            cost.warp_instructions += ((len + WARP - 1) / WARP) as u64;
+            cost.shuffles += len.div_ceil(WARP) as u64;
+            cost.warp_instructions += len.div_ceil(WARP) as u64;
             cost.barriers += 1;
             let prev = items[chunk_start..chunk_end].to_vec();
             for i in stride..len {
@@ -202,7 +222,7 @@ pub fn dual_quant_reconstruct_kernel(
             stride <<= 1;
         }
         if let Some(c) = carry {
-            cost.warp_instructions += ((len + WARP - 1) / WARP) as u64;
+            cost.warp_instructions += len.div_ceil(WARP) as u64;
             for item in items[chunk_start..chunk_end].iter_mut() {
                 *item = seg_combine(c, *item);
             }
@@ -215,7 +235,7 @@ pub fn dual_quant_reconstruct_kernel(
             values[i] = (items[i].sum as f64 * step) as f32;
         }
     }
-    cost.warp_instructions += 2 * ((n + WARP - 1) / WARP) as u64;
+    cost.warp_instructions += 2 * n.div_ceil(WARP) as u64;
     global_write(cost, n * 4);
     values
 }
@@ -230,7 +250,7 @@ pub fn histogram_kernel(codes: &[u16], cost: &mut Cost) -> Vec<u64> {
         global_read(cost, chunk.len() * 2);
         // One shared atomic per value plus the block-level merge.
         cost.shared_ops += chunk.len() as u64 / 8;
-        cost.warp_instructions += ((chunk.len() + WARP - 1) / WARP) as u64;
+        cost.warp_instructions += chunk.len().div_ceil(WARP) as u64;
         for &c in chunk {
             hist[c as usize] += 1;
         }
@@ -246,7 +266,9 @@ mod tests {
     use super::*;
 
     fn field(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.004).sin() * 5.0 + (i as f32 * 0.07).cos() * 0.02).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.004).sin() * 5.0 + (i as f32 * 0.07).cos() * 0.02)
+            .collect()
     }
 
     #[test]
@@ -350,6 +372,10 @@ mod tests {
             .iter()
             .filter(|&&c| c != 0 && (c as i64 - center as i64).abs() <= 64)
             .count();
-        assert!(near * 10 > out.codes.len() * 9, "{near}/{}", out.codes.len());
+        assert!(
+            near * 10 > out.codes.len() * 9,
+            "{near}/{}",
+            out.codes.len()
+        );
     }
 }

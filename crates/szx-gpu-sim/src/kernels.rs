@@ -43,20 +43,30 @@ fn compress_block(block: &[f32], eb: f64, cost: &mut Cost) -> BlockOut {
     // ballot detects it.
     let mut has_nan = false;
     for &v in block {
-        has_nan |= v != v;
+        has_nan |= v.is_nan();
     }
-    cost.warp_instructions += ((lanes + WARP - 1) / WARP) as u64; // ballot
+    cost.warp_instructions += lanes.div_ceil(WARP) as u64; // ballot
     let stats = if has_nan {
-        BlockStats { mu: 0.0f32, radius: f32::NAN }
+        BlockStats {
+            mu: 0.0f32,
+            radius: f32::NAN,
+        }
     } else {
         let (lo, hi) = block_minmax(block, cost);
         let mu = f32::half_sum(lo, hi);
-        BlockStats { mu, radius: hi - mu }
+        BlockStats {
+            mu,
+            radius: hi - mu,
+        }
     };
     cost.warp_instructions += 2; // μ and radius (lane 0)
 
     if stats.is_constant_for(eb, block) {
-        return BlockOut { constant: true, mu: stats.mu, payload: Vec::new() };
+        return BlockOut {
+            constant: true,
+            mu: stats.mu,
+            payload: Vec::new(),
+        };
     }
 
     let req_len = required_length::<f32>(stats.radius, eb);
@@ -88,7 +98,7 @@ fn compress_block(block: &[f32], eb: f64, cost: &mut Cost) -> BlockOut {
     }
     // sub, shift, xor, clz, min, sub — charged warp-wide; ×2 for the
     // predecessor recomputation.
-    cost.warp_instructions += 12 * ((lanes + WARP - 1) / WARP) as u64;
+    cost.warp_instructions += 12 * lanes.div_ceil(WARP) as u64;
     global_read(cost, lanes * 4); // predecessor re-reads (L1-coalesced)
 
     // Solution 1: prefix scan gives every lane its mid-byte write offset.
@@ -96,13 +106,13 @@ fn compress_block(block: &[f32], eb: f64, cost: &mut Cost) -> BlockOut {
     let total_mid: usize = mid_counts.iter().sum::<u32>() as usize;
 
     // Assemble the payload in shared memory, then one coalesced store.
-    let lead_bytes = (2 * lanes + 7) / 8;
+    let lead_bytes = (2 * lanes).div_ceil(8);
     let mut payload = vec![0u8; 1 + lead_bytes];
     payload[0] = req_len as u8;
     for (i, &lead) in leads.iter().enumerate() {
         payload[1 + i / 4] |= (lead as u8) << (6 - 2 * (i % 4));
     }
-    cost.shared_ops += ((lanes + WARP - 1) / WARP) as u64; // packed code stores
+    cost.shared_ops += lanes.div_ceil(WARP) as u64; // packed code stores
     payload.resize(1 + lead_bytes + total_mid, 0);
     for i in 0..lanes {
         let be = words[i].to_be_bytes();
@@ -113,24 +123,25 @@ fn compress_block(block: &[f32], eb: f64, cost: &mut Cost) -> BlockOut {
     cost.shared_ops += lanes as u64; // per-lane mid-byte stores
     global_write(cost, payload.len());
 
-    BlockOut { constant: false, mu: stats.mu, payload }
+    BlockOut {
+        constant: false,
+        mu: stats.mu,
+        payload,
+    }
 }
 
 /// Decompress one non-constant block payload on the simulated device.
-fn decompress_block(
-    payload: &[u8],
-    mu: f32,
-    lanes: usize,
-    cost: &mut Cost,
-) -> Result<Vec<f32>> {
-    let lead_bytes = (2 * lanes + 7) / 8;
+fn decompress_block(payload: &[u8], mu: f32, lanes: usize, cost: &mut Cost) -> Result<Vec<f32>> {
+    let lead_bytes = (2 * lanes).div_ceil(8);
     if payload.len() < 1 + lead_bytes {
         return Err(SzxError::CorruptStream("payload truncated".into()));
     }
     global_read(cost, payload.len());
     let req_len = payload[0] as u32;
-    if req_len < <f32 as SzxFloat>::SIGN_EXP_BITS || req_len > <f32 as SzxFloat>::FULL_BITS {
-        return Err(SzxError::CorruptStream(format!("bad required length {req_len}")));
+    if !(<f32 as SzxFloat>::SIGN_EXP_BITS..=<f32 as SzxFloat>::FULL_BITS).contains(&req_len) {
+        return Err(SzxError::CorruptStream(format!(
+            "bad required length {req_len}"
+        )));
     }
     let raw = req_len == <f32 as SzxFloat>::FULL_BITS;
     let s = shift_for(req_len);
@@ -147,7 +158,7 @@ fn decompress_block(
         leads[i] = lead;
         mid_counts[i] = (nb - lead) as u32;
     }
-    cost.warp_instructions += 4 * ((lanes + WARP - 1) / WARP) as u64;
+    cost.warp_instructions += 4 * lanes.div_ceil(WARP) as u64;
 
     // Prefix scan locates each lane's mid-bytes in the pool.
     let offsets = block_exclusive_scan(&mid_counts, cost);
@@ -163,7 +174,7 @@ fn decompress_block(
         let mut idx: Vec<i64> = (0..lanes)
             .map(|i| if p >= leads[i] { i as i64 } else { i64::MIN })
             .collect();
-        cost.warp_instructions += ((lanes + WARP - 1) / WARP) as u64;
+        cost.warp_instructions += lanes.div_ceil(WARP) as u64;
         idx = block_propagate_max(&idx, cost);
         for i in 0..lanes {
             let byte = if idx[i] == i64::MIN {
@@ -176,7 +187,7 @@ fn decompress_block(
             };
             words[i] |= (byte as u64) << (56 - 8 * p);
         }
-        cost.shared_ops += ((lanes + WARP - 1) / WARP) as u64; // gather
+        cost.shared_ops += lanes.div_ceil(WARP) as u64; // gather
     }
 
     // Step 5: left shift and denormalize.
@@ -185,7 +196,7 @@ fn decompress_block(
         let v = f32::from_word(words[i] << s);
         out[i] = if raw { v } else { v + mu };
     }
-    cost.warp_instructions += 3 * ((lanes + WARP - 1) / WARP) as u64;
+    cost.warp_instructions += 3 * lanes.div_ceil(WARP) as u64;
     global_write(cost, lanes * 4);
     Ok(out)
 }
@@ -242,7 +253,10 @@ pub fn compress_gpu(data: &[f32], cfg: &SzxConfig) -> Result<(Vec<u8>, Cost)> {
         bytes.extend_from_slice(&z.to_le_bytes());
     }
     bytes.extend_from_slice(&payloads);
-    global_write(&mut cost, szx_core::stream::HEADER_LEN + states.len() / 8 + states.len() * 4);
+    global_write(
+        &mut cost,
+        szx_core::stream::HEADER_LEN + states.len() / 8 + states.len() * 4,
+    );
     Ok((bytes, cost))
 }
 

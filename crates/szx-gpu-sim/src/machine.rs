@@ -16,14 +16,14 @@ pub const WARP: usize = 32;
 /// Charge one warp-wide instruction per warp covering `lanes` lanes.
 #[inline]
 fn charge_warp_inst(cost: &mut Cost, lanes: usize) {
-    cost.warp_instructions += ((lanes + WARP - 1) / WARP) as u64;
+    cost.warp_instructions += lanes.div_ceil(WARP) as u64;
 }
 
 /// `__shfl_up_sync` within each 32-lane warp segment: lane `i` receives the
 /// value of lane `i - delta` in its warp, or keeps its own value when the
 /// source is out of range (CUDA semantics).
 pub fn shfl_up<T: Copy>(vals: &[T], delta: usize, cost: &mut Cost) -> Vec<T> {
-    cost.shuffles += ((vals.len() + WARP - 1) / WARP) as u64;
+    cost.shuffles += vals.len().div_ceil(WARP) as u64;
     let mut out = vals.to_vec();
     for warp_start in (0..vals.len()).step_by(WARP) {
         let end = (warp_start + WARP).min(vals.len());
@@ -38,8 +38,11 @@ pub fn shfl_up<T: Copy>(vals: &[T], delta: usize, cost: &mut Cost) -> Vec<T> {
 }
 
 /// `__shfl_xor_sync`: butterfly exchange within each warp.
+// Lane-indexed on purpose: `i` is the lane id, matching the shuffle's
+// source-lane arithmetic.
+#[allow(clippy::needless_range_loop)]
 pub fn shfl_xor<T: Copy>(vals: &[T], mask: usize, cost: &mut Cost) -> Vec<T> {
-    cost.shuffles += ((vals.len() + WARP - 1) / WARP) as u64;
+    cost.shuffles += vals.len().div_ceil(WARP) as u64;
     let mut out = vals.to_vec();
     for warp_start in (0..vals.len()).step_by(WARP) {
         let end = (warp_start + WARP).min(vals.len());
@@ -78,7 +81,7 @@ pub fn block_minmax(vals: &[f32], cost: &mut Cost) -> (f32, f32) {
         mask <<= 1;
     }
     // Lane 0 of each warp holds the warp result; combine via shared memory.
-    let nwarps = (vals.len() + WARP - 1) / WARP;
+    let nwarps = vals.len().div_ceil(WARP);
     cost.shared_ops += nwarps as u64; // stores
     cost.barriers += 1;
     cost.shared_ops += 1; // first warp loads the partials
@@ -117,7 +120,7 @@ pub fn block_exclusive_scan(vals: &[u32], cost: &mut Cost) -> Vec<u32> {
         delta <<= 1;
     }
     // Stage warp totals.
-    let nwarps = (n + WARP - 1) / WARP;
+    let nwarps = n.div_ceil(WARP);
     let mut warp_totals = Vec::with_capacity(nwarps);
     for w in 0..nwarps {
         let last = (w * WARP + WARP - 1).min(n - 1);
@@ -140,7 +143,9 @@ pub fn block_exclusive_scan(vals: &[u32], cost: &mut Cost) -> Vec<u32> {
     let mut out = vec![0u32; n];
     for i in 0..n {
         let w = i / WARP;
-        out[i] = inclusive[i].wrapping_add(warp_offsets[w]).wrapping_sub(vals[i]);
+        out[i] = inclusive[i]
+            .wrapping_add(warp_offsets[w])
+            .wrapping_sub(vals[i]);
     }
     out
 }
@@ -160,7 +165,7 @@ pub fn block_propagate_max(idx: &[i64], cost: &mut Cost) -> Vec<i64> {
         // One propagation round: lane i takes max(own, lane i-stride).
         // Within-warp traffic is a shuffle; lanes whose source crosses a
         // warp boundary read a shared-memory mirror written beforehand.
-        cost.shuffles += ((n + WARP - 1) / WARP) as u64;
+        cost.shuffles += n.div_ceil(WARP) as u64;
         cost.shared_ops += 2; // mirror store + load per round (warp-wide)
         charge_warp_inst(cost, n);
         cost.barriers += 1;

@@ -7,8 +7,8 @@
 //! (compressed size, symbol counts) taken from running the corresponding
 //! CPU baseline on the actual data:
 //!
-//! * **cuSZ-like** — dual-quantization pass (memory-streaming) + histogram
-//!   + Huffman encode; decompression is dominated by warp-divergent
+//! * **cuSZ-like** — dual-quantization pass (memory-streaming), histogram,
+//!   and Huffman encode; decompression is dominated by warp-divergent
 //!   variable-length Huffman decoding, charged as serial chain operations.
 //! * **cuZFP-like** — block transform (warp-parallel arithmetic) + bitplane
 //!   coding with warp-ballot assistance (partially serialized).
@@ -141,7 +141,9 @@ mod tests {
     use crate::cost::A100;
 
     fn field(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.002).sin() * 2.0 + (i as f32 * 0.05).sin() * 0.01).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.002).sin() * 2.0 + (i as f32 * 0.05).sin() * 0.01)
+            .collect()
     }
 
     #[test]

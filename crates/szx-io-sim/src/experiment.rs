@@ -59,7 +59,11 @@ pub fn dump(
     let compressed = compress_with(data, dims, eb, codec);
     let codec_time = start.elapsed().as_secs_f64();
     let io_time = pfs.transfer_time(n_ranks, compressed.len());
-    Breakdown { codec_time, io_time, bytes_per_rank: compressed.len() }
+    Breakdown {
+        codec_time,
+        io_time,
+        bytes_per_rank: compressed.len(),
+    }
 }
 
 /// Read-and-decompress: the reverse path.
@@ -76,7 +80,11 @@ pub fn load(
     let start = Instant::now();
     decompress_with(&compressed, codec);
     let codec_time = start.elapsed().as_secs_f64();
-    Breakdown { codec_time, io_time, bytes_per_rank: compressed.len() }
+    Breakdown {
+        codec_time,
+        io_time,
+        bytes_per_rank: compressed.len(),
+    }
 }
 
 fn compress_with(data: &[f32], dims: [usize; 3], eb: f64, codec: IoCodec) -> Vec<u8> {
@@ -145,8 +153,16 @@ mod tests {
         let pfs = PfsConfig::theta_like();
         let szx = dump(&data, dims, 1e-3, IoCodec::Szx, 512, &pfs);
         let sz = dump(&data, dims, 1e-3, IoCodec::SzLike, 512, &pfs);
-        assert!(szx.bytes_per_rank >= sz.bytes_per_rank, "SZ compresses smaller");
-        assert!(szx.total() < sz.total(), "szx {} vs sz {}", szx.total(), sz.total());
+        assert!(
+            szx.bytes_per_rank >= sz.bytes_per_rank,
+            "SZ compresses smaller"
+        );
+        assert!(
+            szx.total() < sz.total(),
+            "szx {} vs sz {}",
+            szx.total(),
+            sz.total()
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub struct PfsConfig {
 impl PfsConfig {
     /// ThetaGPU-like: Grand Lustre aggregate ~650 GB/s, ~1.5 GB/s per rank.
     pub fn theta_like() -> PfsConfig {
-        PfsConfig { aggregate_bw: 650e9, rank_bw: 1.5e9, latency: 0.005 }
+        PfsConfig {
+            aggregate_bw: 650e9,
+            rank_bw: 1.5e9,
+            latency: 0.005,
+        }
     }
 
     /// Effective per-rank bandwidth with `n` concurrent ranks.

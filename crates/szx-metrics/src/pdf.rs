@@ -45,14 +45,28 @@ pub fn error_pdf(original: &[f32], reconstructed: &[f32], span: f64, bins: usize
         let idx = (((e + span) / width) as usize).min(bins - 1);
         counts[idx] += 1;
     }
-    let centers = (0..bins).map(|i| -span + (i as f64 + 0.5) * width).collect();
+    let centers = (0..bins)
+        .map(|i| -span + (i as f64 + 0.5) * width)
+        .collect();
     let density = if total == 0 {
         vec![0.0; bins]
     } else {
-        counts.iter().map(|&c| c as f64 / total as f64 / width).collect()
+        counts
+            .iter()
+            .map(|&c| c as f64 / total as f64 / width)
+            .collect()
     };
-    let out_of_span = if total == 0 { 0.0 } else { outside as f64 / total as f64 };
-    ErrorPdf { centers, density, out_of_span, span }
+    let out_of_span = if total == 0 {
+        0.0
+    } else {
+        outside as f64 / total as f64
+    };
+    ErrorPdf {
+        centers,
+        density,
+        out_of_span,
+        span,
+    }
 }
 
 #[cfg(test)]
@@ -72,11 +86,17 @@ mod tests {
         assert!(pdf.out_of_span <= 5e-4, "out of span {}", pdf.out_of_span);
         let mean = pdf.density.iter().sum::<f64>() / 20.0;
         for (&d, &c) in pdf.density.iter().zip(&pdf.centers) {
-            assert!((d - mean).abs() / mean < 0.1, "bin at {c} density {d} vs mean {mean}");
+            assert!(
+                (d - mean).abs() / mean < 0.1,
+                "bin at {c} density {d} vs mean {mean}"
+            );
         }
         // Densities integrate to ~coverage.
         let integral: f64 = pdf.density.iter().map(|d| d * 1e-4).sum();
-        assert!((integral - pdf.coverage()).abs() < 1e-9, "integral {integral}");
+        assert!(
+            (integral - pdf.coverage()).abs() < 1e-9,
+            "integral {integral}"
+        );
     }
 
     #[test]
@@ -84,7 +104,13 @@ mod tests {
         let a: Vec<f32> = (0..100).map(|i| i as f32).collect();
         let pdf = error_pdf(&a, &a, 1e-3, 11);
         // All mass in the bin containing 0 (bin 5 of 11).
-        let hot = pdf.density.iter().enumerate().max_by(|x, y| x.1.total_cmp(y.1)).unwrap().0;
+        let hot = pdf
+            .density
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.total_cmp(y.1))
+            .unwrap()
+            .0;
         assert_eq!(hot, 5);
         assert_eq!(pdf.coverage(), 1.0);
     }

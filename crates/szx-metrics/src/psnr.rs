@@ -72,8 +72,19 @@ pub fn distortion_f64(original: &[f64], reconstructed: &[f64]) -> DistortionStat
     } else {
         20.0 * (range / mse.sqrt()).log10()
     };
-    let nrmse = if range == 0.0 { 0.0 } else { mse.sqrt() / range };
-    DistortionStats { max_abs_error: max_err, mse, psnr, nrmse, value_range: range, n }
+    let nrmse = if range == 0.0 {
+        0.0
+    } else {
+        mse.sqrt() / range
+    };
+    DistortionStats {
+        max_abs_error: max_err,
+        mse,
+        psnr,
+        nrmse,
+        value_range: range,
+        n,
+    }
 }
 
 /// `f32` convenience wrapper (errors are accumulated in f64).
@@ -121,8 +132,19 @@ pub fn distortion(original: &[f32], reconstructed: &[f32]) -> DistortionStats {
     } else {
         20.0 * (range / mse.sqrt()).log10()
     };
-    let nrmse = if range == 0.0 { 0.0 } else { mse.sqrt() / range };
-    DistortionStats { max_abs_error: max_err, mse, psnr, nrmse, value_range: range, n }
+    let nrmse = if range == 0.0 {
+        0.0
+    } else {
+        mse.sqrt() / range
+    };
+    DistortionStats {
+        max_abs_error: max_err,
+        mse,
+        psnr,
+        nrmse,
+        value_range: range,
+        n,
+    }
 }
 
 #[cfg(test)]

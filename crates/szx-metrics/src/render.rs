@@ -19,7 +19,13 @@ fn normalize(data: &[f32]) -> Vec<f64> {
     }
     let range = if hi > lo { hi - lo } else { 1.0 };
     data.iter()
-        .map(|&v| if v.is_nan() { 0.0 } else { ((v as f64) - lo) / range })
+        .map(|&v| {
+            if v.is_nan() {
+                0.0
+            } else {
+                ((v as f64) - lo) / range
+            }
+        })
         .collect()
 }
 
@@ -38,11 +44,11 @@ fn colormap(t: f64) -> [u8; 3] {
     let t = t.clamp(0.0, 1.0);
     // Piecewise linear through 5 anchor colors.
     const ANCHORS: [[f64; 3]; 5] = [
-        [13.0, 8.0, 135.0],    // deep blue
-        [84.0, 2.0, 163.0],    // purple
-        [204.0, 71.0, 120.0],  // magenta
-        [248.0, 149.0, 64.0],  // orange
-        [240.0, 249.0, 33.0],  // yellow
+        [13.0, 8.0, 135.0],   // deep blue
+        [84.0, 2.0, 163.0],   // purple
+        [204.0, 71.0, 120.0], // magenta
+        [248.0, 149.0, 64.0], // orange
+        [240.0, 249.0, 33.0], // yellow
     ];
     let x = t * (ANCHORS.len() - 1) as f64;
     let i = (x as usize).min(ANCHORS.len() - 2);

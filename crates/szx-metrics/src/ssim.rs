@@ -45,9 +45,19 @@ impl Integral {
 ///
 /// Window size defaults to 8 when `window = 0`. Slices smaller than the
 /// window are compared with one window covering the whole slice.
-pub fn ssim_2d(original: &[f32], reconstructed: &[f32], width: usize, height: usize, window: usize) -> f64 {
+pub fn ssim_2d(
+    original: &[f32],
+    reconstructed: &[f32],
+    width: usize,
+    height: usize,
+    window: usize,
+) -> f64 {
     assert_eq!(original.len(), width * height, "original size mismatch");
-    assert_eq!(reconstructed.len(), width * height, "reconstruction size mismatch");
+    assert_eq!(
+        reconstructed.len(),
+        width * height,
+        "reconstruction size mismatch"
+    );
     let win = if window == 0 { 8 } else { window }.min(width).min(height);
     if win == 0 {
         return 1.0;

@@ -1,0 +1,219 @@
+//! # szx-telemetry
+//!
+//! Zero-dependency observability for the szx compression pipeline: atomic
+//! [`Counter`]s, log2/linear-bucketed [`Histogram`]s, RAII [`Span`] timers
+//! on monotonic clocks, and a global [`Registry`] snapshotted into a
+//! [`Report`] that renders through pluggable sinks (human-readable table or
+//! JSON-lines for machines).
+//!
+//! ## Design rules
+//!
+//! * **Off by default, near-free when off.** Every entry point checks one
+//!   relaxed atomic ([`enabled`]); the hot per-block/per-element paths in
+//!   `szx-core` accumulate into *local* plain structs and flush to the
+//!   global registry once per API call, so disabling telemetry removes all
+//!   shared-memory traffic and enabling it adds no per-element atomics.
+//! * **No contention across workers.** Parallel code keeps one local
+//!   collector per chunk/thread and merges at the join point — the global
+//!   registry only sees one flush per top-level call.
+//! * **Paper-relevant counters for free.** `szx-core` publishes the §5.3
+//!   impact factors (constant / non-constant / bit-exact-fallback block
+//!   counts, the required-length histogram, mid-bytes written, leading-byte
+//!   savings) on every instrumented compression, so a single run reproduces
+//!   the paper's impact-factor analysis.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use szx_telemetry as tel;
+//!
+//! tel::set_enabled(true);
+//! {
+//!     let _span = tel::span("demo.work");
+//!     tel::global().counter("demo.items").add(3);
+//!     tel::global().hist_log2("demo.sizes").record(4096);
+//! } // span records its wall time on drop
+//!
+//! let report = tel::global().snapshot();
+//! assert_eq!(report.counter("demo.items"), Some(3));
+//! println!("{}", tel::render_table(&report));
+//! println!("{}", tel::render_jsonl(&report)); // one JSON object per line
+//! # tel::global().reset();
+//! # tel::set_enabled(false);
+//! ```
+//!
+//! ## Adding a new counter
+//!
+//! Call `tel::global().counter("area.name").add(n)` (or `hist_log2` /
+//! `hist_linear` / `span`) — names are created on first use, no central
+//! enum to extend. Keep names `area.metric`-shaped so the table sink groups
+//! sensibly, and gate any non-trivial computation of `n` behind
+//! [`enabled`].
+
+mod hist;
+mod registry;
+mod report;
+
+pub use hist::{Histogram, HistogramKind, HistogramSnapshot};
+pub use registry::{Counter, Registry, SpanStats};
+pub use report::{render_jsonl, render_table, Report, SpanSnapshot, Value};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Master switch. Reads the `SZX_TELEMETRY` environment variable once
+/// (`1`/`true`/`on` enable) and can be flipped at runtime with
+/// [`set_enabled`].
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: OnceLock<()> = OnceLock::new();
+
+fn init_from_env() {
+    ENV_INIT.get_or_init(|| {
+        if let Ok(v) = std::env::var("SZX_TELEMETRY") {
+            let on = matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes");
+            ENABLED.store(on, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Is telemetry collection on? One relaxed load; safe to call on hot paths
+/// (but prefer hoisting out of per-element loops).
+#[inline]
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn collection on/off at runtime (overrides `SZX_TELEMETRY`).
+pub fn set_enabled(on: bool) {
+    init_from_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// RAII span timer: measures monotonic wall time from construction to drop
+/// and records it under `name` in the global registry. A disabled-telemetry
+/// span is a no-op (no clock read).
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Nanoseconds elapsed so far (0 when telemetry is disabled).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start
+            .map(|s| s.elapsed().as_nanos() as u64)
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            global().span_stats(self.name).record(ns);
+        }
+    }
+}
+
+/// Open a [`Span`] under `name` (`area.stage`-shaped names render grouped).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The global registry is process-wide; tests touching it serialize
+    /// here and reset it on entry.
+    pub(crate) fn lock_global() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        global().reset();
+        guard
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _g = lock_global();
+        set_enabled(false);
+        {
+            let s = span("test.off");
+            assert_eq!(s.elapsed_ns(), 0);
+        }
+        assert!(global().snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn enabled_span_records_on_drop() {
+        let _g = lock_global();
+        set_enabled(true);
+        {
+            let _s = span("test.on");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let r = global().snapshot();
+        let s = r.span("test.on").expect("span recorded");
+        assert_eq!(s.count, 1);
+        assert!(
+            s.total_ns >= 2_000_000,
+            "slept 2ms, recorded {}",
+            s.total_ns
+        );
+        set_enabled(false);
+    }
+
+    #[test]
+    fn nested_spans_accumulate_independently() {
+        let _g = lock_global();
+        set_enabled(true);
+        {
+            let _outer = span("test.outer");
+            for _ in 0..3 {
+                let _inner = span("test.inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let r = global().snapshot();
+        let outer = r.span("test.outer").unwrap();
+        let inner = r.span("test.inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        // The outer span encloses all inner spans, so its wall time
+        // dominates their sum.
+        assert!(
+            outer.total_ns >= inner.total_ns,
+            "outer {} must enclose inner {}",
+            outer.total_ns,
+            inner.total_ns
+        );
+        set_enabled(false);
+    }
+
+    #[test]
+    fn runtime_toggle_beats_env() {
+        let _g = lock_global();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+}

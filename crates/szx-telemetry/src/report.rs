@@ -1,0 +1,295 @@
+//! Snapshots and sinks: a [`Report`] is an immutable copy of the registry,
+//! renderable as a human table or a single JSON line (JSON-lines style, for
+//! log scrapers).
+
+use crate::hist::HistogramSnapshot;
+
+/// Aggregated view of one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+impl SpanSnapshot {
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Extra report fields added by callers (e.g. the CLI's end-to-end
+/// throughput), kept separate from registry-owned instruments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+/// Point-in-time copy of every instrument, plus caller-provided extras.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub counters: Vec<(String, u64)>,
+    pub hists: Vec<(String, HistogramSnapshot)>,
+    pub spans: Vec<(String, SpanSnapshot)>,
+    pub extra: Vec<(String, Value)>,
+}
+
+impl Report {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.hists.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    pub fn push_extra(&mut self, name: impl Into<String>, value: Value) {
+        self.extra.push((name.into(), value));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Human-readable table sink.
+pub fn render_table(report: &Report) -> String {
+    let mut out = String::new();
+    if !report.spans.is_empty() {
+        out.push_str("spans:\n");
+        for (name, s) in &report.spans {
+            out.push_str(&format!(
+                "  {name:<36} count {:>8}  total {:>12}  mean {:>12}\n",
+                s.count,
+                fmt_ns(s.total_ns as f64),
+                fmt_ns(s.mean_ns()),
+            ));
+        }
+    }
+    if !report.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &report.counters {
+            out.push_str(&format!("  {name:<36} {v:>12}\n"));
+        }
+    }
+    if !report.hists.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &report.hists {
+            out.push_str(&format!(
+                "  {name:<36} count {:>8}  min {}  max {}  mean {:.2}\n",
+                h.count,
+                h.min,
+                h.max,
+                h.mean()
+            ));
+            let peak = h.buckets.iter().map(|&(_, n)| n).max().unwrap_or(1);
+            for &(lo, n) in &h.buckets {
+                let bar = "#".repeat(((n * 40).div_ceil(peak.max(1))) as usize);
+                out.push_str(&format!("    {lo:>12} | {n:>10} {bar}\n"));
+            }
+        }
+    }
+    if !report.extra.is_empty() {
+        out.push_str("derived:\n");
+        for (name, v) in &report.extra {
+            let rendered = match v {
+                Value::U64(x) => x.to_string(),
+                Value::F64(x) => format!("{x:.4}"),
+                Value::Str(s) => s.clone(),
+            };
+            out.push_str(&format!("  {name:<36} {rendered:>12}\n"));
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Machine sink: the whole report as ONE JSON object on one line
+/// (JSON-lines / ndjson framing — append reports to a log and parse line
+/// by line).
+pub fn render_jsonl(report: &Report) -> String {
+    let mut o = String::with_capacity(1024);
+    o.push_str("{\"event\":\"szx_telemetry\"");
+
+    o.push_str(",\"spans\":{");
+    for (i, (name, s)) in report.spans.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        json_escape(name, &mut o);
+        o.push_str(&format!(
+            ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            s.count, s.total_ns, s.min_ns, s.max_ns
+        ));
+    }
+    o.push('}');
+
+    o.push_str(",\"counters\":{");
+    for (i, (name, v)) in report.counters.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        json_escape(name, &mut o);
+        o.push_str(&format!(":{v}"));
+    }
+    o.push('}');
+
+    o.push_str(",\"hists\":{");
+    for (i, (name, h)) in report.hists.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        json_escape(name, &mut o);
+        o.push_str(&format!(
+            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            h.count, h.sum, h.min, h.max
+        ));
+        for (j, &(lo, n)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                o.push(',');
+            }
+            o.push_str(&format!("[{lo},{n}]"));
+        }
+        o.push_str("]}");
+    }
+    o.push('}');
+
+    o.push_str(",\"derived\":{");
+    for (i, (name, v)) in report.extra.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        json_escape(name, &mut o);
+        o.push(':');
+        match v {
+            Value::U64(x) => o.push_str(&x.to_string()),
+            Value::F64(x) => json_f64(*x, &mut o),
+            Value::Str(s) => json_escape(s, &mut o),
+        }
+    }
+    o.push('}');
+
+    o.push('}');
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::{Histogram, HistogramKind};
+
+    fn sample_report() -> Report {
+        let h = Histogram::new(HistogramKind::Linear { max: 64 });
+        h.record_n(20, 5);
+        h.record(32);
+        let mut r = Report {
+            counters: vec![("c.a".into(), 3), ("c.b".into(), 0)],
+            hists: vec![("h.req".into(), h.snapshot())],
+            spans: vec![(
+                "s.total".into(),
+                SpanSnapshot {
+                    count: 2,
+                    total_ns: 1000,
+                    min_ns: 400,
+                    max_ns: 600,
+                },
+            )],
+            extra: Vec::new(),
+        };
+        r.push_extra("throughput_gbps", Value::F64(1.25));
+        r.push_extra("mode", Value::Str("serial".into()));
+        r
+    }
+
+    #[test]
+    fn table_mentions_every_instrument() {
+        let t = render_table(&sample_report());
+        for needle in [
+            "c.a",
+            "c.b",
+            "h.req",
+            "s.total",
+            "throughput_gbps",
+            "serial",
+        ] {
+            assert!(t.contains(needle), "table missing {needle}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_line_and_balanced() {
+        let j = render_jsonl(&sample_report());
+        assert!(!j.contains('\n'), "must be a single line");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.starts_with("{\"event\":\"szx_telemetry\""));
+        assert!(j.contains("\"c.a\":3"));
+        assert!(j.contains("\"buckets\":[[20,5],[32,1]]"));
+        assert!(j.contains("\"throughput_gbps\":1.25"));
+        assert!(j.contains("\"mode\":\"serial\""));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_chars() {
+        let mut s = String::new();
+        json_escape("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+        let mut s = String::new();
+        json_f64(f64::NAN, &mut s);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn report_lookup_helpers() {
+        let r = sample_report();
+        assert_eq!(r.counter("c.a"), Some(3));
+        assert_eq!(r.counter("nope"), None);
+        assert_eq!(r.hist("h.req").unwrap().count, 6);
+        assert_eq!(r.span("s.total").unwrap().mean_ns(), 500.0);
+    }
+}

@@ -16,7 +16,10 @@ fn main() {
     let rel = 1e-3;
     let cfg = SzxConfig::relative(rel);
 
-    println!("CESM-ATM archive pass (REL={rel:.0e}, {} fields)", dataset.fields.len());
+    println!(
+        "CESM-ATM archive pass (REL={rel:.0e}, {} fields)",
+        dataset.fields.len()
+    );
     println!(
         "{:<10} {:>12} {:>8} {:>9} {:>8} {:>10}",
         "field", "elements", "CR", "PSNR(dB)", "SSIM", "max|err|"
@@ -45,7 +48,11 @@ fn main() {
             stats.max_abs_error
         );
         let eb = rel * field.value_range();
-        assert!(stats.max_abs_error <= eb + f64::EPSILON, "{}: bound violated", field.name);
+        assert!(
+            stats.max_abs_error <= eb + f64::EPSILON,
+            "{}: bound violated",
+            field.name
+        );
     }
     println!(
         "\narchive total: {:.2} MB -> {:.2} MB (overall CR {:.2})",

@@ -45,7 +45,7 @@ fn main() {
     let line_start = 17 * nx; // y=17, z=0
     let ra = RandomAccess::<f32>::new(reader.stream("velocity-x").unwrap()).unwrap();
     let line = ra.decode_range(line_start, line_start + nx).expect("line");
-    let blocks_touched = (nx + 127) / 128 + 1;
+    let blocks_touched = nx.div_ceil(128) + 1;
     println!(
         "extracted one x-line ({} values) touching <= {blocks_touched} of {} blocks",
         line.len(),

@@ -25,7 +25,11 @@ struct StateCache {
 
 impl StateCache {
     fn new(cfg: SzxConfig, state_len: usize) -> Self {
-        StateCache { cfg, slots: Vec::new(), raw_bytes_per_state: state_len * 4 }
+        StateCache {
+            cfg,
+            slots: Vec::new(),
+            raw_bytes_per_state: state_len * 4,
+        }
     }
 
     fn store(&mut self, state: &[f32]) -> usize {
@@ -89,7 +93,10 @@ fn main() {
 
     let raw = cache.raw_bytes();
     let compressed = cache.compressed_bytes();
-    println!("snapshots:        {SNAPSHOTS} x {} MB", STATE_LEN * 4 / (1 << 20));
+    println!(
+        "snapshots:        {SNAPSHOTS} x {} MB",
+        STATE_LEN * 4 / (1 << 20)
+    );
     println!("raw footprint:    {:.1} MB", raw as f64 / 1e6);
     println!("cached footprint: {:.1} MB", compressed as f64 / 1e6);
     println!("memory saved:     {:.1}x", raw as f64 / compressed as f64);

@@ -1,16 +1,15 @@
 //! Online instrument-data compression: the LCLS-II use case from the
 //! paper's introduction — a detector produces frames at a fixed rate and
 //! each frame must be compressed before the next one arrives, or data is
-//! dropped. The example streams frames through the multicore compressor
-//! and reports the sustained throughput against a target ingest rate.
+//! dropped. The example streams frames through [`szx_core::FrameWriter`]
+//! and reads the sustained throughput and per-frame latency straight off
+//! its built-in [`szx_core::FrameStats`] — no ad-hoc stopwatch code.
 //!
 //! ```sh
 //! cargo run --release -p szx-examples --bin instrument_stream
 //! ```
 
-use std::time::Instant;
-
-use szx_core::{parallel, SzxConfig};
+use szx_core::{FrameReader, FrameWriter, SzxConfig};
 use szx_data::grf;
 
 /// Synthesize a detector frame: a diffraction-like pattern (smooth rings +
@@ -41,39 +40,51 @@ fn main() {
     const FRAMES: u64 = 40;
     // Target: a 4 MP float detector at 1 kHz = 4 GB/s per node.
     const TARGET_GBPS: f64 = 4.0;
+    const FRAME_BUDGET_NS: f64 = 1e6; // 1 kHz → 1 ms per frame
 
-    let cfg = SzxConfig::relative(1e-3);
-    let frame_bytes = W * H * 4;
-
-    let mut compressed_total = 0usize;
-    let start = Instant::now();
-    for frame_no in 0..FRAMES {
-        let frame = make_frame(W, H, frame_no);
-        let bytes = parallel::compress(&frame, &cfg).expect("compress frame");
-        compressed_total += bytes.len();
-    }
-    let elapsed = start.elapsed().as_secs_f64();
-    // Generation time is part of the loop; measure compression alone too.
+    // Synthesize up front so the stats measure compression, not generation.
     let frames: Vec<Vec<f32>> = (0..FRAMES).map(|i| make_frame(W, H, i)).collect();
-    let start = Instant::now();
-    let mut sink = 0usize;
-    for frame in &frames {
-        sink += parallel::compress(frame, &cfg).expect("compress frame").len();
-    }
-    let compress_only = start.elapsed().as_secs_f64();
 
-    let ingest = FRAMES as usize * frame_bytes;
-    let gbps = ingest as f64 / compress_only / 1e9;
-    println!("frames:            {FRAMES} x {W}x{H} f32 ({:.1} MB each)", frame_bytes as f64 / 1e6);
-    println!("end-to-end time:   {elapsed:.2} s (incl. frame synthesis)");
-    println!("compress time:     {compress_only:.2} s");
+    let mut writer = FrameWriter::new(SzxConfig::relative(1e-3)).expect("config");
+    for frame in &frames {
+        writer.push(frame).expect("compress frame");
+    }
+
+    // Everything below comes from the writer's own per-frame accounting.
+    let s = *writer.stats();
+    let gbps = s.throughput_gbps();
+    println!(
+        "frames:            {} x {W}x{H} f32 ({:.1} MB each)",
+        s.frames,
+        (W * H * 4) as f64 / 1e6
+    );
+    println!("compress time:     {:.2} s", s.compress_ns as f64 / 1e9);
     println!("compress rate:     {gbps:.2} GB/s (target {TARGET_GBPS} GB/s)");
-    println!("compression ratio: {:.2}x", ingest as f64 / sink as f64);
-    println!("frame budget used: {:.0}%", 100.0 * (compress_only / FRAMES as f64) / 1e-3);
-    let _ = compressed_total;
+    println!("compression ratio: {:.2}x", s.ratio());
+    println!(
+        "frame latency:     min {:.2} ms  mean {:.2} ms  max {:.2} ms",
+        s.min_frame_ns as f64 / 1e6,
+        s.mean_frame_ns() / 1e6,
+        s.max_frame_ns as f64 / 1e6
+    );
+    println!(
+        "frame budget used: {:.0}% (worst frame)",
+        100.0 * s.max_frame_ns as f64 / FRAME_BUDGET_NS
+    );
     if gbps >= TARGET_GBPS {
         println!("=> keeps up with the instrument ✓");
     } else {
         println!("=> needs {:.1} more nodes at this rate", TARGET_GBPS / gbps);
     }
+
+    // The container is a valid SZXS stream: prove any frame reads back.
+    let bytes = writer.into_bytes();
+    let reader = FrameReader::new(&bytes).expect("parse container");
+    let mid: Vec<f32> = reader.frame(FRAMES as usize / 2).expect("decode frame");
+    assert_eq!(mid.len(), W * H);
+    println!(
+        "container:         {} frames, {:.1} MB total",
+        reader.num_frames(),
+        bytes.len() as f64 / 1e6
+    );
 }

@@ -31,7 +31,10 @@ fn main() {
     println!("elements:          {}", data.len());
     println!("raw size:          {} bytes", data.len() * 4);
     println!("compressed size:   {} bytes", compressed.len());
-    println!("compression ratio: {:.2}x", (data.len() * 4) as f64 / compressed.len() as f64);
+    println!(
+        "compression ratio: {:.2}x",
+        (data.len() * 4) as f64 / compressed.len() as f64
+    );
     println!("absolute bound:    {:.3e}", header.eb);
     println!("max |error|:       {:.3e}", max_err);
     println!(

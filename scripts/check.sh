@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 gate, fully offline: everything resolves against the in-repo
+# shims (see shims/README.md), so no network or registry access is needed.
+#
+#   scripts/check.sh           # build + tests + fmt + clippy
+#   scripts/check.sh --fast    # build + tests only
+#
+# Run from anywhere; the script cd's to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Keep cargo away from the network: the workspace pins every external
+# dependency to a local path shim, so an offline build must succeed.
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "--fast" ]]; then
+    echo "==> OK (fast: skipped fmt/clippy)"
+    exit 0
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+# Lint the crates this PR series actively maintains; -D warnings keeps the
+# gate binary (a finding fails the script, not just prints).
+echo "==> cargo clippy -D warnings"
+cargo clippy --release \
+    -p szx-telemetry -p szx-core -p szx-cli -p szx-data \
+    -p szx-integration-tests -p szx-examples -p bench \
+    --all-targets -- -D warnings
+
+echo "==> OK"

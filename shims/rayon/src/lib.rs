@@ -1,0 +1,314 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal drop-in that implements exactly the data-parallel subset the
+//! codebase uses — `par_chunks`, `par_chunks_mut`, `par_iter`, `map`,
+//! `enumerate`, `collect`, `reduce`, `for_each`, `try_for_each`, and
+//! `current_num_threads` — with real OS threads via [`std::thread::scope`].
+//!
+//! Semantics match rayon where it matters here:
+//! * closures run concurrently across up to [`current_num_threads`] workers;
+//! * item order is preserved by all collecting adapters;
+//! * panics in worker closures propagate to the caller.
+//!
+//! It is *not* a work-stealing scheduler: each terminal operation splits its
+//! items into contiguous runs, one per worker thread. For the block/chunk
+//! granularity this workspace uses, that is the same parallel shape the
+//! paper's OpenMP implementation has.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation will use at most.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Run `f` over `items` on up to [`current_num_threads`] threads, preserving
+/// item order in the result.
+fn par_apply<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n).max(1);
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous runs, one per worker; the first `rem` runs get one extra.
+    let base = n / workers;
+    let rem = n % workers;
+    let mut groups: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    for w in (0..workers).rev() {
+        let size = base + usize::from(w < rem);
+        groups.push(items.split_off(items.len() - size));
+    }
+    groups.reverse();
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|g| s.spawn(move || g.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// The parallel-iterator trait: adapters build lazily, terminal operations
+/// evaluate on worker threads.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+
+    /// Evaluate the pipeline, returning all items in order (terminal).
+    fn collect_items(self) -> Vec<Self::Item>;
+
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_items(self.collect_items())
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        par_apply(self.collect_items(), f);
+    }
+
+    fn try_for_each<F, E>(self, f: F) -> Result<(), E>
+    where
+        F: Fn(Self::Item) -> Result<(), E> + Sync + Send,
+        E: Send,
+    {
+        par_apply(self.collect_items(), f).into_iter().collect()
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.collect_items().into_iter().fold(identity(), &op)
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.collect_items().into_iter().sum()
+    }
+}
+
+/// Conversion out of a finished parallel pipeline (rayon's `collect` bound).
+pub trait FromParallelIterator<T> {
+    fn from_par_items(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_items(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// `map` adapter. The mapping closure is what actually runs in parallel.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn collect_items(self) -> Vec<R> {
+        par_apply(self.base.collect_items(), self.f)
+    }
+}
+
+/// `enumerate` adapter (indices follow source order, as in rayon's indexed
+/// iterators).
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn collect_items(self) -> Vec<(usize, I::Item)> {
+        self.base.collect_items().into_iter().enumerate().collect()
+    }
+}
+
+/// Source: `&slice.par_chunks(n)`.
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+
+    fn collect_items(self) -> Vec<&'a [T]> {
+        self.slice.chunks(self.size).collect()
+    }
+}
+
+/// Source: `&mut slice.par_chunks_mut(n)`.
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn collect_items(self) -> Vec<&'a mut [T]> {
+        self.slice.chunks_mut(self.size).collect()
+    }
+}
+
+/// Source: `collection.par_iter()`.
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn collect_items(self) -> Vec<&'a T> {
+        self.slice.iter().collect()
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        Chunks { slice: self, size }
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksMut { slice: self, size }
+    }
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = Iter<'a, T>;
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = Iter<'a, T>;
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_map_collect_preserves_order() {
+        let data: Vec<u32> = (0..1000).collect();
+        let sums: Vec<u32> = data.par_chunks(7).map(|c| c.iter().sum::<u32>()).collect();
+        let expect: Vec<u32> = data.chunks(7).map(|c| c.iter().sum::<u32>()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_try_for_each() {
+        let mut data = vec![0u32; 100];
+        data.par_chunks_mut(9)
+            .enumerate()
+            .try_for_each(|(i, c)| -> Result<(), ()> {
+                for v in c.iter_mut() {
+                    *v = i as u32;
+                }
+                Ok(())
+            })
+            .unwrap();
+        for (i, c) in data.chunks(9).enumerate() {
+            assert!(c.iter().all(|&v| v == i as u32));
+        }
+    }
+
+    #[test]
+    fn reduce_and_collect_result() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (lo, hi) = data.par_chunks(13).map(|c| (c[0], c[c.len() - 1])).reduce(
+            || (f64::INFINITY, f64::NEG_INFINITY),
+            |a, b| (a.0.min(b.0), a.1.max(b.1)),
+        );
+        assert_eq!((lo, hi), (0.0, 99.0));
+
+        let ok: Result<Vec<u32>, String> = data.par_iter().map(|&v| Ok(v as u32)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u32>, String> = data
+            .par_iter()
+            .map(|&v| {
+                if v > 50.0 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(v as u32)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+}

@@ -49,20 +49,32 @@ fn all_codecs_respect_bounds_on_miranda() {
 fn table3_ordering_holds_overall() {
     // Aggregated over all Miranda fields: CR(SZ) > CR(ZFP) > CR(SZx) > CR(LZ).
     let ds = tiny(Application::Miranda);
-    let (mut raw, mut szx_c, mut sz_c, mut zfp_c, mut lz_c) = (0usize, 0usize, 0usize, 0usize, 0usize);
+    let (mut raw, mut szx_c, mut sz_c, mut zfp_c, mut lz_c) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
     for f in &ds.fields {
         let eb = 1e-3 * f.value_range();
         raw += f.raw_bytes();
-        szx_c += szx_core::compress(&f.data, &SzxConfig::absolute(eb)).unwrap().len();
+        szx_c += szx_core::compress(&f.data, &SzxConfig::absolute(eb))
+            .unwrap()
+            .len();
         sz_c += szlike::compress(&f.data, f.dims, eb).unwrap().len();
         zfp_c += zfplike::compress(&f.data, f.dims, eb).unwrap().len();
         lz_c += lzlike::compress_f32(&f.data).unwrap().len();
     }
     let cr = |c: usize| raw as f64 / c as f64;
     assert!(cr(sz_c) > cr(zfp_c), "SZ {} vs ZFP {}", cr(sz_c), cr(zfp_c));
-    assert!(cr(zfp_c) > cr(szx_c), "ZFP {} vs SZx {}", cr(zfp_c), cr(szx_c));
+    assert!(
+        cr(zfp_c) > cr(szx_c),
+        "ZFP {} vs SZx {}",
+        cr(zfp_c),
+        cr(szx_c)
+    );
     assert!(cr(szx_c) > cr(lz_c), "SZx {} vs LZ {}", cr(szx_c), cr(lz_c));
-    assert!(cr(lz_c) > 1.0 && cr(lz_c) < 2.5, "lossless CR in the paper band: {}", cr(lz_c));
+    assert!(
+        cr(lz_c) > 1.0 && cr(lz_c) < 2.5,
+        "lossless CR in the paper band: {}",
+        cr(lz_c)
+    );
 }
 
 #[test]
@@ -103,7 +115,9 @@ fn solution_b_stream_is_never_larger_than_solution_c() {
     let ds = tiny(Application::Hurricane);
     let f = ds.field("TC").unwrap();
     let eb = 1e-4 * f.value_range();
-    let c = szx_core::compress(&f.data, &SzxConfig::absolute(eb)).unwrap().len();
+    let c = szx_core::compress(&f.data, &SzxConfig::absolute(eb))
+        .unwrap()
+        .len();
     let b = szx_core::compress(
         &f.data,
         &SzxConfig::absolute(eb).with_strategy(CommitStrategy::BytePlusResidual),

@@ -22,7 +22,11 @@ fn gpu_streams_byte_identical_across_apps() {
 
 #[test]
 fn gpu_reconstruction_identical_across_apps() {
-    for app in [Application::Miranda, Application::Hurricane, Application::QmcPack] {
+    for app in [
+        Application::Miranda,
+        Application::Hurricane,
+        Application::QmcPack,
+    ] {
         let ds = tiny(app);
         let f = &ds.fields[0];
         let eb = (1e-4 * f.value_range()).max(1e-30);

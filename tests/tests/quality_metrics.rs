@@ -62,7 +62,10 @@ fn ssim_degrades_monotonically_with_bound() {
         let bytes = szx_core::compress(&f.data, &SzxConfig::relative(rel)).unwrap();
         let back: Vec<f32> = szx_core::decompress(&bytes).unwrap();
         let s = ssim_2d(&orig, &back[z * plane..(z + 1) * plane], w, h, 0);
-        assert!(s >= last - 1e-9, "SSIM must not degrade with tighter bound: {last} -> {s}");
+        assert!(
+            s >= last - 1e-9,
+            "SSIM must not degrade with tighter bound: {last} -> {s}"
+        );
         last = s;
     }
 }
