@@ -1,0 +1,83 @@
+//! Tentpole acceptance bench: the branch-free kernel path
+//! (`KernelSelect::Kernel`) vs. the scalar reference path
+//! (`KernelSelect::Scalar`) on 64 MB f32 inputs drawn from the CESM-ATM and
+//! Nyx generators. Both paths produce byte-identical archives (asserted at
+//! setup), so any delta is pure hot-loop throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szx_core::config::KernelSelect;
+use szx_core::SzxConfig;
+use szx_data::{Application, Scale};
+
+/// 64 MB of f32 (16 Mi elements), stitched from the application's fields.
+const TARGET_ELEMS: usize = 16 * 1024 * 1024;
+
+fn dataset_64mb(app: Application) -> Vec<f32> {
+    let ds = app.generate_limited(Scale::Large, 7, 16);
+    let mut data = Vec::with_capacity(TARGET_ELEMS);
+    'outer: loop {
+        for f in &ds.fields {
+            let room = TARGET_ELEMS - data.len();
+            if room == 0 {
+                break 'outer;
+            }
+            data.extend_from_slice(&f.data[..f.data.len().min(room)]);
+        }
+    }
+    data
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    for (name, app) in [("cesm", Application::CesmAtm), ("nyx", Application::Nyx)] {
+        let data = dataset_64mb(app);
+        let bytes = (data.len() * 4) as u64;
+
+        // The acceptance criterion only counts if both paths agree.
+        let cfg = SzxConfig::relative(1e-3);
+        let scalar = szx_core::compress(&data, &cfg.with_kernel(KernelSelect::Scalar)).unwrap();
+        let kernel = szx_core::compress(&data, &cfg.with_kernel(KernelSelect::Kernel)).unwrap();
+        assert_eq!(scalar, kernel, "{name}: paths must be byte-identical");
+        drop((scalar, kernel));
+
+        let mut g = c.benchmark_group("kernel-throughput-compress");
+        g.throughput(Throughput::Bytes(bytes));
+        g.sample_size(10);
+        for (kname, sel) in [
+            ("scalar", KernelSelect::Scalar),
+            ("kernel", KernelSelect::Kernel),
+        ] {
+            let cfg = cfg.with_kernel(sel);
+            g.bench_function(BenchmarkId::new(kname, name), |b| {
+                b.iter(|| szx_core::compress(&data, &cfg).unwrap());
+            });
+        }
+        g.finish();
+
+        // Where the time goes: the two kernels in isolation.
+        let mut g = c.benchmark_group("kernel-primitives");
+        g.throughput(Throughput::Bytes(bytes));
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::new("minmax-scalar", name), |b| {
+            b.iter(|| {
+                let mut lo = f32::INFINITY;
+                let mut hi = f32::NEG_INFINITY;
+                for &d in &data {
+                    if d < lo {
+                        lo = d;
+                    }
+                    if d > hi {
+                        hi = d;
+                    }
+                }
+                (lo, hi)
+            });
+        });
+        g.bench_function(BenchmarkId::new("minmax-kernel", name), |b| {
+            b.iter(|| szx_core::kernels::minmax(&data));
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -37,7 +37,7 @@ szx — ultrafast error-bounded lossy compression (SZx, HPDC '22)
 USAGE:
   szx compress   <in.f32> <out.szx> --abs <e> | --rel <r>
                  [--f64] [--block <n>] [--parallel] [--strategy a|b|c]
-                 [--stats [--json]]
+                 [--kernel auto|scalar|kernel] [--stats [--json]]
   szx decompress <in.szx> <out.f32> [--parallel] [--stats [--json]]
   szx assess     <orig.f32> <in.szx> [--stats [--json]]
   szx info       <in.szx> [--stats]
@@ -129,7 +129,7 @@ fn io_pair(args: &[String]) -> Result<(PathBuf, PathBuf), String> {
         if a.starts_with("--") {
             if matches!(
                 a.as_str(),
-                "--abs" | "--rel" | "--block" | "--strategy" | "--scale"
+                "--abs" | "--rel" | "--block" | "--strategy" | "--scale" | "--kernel"
             ) {
                 skip = true;
             }
@@ -162,10 +162,19 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         Some("c") | None => CommitStrategy::ByteAligned,
         Some(other) => return Err(format!("unknown strategy {other}")),
     };
+    // Hot-loop selection: `scalar` is the reference oracle, `kernel` the
+    // branch-free path; streams are byte-identical either way.
+    let kernel = match flag_value(args, "--kernel").as_deref() {
+        Some("auto") | None => szx_core::KernelSelect::Auto,
+        Some("scalar") => szx_core::KernelSelect::Scalar,
+        Some("kernel") => szx_core::KernelSelect::Kernel,
+        Some(other) => return Err(format!("unknown kernel selection {other}")),
+    };
     let cfg = SzxConfig {
         block_size: block,
         error_bound: bound,
         strategy,
+        kernel,
     };
     let stats = stats_requested(args);
     let json = has_flag(args, "--json");

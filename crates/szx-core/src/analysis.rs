@@ -59,8 +59,11 @@ pub fn classify<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<BlockReport>
         req_len_histogram: vec![0; 65],
         eb,
     };
+    // The kernel scan is bit-identical to `BlockStats::compute` (property
+    // tested), so classification always matches what the compressor does
+    // regardless of the configured `KernelSelect`.
     for block in data.chunks(cfg.block_size) {
-        let stats = BlockStats::compute(block);
+        let stats = crate::kernels::block_stats(block);
         report.n_blocks += 1;
         if stats.is_constant_for(eb, block) {
             report.n_constant += 1;

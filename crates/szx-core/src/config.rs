@@ -100,6 +100,30 @@ impl CommitStrategy {
     }
 }
 
+/// Which implementation of the hot loops the compressor runs. The two paths
+/// produce **byte-identical** streams (asserted by the roundtrip property
+/// suite); the choice only affects speed, never the format, so it is not
+/// recorded in the stream header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelSelect {
+    /// Pick the fastest available path (currently the branch-free kernels).
+    #[default]
+    Auto,
+    /// The scalar reference loops — the correctness oracle the kernels are
+    /// tested against, and a debugging fallback.
+    Scalar,
+    /// The branch-free lane kernels in [`crate::kernels`], explicitly.
+    Kernel,
+}
+
+impl KernelSelect {
+    /// Resolve to a concrete choice: does this selection run the kernels?
+    #[inline]
+    pub fn use_kernel(self) -> bool {
+        !matches!(self, KernelSelect::Scalar)
+    }
+}
+
 /// Full compressor configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SzxConfig {
@@ -109,6 +133,9 @@ pub struct SzxConfig {
     pub error_bound: ErrorBound,
     /// Bit-commit strategy; keep the default unless running the §5.1 ablation.
     pub strategy: CommitStrategy,
+    /// Hot-loop implementation; keep the default unless benchmarking the
+    /// scalar oracle against the branch-free kernels.
+    pub kernel: KernelSelect,
 }
 
 impl SzxConfig {
@@ -118,6 +145,7 @@ impl SzxConfig {
             block_size: DEFAULT_BLOCK_SIZE,
             error_bound: ErrorBound::Absolute(eb),
             strategy: CommitStrategy::default(),
+            kernel: KernelSelect::default(),
         }
     }
 
@@ -128,6 +156,7 @@ impl SzxConfig {
             block_size: DEFAULT_BLOCK_SIZE,
             error_bound: ErrorBound::Relative(rel),
             strategy: CommitStrategy::default(),
+            kernel: KernelSelect::default(),
         }
     }
 
@@ -140,6 +169,12 @@ impl SzxConfig {
     /// Builder-style commit-strategy override.
     pub fn with_strategy(mut self, strategy: CommitStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style hot-loop selection override.
+    pub fn with_kernel(mut self, kernel: KernelSelect) -> Self {
+        self.kernel = kernel;
         self
     }
 

@@ -2,9 +2,10 @@
 
 use crate::bitio::BitWriter;
 use crate::block::{bytes_for, required_length, shift_for, BlockStats};
-use crate::config::{CommitStrategy, SzxConfig};
+use crate::config::{CommitStrategy, ErrorBound, SzxConfig};
 use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
+use crate::kernels::{self, EncodeScratch};
 use crate::stream::Header;
 
 /// Per-chunk telemetry accumulated with plain (non-atomic) arithmetic while
@@ -31,6 +32,16 @@ pub(crate) struct BlockEncodeStats {
     /// length, 0..=64) — same shape as
     /// [`crate::analysis::BlockReport::req_len_histogram`].
     pub req_len_hist: [u64; 65],
+    /// Wall time spent in the per-block range-scan kernel (only measured
+    /// while telemetry is enabled; flushed as the
+    /// `compress.kernel.range_scan` span).
+    pub ns_range_scan: u64,
+    /// Wall time spent encoding non-constant payloads (the
+    /// `compress.kernel.encode` span).
+    pub ns_encode: u64,
+    /// Scratch-arena growth events — nonzero only while the per-chunk
+    /// [`EncodeScratch`] warms up to the largest block.
+    pub scratch_grows: u64,
 }
 
 impl Default for BlockEncodeStats {
@@ -42,6 +53,9 @@ impl Default for BlockEncodeStats {
             mid_bytes: 0,
             lead_saved_bytes: 0,
             req_len_hist: [0; 65],
+            ns_range_scan: 0,
+            ns_encode: 0,
+            scratch_grows: 0,
         }
     }
 }
@@ -56,6 +70,9 @@ impl BlockEncodeStats {
         for (a, b) in self.req_len_hist.iter_mut().zip(&other.req_len_hist) {
             *a += b;
         }
+        self.ns_range_scan += other.ns_range_scan;
+        self.ns_encode += other.ns_encode;
+        self.scratch_grows += other.scratch_grows;
     }
 
     /// Record one non-constant block. The space accounting is derived from
@@ -120,12 +137,21 @@ impl<F: SzxFloat> ChunkOutput<F> {
     }
 }
 
-/// Reusable scratch for the Solution A/B encoders so block loops stay
-/// allocation-free.
-#[derive(Debug, Default)]
-pub(crate) struct Scratch {
-    bytes_pool: Vec<u8>,
-    bits: BitWriter,
+/// Resolve the configured error bound against the data, using the selected
+/// range-scan implementation (the two produce identical values; see
+/// [`kernels::value_range`]).
+pub(crate) fn resolve_bound<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> f64 {
+    match cfg.error_bound {
+        ErrorBound::Absolute(e) => e,
+        ErrorBound::Relative(rel) => {
+            let range = if cfg.kernel.use_kernel() {
+                kernels::value_range(data)
+            } else {
+                crate::config::value_range(data)
+            };
+            rel * range
+        }
+    }
 }
 
 /// Compress `data` into a self-describing SZx stream.
@@ -142,7 +168,7 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
     }
     let eb = {
         let _s = szx_telemetry::span("compress.range_scan");
-        cfg.error_bound.resolve(data)
+        resolve_bound(data, cfg)
     };
     if !eb.is_finite() || eb < 0.0 {
         return Err(SzxError::InvalidConfig(format!(
@@ -152,7 +178,7 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
 
     let nblocks = data.len().div_ceil(cfg.block_size);
     let mut chunk = ChunkOutput::with_capacity(nblocks, data.len() * F::BYTES);
-    let mut scratch = Scratch::default();
+    let mut scratch = EncodeScratch::default();
     {
         let _s = szx_telemetry::span("compress.encode_blocks");
         encode_blocks(
@@ -160,6 +186,7 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
             cfg.block_size,
             eb,
             cfg.strategy,
+            cfg.kernel.use_kernel(),
             &mut chunk,
             &mut scratch,
         );
@@ -169,20 +196,54 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
 }
 
 /// Encode every block of `data` (a whole number of blocks except possibly
-/// the last) into `out`. Shared by the serial and parallel paths.
+/// the last) into `out`. Shared by the serial and parallel paths;
+/// `use_kernel` selects between the branch-free kernels and the scalar
+/// oracle (byte-identical outputs, see [`crate::kernels`]).
 pub(crate) fn encode_blocks<F: SzxFloat>(
     data: &[F],
     block_size: usize,
     eb: f64,
     strategy: CommitStrategy,
+    use_kernel: bool,
     out: &mut ChunkOutput<F>,
-    scratch: &mut Scratch,
+    scratch: &mut EncodeScratch,
+) {
+    if use_kernel {
+        encode_blocks_impl::<F, true>(data, block_size, eb, strategy, out, scratch);
+    } else {
+        encode_blocks_impl::<F, false>(data, block_size, eb, strategy, out, scratch);
+    }
+    // Surface the scratch arena's growth events through the chunk stats so
+    // the allocation-regression test can observe them; the counter is reset
+    // so a reused scratch is not double-counted.
+    out.stats.scratch_grows += scratch.take_grows();
+}
+
+/// The monomorphized block loop. `KERNEL` is a const so each path compiles
+/// to its own fully-inlined loop with zero dispatch inside.
+fn encode_blocks_impl<F: SzxFloat, const KERNEL: bool>(
+    data: &[F],
+    block_size: usize,
+    eb: f64,
+    strategy: CommitStrategy,
+    out: &mut ChunkOutput<F>,
+    scratch: &mut EncodeScratch,
 ) {
     // Hoisted once per chunk: with telemetry off the block loop carries no
-    // accounting at all, with it on the accounting is chunk-local.
+    // accounting (and no clock reads) at all; with it on the accounting is
+    // chunk-local.
     let record = szx_telemetry::enabled();
     for block in data.chunks(block_size) {
-        let stats = BlockStats::compute(block);
+        let t0 = record.then(std::time::Instant::now);
+        let stats = if KERNEL {
+            kernels::block_stats(block)
+        } else {
+            BlockStats::compute(block)
+        };
+        let t1 = record.then(std::time::Instant::now);
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            out.stats.ns_range_scan += t1.duration_since(t0).as_nanos() as u64;
+        }
         if stats.is_constant_for(eb, block) {
             out.states.push(false);
             out.mus.push(stats.mu);
@@ -192,8 +253,11 @@ pub(crate) fn encode_blocks<F: SzxFloat>(
         } else {
             out.states.push(true);
             let start = out.payload.len();
-            let (mu, req_len) =
-                encode_nonconstant(block, &stats, eb, strategy, &mut out.payload, scratch);
+            let (mu, req_len) = if KERNEL {
+                kernels::encode_nonconstant(block, &stats, eb, strategy, &mut out.payload, scratch)
+            } else {
+                encode_nonconstant(block, &stats, eb, strategy, &mut out.payload, scratch)
+            };
             out.mus.push(mu);
             let zsize = out.payload.len() - start;
             debug_assert!(
@@ -204,6 +268,9 @@ pub(crate) fn encode_blocks<F: SzxFloat>(
             if record {
                 out.stats
                     .record_nonconstant(req_len, zsize, block.len(), F::FULL_BITS, strategy);
+                if let Some(t1) = t1 {
+                    out.stats.ns_encode += t1.elapsed().as_nanos() as u64;
+                }
             }
         }
     }
@@ -296,6 +363,18 @@ fn flush_encode_telemetry<F: SzxFloat>(
     tel.counter("compress.bytes.raw").add(raw_bytes as u64);
     tel.counter("compress.bytes.stream")
         .add(stream_bytes as u64);
+    tel.counter("compress.scratch.grows")
+        .add(merged.scratch_grows);
+    // Per-kernel time attribution: one aggregate record per top-level call
+    // (per-block clock reads happen only while telemetry is on).
+    if merged.ns_range_scan > 0 {
+        tel.span_stats("compress.kernel.range_scan")
+            .record(merged.ns_range_scan);
+    }
+    if merged.ns_encode > 0 {
+        tel.span_stats("compress.kernel.encode")
+            .record(merged.ns_encode);
+    }
 
     let req_hist = tel.hist_linear("compress.req_len", 64);
     for (r, &count) in merged.req_len_hist.iter().enumerate() {
@@ -324,7 +403,7 @@ fn encode_nonconstant<F: SzxFloat>(
     eb: f64,
     strategy: CommitStrategy,
     payload: &mut Vec<u8>,
-    scratch: &mut Scratch,
+    scratch: &mut EncodeScratch,
 ) -> (F, u32) {
     let req_len = required_length::<F>(stats.radius, eb);
     let raw = req_len == F::FULL_BITS;
@@ -438,6 +517,7 @@ mod tests {
             block_size: 4,
             error_bound: ErrorBound::Relative(1e-3),
             strategy: CommitStrategy::ByteAligned,
+            kernel: crate::config::KernelSelect::Auto,
         };
         // Range overflows f64? No — f32::MAX fits in f64, so this resolves
         // fine and must compress.

@@ -1,0 +1,379 @@
+//! Branch-free, autovectorizer-friendly implementations of the three hot
+//! loops of Algorithm 1 — the paper's premise is that SZx stays ultrafast by
+//! restricting itself to adds, bitwise ops, and memcpy (§4), and these
+//! kernels restructure the per-value work so the compiler can actually emit
+//! that shape:
+//!
+//! 1. **Range scan** ([`block_stats`], [`minmax`]): min/max over fixed
+//!    [`LANES`]-wide accumulator stripes with no NaN branch in the loop body
+//!    (NaN presence is OR-accumulated via `is_nan()` alongside the
+//!    comparisons), reduced lane-by-lane at the end.
+//! 2. **Normalize → shift → XOR → leading-byte coding**
+//!    ([`encode_nonconstant`]): one pass materializes the high-aligned,
+//!    right-shifted words (Formulas 4–5), a second pass XORs each word with
+//!    its predecessor through a sliding window (no loop-carried scalar) and
+//!    derives the 2-bit lead codes with table-free bit arithmetic
+//!    (`clz >> 3`, clamped with a branch-free `min`), a third packs four
+//!    codes per byte.
+//! 3. **Mid-byte committer**: every value stores `nb − lead` bytes, but the
+//!    kernel always writes a full 8-byte big-endian word (`w << 8·lead`)
+//!    into the [`EncodeScratch`] arena and advances the cursor by the true
+//!    length — the next store overlaps the garbage tail, so the inner loop
+//!    is an unconditional 8-byte store instead of a variable-length
+//!    bounds-checked `Vec` append (the Solution C "memcpy-only" commit of
+//!    §5.1, without the per-value call).
+//!
+//! Every kernel is **byte-for-byte equivalent** to the scalar reference
+//! loops in [`crate::block`] / [`crate::encode`] — including the sign of
+//! zero in `μ` for mixed-zero blocks and NaN classification — which the
+//! roundtrip property suite asserts over the full configuration grid. The
+//! scalar loops are kept as the oracle behind
+//! [`KernelSelect::Scalar`](crate::config::KernelSelect).
+
+use crate::bitio::BitWriter;
+use crate::block::{bytes_for, required_length, shift_for, BlockStats};
+use crate::config::CommitStrategy;
+use crate::float::SzxFloat;
+
+/// Accumulator stripes per scan loop. Eight lanes cover a 256-bit vector of
+/// `f32` (one AVX2 register) and two 256-bit vectors of `f64`; the default
+/// 128-element block is 16 full stripes.
+pub const LANES: usize = 8;
+
+/// Reusable per-chunk scratch for the encode kernels. Threaded through
+/// [`crate::encode::encode_blocks`] (serial: one per call; parallel: one per
+/// rayon chunk) so the block loop performs **zero** allocations once the
+/// arenas have grown to the chunk's largest block.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    /// High-aligned, normalized, shifted words — one per block element.
+    words: Vec<u64>,
+    /// 2-bit leading-byte code per element (stored unpacked, one byte each).
+    leads: Vec<u8>,
+    /// Mid-byte arena: worst case 8 bytes per element, plus 8 bytes of slack
+    /// so the committer's unconditional 8-byte stores never overrun.
+    mid: Vec<u8>,
+    /// Whole-byte pool for Solution A/B scalar fallbacks.
+    pub(crate) bytes_pool: Vec<u8>,
+    /// Bit pool for Solution A/B residuals.
+    pub(crate) bits: BitWriter,
+    /// Arena (re)allocation events — flushed to the
+    /// `compress.scratch.grows` telemetry counter so tests can assert the
+    /// hot loop stays allocation-free after warm-up.
+    pub(crate) grows: u64,
+}
+
+impl EncodeScratch {
+    /// Grow the arenas to hold a block of `blen` elements. Amortized free:
+    /// after the first block of maximal size this never reallocates.
+    #[inline]
+    fn ensure(&mut self, blen: usize) {
+        if self.words.len() < blen {
+            self.grows += 1;
+            self.words.resize(blen, 0);
+            self.leads.resize(blen, 0);
+            self.mid.resize(blen * 8 + 8, 0);
+        }
+    }
+
+    /// Drain the growth-event count (for the telemetry flush).
+    #[inline]
+    pub(crate) fn take_grows(&mut self) -> u64 {
+        std::mem::take(&mut self.grows)
+    }
+}
+
+/// Branch-free equivalent of [`BlockStats::compute`]: the min/max scan runs
+/// over [`LANES`] independent accumulator stripes (select, not branch, per
+/// comparison) and NaN presence is folded in with `is_nan()` — no NaN branch
+/// in the loop body. Bit-identical to the scalar scan, including the
+/// first-element tie-breaking that pins the sign of zero in `μ`.
+#[inline]
+pub fn block_stats<F: SzxFloat>(block: &[F]) -> BlockStats<F> {
+    debug_assert!(!block.is_empty());
+    if block.len() < 2 * LANES {
+        return BlockStats::compute(block);
+    }
+    let mut stripes = block.chunks_exact(LANES);
+    let first = stripes.next().expect("len >= 2*LANES");
+    let mut mins: [F; LANES] = first.try_into().expect("stripe width");
+    let mut maxs = mins;
+    let mut nans = [false; LANES];
+    for j in 0..LANES {
+        nans[j] = first[j].is_nan();
+    }
+    for stripe in &mut stripes {
+        for j in 0..LANES {
+            let d = stripe[j];
+            // `if c { a } else { b }` over floats lowers to a select/vmin —
+            // same comparison semantics as the scalar loop (NaN never
+            // replaces, ties keep the incumbent).
+            mins[j] = if d < mins[j] { d } else { mins[j] };
+            maxs[j] = if d > maxs[j] { d } else { maxs[j] };
+            nans[j] |= d.is_nan();
+        }
+    }
+    // Lane reduction in stripe order, then the scalar tail: ties keep the
+    // earlier lane / earlier element, so an all-equal block yields exactly
+    // `block[0]` as the scalar scan does.
+    let mut min = mins[0];
+    let mut max = maxs[0];
+    let mut has_nan = nans[0];
+    for j in 1..LANES {
+        min = if mins[j] < min { mins[j] } else { min };
+        max = if maxs[j] > max { maxs[j] } else { max };
+        has_nan |= nans[j];
+    }
+    for &d in stripes.remainder() {
+        min = if d < min { d } else { min };
+        max = if d > max { d } else { max };
+        has_nan |= d.is_nan();
+    }
+    if has_nan {
+        return BlockStats {
+            mu: F::ZERO,
+            radius: F::from_f64(f64::NAN),
+        };
+    }
+    let mu = F::half_sum(min, max);
+    BlockStats {
+        mu,
+        radius: max - mu,
+    }
+}
+
+/// Branch-free global min/max (NaN-ignoring), the kernel behind the
+/// relative-error-bound range scan. Returns `(+inf, -inf)` for all-NaN
+/// input, matching the scalar scan's untouched sentinels.
+#[inline]
+pub fn minmax<F: SzxFloat>(data: &[F]) -> (F, F) {
+    let mut min = F::from_f64(f64::INFINITY);
+    let mut max = F::from_f64(f64::NEG_INFINITY);
+    let mut stripes = data.chunks_exact(LANES);
+    let mut mins = [min; LANES];
+    let mut maxs = [max; LANES];
+    for stripe in &mut stripes {
+        for j in 0..LANES {
+            let d = stripe[j];
+            mins[j] = if d < mins[j] { d } else { mins[j] };
+            maxs[j] = if d > maxs[j] { d } else { maxs[j] };
+        }
+    }
+    for j in 0..LANES {
+        min = if mins[j] < min { mins[j] } else { min };
+        max = if maxs[j] > max { maxs[j] } else { max };
+    }
+    for &d in stripes.remainder() {
+        min = if d < min { d } else { min };
+        max = if d > max { d } else { max };
+    }
+    (min, max)
+}
+
+/// Global value range `max - min` via [`minmax`]; identical result to
+/// [`crate::config::value_range`] (unique extrema have unique bit patterns,
+/// and an all-zero dataset reduces to `x - x = +0.0` either way).
+#[inline]
+pub fn value_range<F: SzxFloat>(data: &[F]) -> f64 {
+    let (min, max) = minmax(data);
+    let (min, max) = (min.to_f64(), max.to_f64());
+    if max >= min {
+        max - min
+    } else {
+        0.0
+    }
+}
+
+/// Kernel encode of one non-constant block: same payload layout and bytes as
+/// the scalar [`crate::encode`] path, produced by four flat passes over the
+/// scratch arenas instead of one branchy per-value loop.
+pub(crate) fn encode_nonconstant<F: SzxFloat>(
+    block: &[F],
+    stats: &BlockStats<F>,
+    eb: f64,
+    strategy: CommitStrategy,
+    payload: &mut Vec<u8>,
+    scratch: &mut EncodeScratch,
+) -> (F, u32) {
+    let req_len = required_length::<F>(stats.radius, eb);
+    let raw = req_len == F::FULL_BITS;
+    let mu = if raw { F::ZERO } else { stats.mu };
+    let blen = block.len();
+    scratch.ensure(blen);
+
+    payload.push(req_len as u8);
+
+    // Pass 1 — normalize and shift (Formula 5). Solution C right-shifts so
+    // the required bits fill whole bytes; A/B keep the word unshifted. The
+    // bit-exact (`raw`) variant must not touch the value arithmetically:
+    // `d - 0.0` would quieten signaling-NaN payloads.
+    let s = match strategy {
+        CommitStrategy::ByteAligned => shift_for(req_len),
+        _ => 0,
+    };
+    let words = &mut scratch.words[..blen];
+    if raw {
+        for (w, &d) in words.iter_mut().zip(block) {
+            *w = d.to_word() >> s;
+        }
+    } else {
+        for (w, &d) in words.iter_mut().zip(block) {
+            *w = (d - mu).to_word() >> s;
+        }
+    }
+
+    // Pass 2 — XOR leading-byte codes, table-free: `clz >> 3` counts whole
+    // identical leading bytes, clamped branch-free to the strategy's cap.
+    // The predecessor comes from a two-element window over the materialized
+    // words, so there is no loop-carried scalar dependence.
+    let lead_cap = match strategy {
+        CommitStrategy::ByteAligned => bytes_for(req_len).min(3),
+        _ => (req_len / 8).min(3) as usize,
+    } as u8;
+    let leads = &mut scratch.leads[..blen];
+    leads[0] = ((words[0].leading_zeros() >> 3) as u8).min(lead_cap);
+    for (l, pair) in leads[1..].iter_mut().zip(words.windows(2)) {
+        let xor = pair[0] ^ pair[1];
+        *l = ((xor.leading_zeros() >> 3) as u8).min(lead_cap);
+    }
+
+    // Pass 3 — pack four 2-bit codes per byte, MSB-first.
+    let mut quads = leads.chunks_exact(4);
+    for q in &mut quads {
+        payload.push(q[0] << 6 | q[1] << 4 | q[2] << 2 | q[3]);
+    }
+    let rem = quads.remainder();
+    if !rem.is_empty() {
+        let mut b = 0u8;
+        for (j, &l) in rem.iter().enumerate() {
+            b |= l << (6 - 2 * j);
+        }
+        payload.push(b);
+    }
+
+    // Pass 4 — commit.
+    match strategy {
+        CommitStrategy::ByteAligned => {
+            // The Solution C mid-byte committer: value i owes bytes
+            // `lead..nb` of its big-endian word. `w << 8·lead` moves byte
+            // `lead` to the front, so one unconditional 8-byte store writes
+            // them (plus a garbage tail the next store overlaps); the cursor
+            // advances by the true length. The arena carries 8 bytes of
+            // slack, so the slice index below never goes out of bounds.
+            let nb = bytes_for(req_len);
+            let mid = &mut scratch.mid[..];
+            let mut pos = 0usize;
+            for (&w, &lead) in words.iter().zip(leads.iter()) {
+                let lead = lead as usize;
+                mid[pos..pos + 8].copy_from_slice(&(w << (8 * lead as u32)).to_be_bytes());
+                pos += nb - lead;
+            }
+            payload.extend_from_slice(&mid[..pos]);
+        }
+        CommitStrategy::BitPack => {
+            scratch.bits.clear();
+            for (&w, &lead) in words.iter().zip(leads.iter()) {
+                let t = req_len - 8 * lead as u32;
+                if t > 0 {
+                    scratch
+                        .bits
+                        .write_bits((w << (8 * lead as u32)) >> (64 - t), t);
+                }
+            }
+            payload.extend_from_slice(scratch.bits.as_bytes());
+        }
+        CommitStrategy::BytePlusResidual => {
+            // Whole-byte pool through the same arena committer (α bytes per
+            // value), then a constant-width β-bit residual pool: the scalar
+            // loop's `shift_out = 8·(lead + α)` collapses to `8·(R/8)`.
+            let beta = req_len % 8;
+            let base_alpha = (req_len / 8) as usize;
+            let shift_out = 8 * base_alpha as u32;
+            scratch.bits.clear();
+            let mid = &mut scratch.mid[..];
+            let mut pos = 0usize;
+            for (&w, &lead) in words.iter().zip(leads.iter()) {
+                let lead = lead as usize;
+                mid[pos..pos + 8].copy_from_slice(&(w << (8 * lead as u32)).to_be_bytes());
+                pos += base_alpha - lead;
+                if beta > 0 {
+                    scratch
+                        .bits
+                        .write_bits((w << shift_out) >> (64 - beta), beta);
+                }
+            }
+            payload.extend_from_slice(&mid[..pos]);
+            payload.extend_from_slice(scratch.bits.as_bytes());
+        }
+    }
+    (mu, req_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_stats_matches_scalar_on_plain_data() {
+        for n in [1usize, 7, 8, 15, 16, 17, 128, 1000] {
+            let block: Vec<f32> = (0..n).map(|i| ((i * 37 % 97) as f32) - 48.0).collect();
+            let a = BlockStats::compute(&block);
+            let b = block_stats(&block);
+            assert_eq!(a.mu.to_bits(), b.mu.to_bits(), "mu n={n}");
+            assert_eq!(a.radius.to_bits(), b.radius.to_bits(), "radius n={n}");
+        }
+    }
+
+    #[test]
+    fn block_stats_matches_scalar_on_nan_blocks() {
+        for pos in [0usize, 3, 9, 127] {
+            let mut block = vec![1.5f32; 128];
+            block[pos] = f32::NAN;
+            let a = BlockStats::compute(&block);
+            let b = block_stats(&block);
+            assert!(a.radius.is_nan() && b.radius.is_nan(), "pos={pos}");
+            assert_eq!(a.mu.to_bits(), b.mu.to_bits());
+        }
+    }
+
+    #[test]
+    fn block_stats_preserves_zero_sign_of_mu() {
+        // All-zero mixed-sign blocks: μ must be exactly block[0], sign bit
+        // included, in both paths (it is stored verbatim in the stream).
+        let mut block = vec![0.0f32; 64];
+        block[0] = -0.0;
+        block[13] = -0.0;
+        let a = BlockStats::compute(&block);
+        let b = block_stats(&block);
+        assert_eq!(a.mu.to_bits(), (-0.0f32).to_bits());
+        assert_eq!(a.mu.to_bits(), b.mu.to_bits());
+        assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+    }
+
+    #[test]
+    fn minmax_matches_scalar_value_range() {
+        let data: Vec<f64> = (0..1003)
+            .map(|i| ((i * 31 % 211) as f64) * 0.37 - 40.0)
+            .collect();
+        assert_eq!(value_range(&data), crate::config::value_range(&data));
+        let with_nan: Vec<f32> = vec![f32::NAN, 3.0, -1.0, f32::NAN, 7.5];
+        assert_eq!(
+            value_range(&with_nan),
+            crate::config::value_range(&with_nan)
+        );
+        assert_eq!(value_range::<f32>(&[f32::NAN; 20]), 0.0);
+        assert_eq!(value_range::<f32>(&[]), 0.0);
+    }
+
+    #[test]
+    fn scratch_grows_once_per_high_water_mark() {
+        let mut s = EncodeScratch::default();
+        s.ensure(128);
+        s.ensure(64);
+        s.ensure(128);
+        assert_eq!(s.grows, 1);
+        s.ensure(4096);
+        assert_eq!(s.grows, 2);
+        assert!(s.mid.len() >= 4096 * 8 + 8);
+    }
+}

@@ -61,13 +61,16 @@ pub mod decode;
 pub mod encode;
 pub mod error;
 pub mod float;
+pub mod kernels;
 pub mod parallel;
 pub mod random_access;
 pub mod stream;
 pub mod streaming;
 
 pub use archive::{ArchiveReader, ArchiveWriter};
-pub use config::{CommitStrategy, ErrorBound, SzxConfig, DEFAULT_BLOCK_SIZE, MAX_BLOCK_SIZE};
+pub use config::{
+    CommitStrategy, ErrorBound, KernelSelect, SzxConfig, DEFAULT_BLOCK_SIZE, MAX_BLOCK_SIZE,
+};
 pub use decode::{decompress, decompress_into};
 pub use encode::compress;
 pub use error::{Result, SzxError};

@@ -14,31 +14,40 @@ use rayon::prelude::*;
 
 use crate::config::SzxConfig;
 use crate::decode::{decode_nonconstant_block, StreamIndex};
-use crate::encode::{assemble, encode_blocks, ChunkOutput, Scratch};
+use crate::encode::{assemble, encode_blocks, ChunkOutput};
 use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
+use crate::kernels::{self, EncodeScratch};
 
 /// Blocks handled per parallel decompression task. Coarse enough to amortize
 /// scheduling, fine enough to balance skewed payloads.
 const DECODE_GROUP: usize = 32;
 
-/// Parallel global value range (max − min), NaN-ignoring.
-fn value_range_par<F: SzxFloat>(data: &[F]) -> f64 {
+/// Parallel global value range (max − min), NaN-ignoring. `use_kernel`
+/// selects the per-chunk scan implementation; both produce the identical
+/// value (extrema are selected, never computed), so the resolved bound —
+/// and therefore the stream — is the same for every path.
+fn value_range_par<F: SzxFloat>(data: &[F], use_kernel: bool) -> f64 {
     let (min, max) = data
         .par_chunks(64 * 1024)
         .map(|chunk| {
-            let mut lo = f64::INFINITY;
-            let mut hi = f64::NEG_INFINITY;
-            for &d in chunk {
-                let x = d.to_f64();
-                if x < lo {
-                    lo = x;
+            if use_kernel {
+                let (lo, hi) = kernels::minmax(chunk);
+                (lo.to_f64(), hi.to_f64())
+            } else {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for &d in chunk {
+                    let x = d.to_f64();
+                    if x < lo {
+                        lo = x;
+                    }
+                    if x > hi {
+                        hi = x;
+                    }
                 }
-                if x > hi {
-                    hi = x;
-                }
+                (lo, hi)
             }
-            (lo, hi)
         })
         .reduce(
             || (f64::INFINITY, f64::NEG_INFINITY),
@@ -59,11 +68,12 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
     if data.is_empty() {
         return Err(SzxError::EmptyInput);
     }
+    let use_kernel = cfg.kernel.use_kernel();
     let eb = {
         let _s = szx_telemetry::span("compress.range_scan");
         match cfg.error_bound {
             crate::config::ErrorBound::Absolute(e) => e,
-            crate::config::ErrorBound::Relative(rel) => rel * value_range_par(data),
+            crate::config::ErrorBound::Relative(rel) => rel * value_range_par(data, use_kernel),
         }
     };
     if !eb.is_finite() || eb < 0.0 {
@@ -90,8 +100,18 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
             .map(|chunk_data| {
                 let chunk_blocks = chunk_data.len().div_ceil(bs);
                 let mut out = ChunkOutput::with_capacity(chunk_blocks, chunk_data.len() * F::BYTES);
-                let mut scratch = Scratch::default();
-                encode_blocks(chunk_data, bs, eb, cfg.strategy, &mut out, &mut scratch);
+                // One scratch arena per chunk: rayon workers allocate once
+                // per chunk, not once per block.
+                let mut scratch = EncodeScratch::default();
+                encode_blocks(
+                    chunk_data,
+                    bs,
+                    eb,
+                    cfg.strategy,
+                    use_kernel,
+                    &mut out,
+                    &mut scratch,
+                );
                 out
             })
             .collect()

@@ -2,8 +2,10 @@
 # Tier-1 gate, fully offline: everything resolves against the in-repo
 # shims (see shims/README.md), so no network or registry access is needed.
 #
-#   scripts/check.sh           # build + tests + fmt + clippy
-#   scripts/check.sh --fast    # build + tests only
+#   scripts/check.sh           # build + tests + release property/kernel
+#                              # equivalence suite + fmt + clippy
+#   scripts/check.sh --quick   # tier-1 subset: build + debug tests only
+#   scripts/check.sh --fast    # alias for --quick (kept for muscle memory)
 #
 # Run from anywhere; the script cd's to the repo root.
 set -euo pipefail
@@ -19,10 +21,19 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-if [[ "${1:-}" == "--fast" ]]; then
-    echo "==> OK (fast: skipped fmt/clippy)"
+if [[ "${1:-}" == "--fast" || "${1:-}" == "--quick" ]]; then
+    echo "==> OK (quick: skipped release suites, fmt, clippy)"
     exit 0
 fi
+
+# The scalar-vs-kernel equivalence and roundtrip property suites again in
+# release mode: autovectorization only kicks in with optimizations, so this
+# is the build that actually exercises the branch-free kernel codegen.
+echo "==> cargo test --release (kernel equivalence + properties)"
+cargo test -q --release -p szx-core kernels
+cargo test -q --release -p szx-integration-tests \
+    --test roundtrip_properties --test edge_cases \
+    --test corrupt_archive --test scratch_allocation
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

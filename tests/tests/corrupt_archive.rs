@@ -1,0 +1,150 @@
+//! Hostile-input tests for the decoder: a compressed stream that has been
+//! truncated, bit-flipped, or forged must produce `Err(SzxError::...)` —
+//! never a panic, an out-of-bounds read, or an absurd allocation. Both the
+//! serial and the parallel decompressor are held to the same contract.
+
+use szx_core::stream::HEADER_LEN;
+use szx_core::SzxConfig;
+
+fn sample_stream() -> (Vec<f32>, Vec<u8>) {
+    let data: Vec<f32> = (0..4096)
+        .map(|i| (i as f32 * 0.01).sin() * 10.0 + (i as f32 * 0.37).cos())
+        .collect();
+    let bytes = szx_core::compress(&data, &SzxConfig::absolute(1e-4)).unwrap();
+    (data, bytes)
+}
+
+/// Byte offset of the zsize array for an f32 stream.
+fn zsize_off(bytes: &[u8]) -> usize {
+    let h = szx_core::inspect(bytes).unwrap();
+    let nblocks = h.num_blocks();
+    HEADER_LEN + nblocks.div_ceil(8) + nblocks * 4
+}
+
+/// Byte offset of the payload section for an f32 stream.
+fn payload_off(bytes: &[u8]) -> usize {
+    let h = szx_core::inspect(bytes).unwrap();
+    zsize_off(bytes) + h.n_nonconstant * 2
+}
+
+#[test]
+fn every_truncation_point_is_a_clean_error() {
+    let (_, bytes) = sample_stream();
+    for cut in 0..bytes.len() {
+        let r = szx_core::decompress::<f32>(&bytes[..cut]);
+        assert!(r.is_err(), "truncation at {cut}/{} decoded", bytes.len());
+        let r = szx_core::parallel::decompress::<f32>(&bytes[..cut]);
+        assert!(r.is_err(), "parallel truncation at {cut} decoded");
+    }
+}
+
+#[test]
+fn flipped_zsize_bytes_error_out() {
+    let (_, bytes) = sample_stream();
+    let z = zsize_off(&bytes);
+    let h = szx_core::inspect(&bytes).unwrap();
+    assert!(h.n_nonconstant > 0, "fixture must have payloads");
+
+    // Oversizing any zsize entry pushes the payload prefix sum past the end
+    // of the stream: the index build must reject it.
+    for entry in 0..h.n_nonconstant.min(8) {
+        let mut bad = bytes.clone();
+        bad[z + 2 * entry] = 0xff;
+        bad[z + 2 * entry + 1] = 0xff;
+        assert!(
+            szx_core::decompress::<f32>(&bad).is_err(),
+            "oversized zsize[{entry}] decoded"
+        );
+        assert!(szx_core::parallel::decompress::<f32>(&bad).is_err());
+    }
+
+    // Shrinking an entry misaligns every later payload; decoding may fail
+    // or produce garbage values, but must never panic or read OOB.
+    let mut bad = bytes.clone();
+    bad[z] = 1;
+    bad[z + 1] = 0;
+    let _ = szx_core::decompress::<f32>(&bad);
+    let _ = szx_core::parallel::decompress::<f32>(&bad);
+}
+
+#[test]
+fn oversized_req_len_is_rejected() {
+    let (_, bytes) = sample_stream();
+    let p = payload_off(&bytes);
+    // Each payload starts with its required length R_k; legal f32 values
+    // are 9..=32. Forge impossible ones.
+    for forged in [0u8, 8, 33, 64, 0xff] {
+        let mut bad = bytes.clone();
+        bad[p] = forged;
+        assert!(
+            szx_core::decompress::<f32>(&bad).is_err(),
+            "req_len={forged} decoded"
+        );
+        assert!(szx_core::parallel::decompress::<f32>(&bad).is_err());
+    }
+}
+
+#[test]
+fn forged_header_fields_are_rejected() {
+    let (_, bytes) = sample_stream();
+
+    // Element count inflated far past the actual sections. Must error out
+    // before allocating the claimed output.
+    let mut bad = bytes.clone();
+    bad[12..20].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    assert!(szx_core::decompress::<f32>(&bad).is_err());
+
+    // Element count slightly inflated (one extra block's worth).
+    let mut bad = bytes.clone();
+    let h = szx_core::inspect(&bytes).unwrap();
+    bad[12..20].copy_from_slice(&((h.n + h.block_size) as u64).to_le_bytes());
+    assert!(szx_core::decompress::<f32>(&bad).is_err());
+
+    // Non-constant count disagreeing with the state bits.
+    let mut bad = bytes.clone();
+    bad[28..36].copy_from_slice(&((h.n_nonconstant as u64) - 1).to_le_bytes());
+    assert!(szx_core::decompress::<f32>(&bad).is_err());
+
+    // Wrong element type.
+    assert!(szx_core::decompress::<f64>(&bytes).is_err());
+
+    // Block size outside the supported range.
+    let mut bad = bytes.clone();
+    bad[8..12].copy_from_slice(&(1u32 << 20).to_le_bytes());
+    assert!(szx_core::decompress::<f32>(&bad).is_err());
+}
+
+#[test]
+fn single_byte_flips_never_panic() {
+    // Exhaustive single-byte corruption over a small stream: any byte set
+    // to 0x00/0xff may yield Err or garbage-but-bounded output; the decoder
+    // must survive all of them.
+    let data: Vec<f32> = (0..640).map(|i| (i as f32 * 0.1).sin() * 3.0).collect();
+    let bytes = szx_core::compress(&data, &SzxConfig::absolute(1e-3)).unwrap();
+    for pos in 0..bytes.len() {
+        for val in [0x00u8, 0xff, 0x5a] {
+            if bytes[pos] == val {
+                continue;
+            }
+            let mut bad = bytes.clone();
+            bad[pos] = val;
+            let _ = szx_core::decompress::<f32>(&bad);
+            let _ = szx_core::parallel::decompress::<f32>(&bad);
+        }
+    }
+}
+
+#[test]
+fn random_access_and_inspect_survive_corruption() {
+    let (_, bytes) = sample_stream();
+    // Truncations through the header and index sections.
+    for cut in [0, 4, 17, 35, 36, 40, zsize_off(&bytes), payload_off(&bytes)] {
+        let cut = cut.min(bytes.len());
+        let _ = szx_core::inspect(&bytes[..cut]);
+        let _ = szx_core::RandomAccess::<f32>::new(&bytes[..cut]);
+    }
+    let ra = szx_core::RandomAccess::<f32>::new(&bytes).unwrap();
+    // Out-of-range block requests must be errors, not panics.
+    let mut buf = vec![0f32; 128];
+    assert!(ra.decode_block(ra.num_blocks(), &mut buf).is_err());
+}

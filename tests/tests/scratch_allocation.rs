@@ -1,0 +1,59 @@
+//! Regression test for the per-block allocation churn the `EncodeScratch`
+//! arena removed: the encoder publishes how many times the arena had to
+//! grow (`compress.scratch.grows`), and that number must stay O(1) per
+//! encode call / per parallel chunk — not O(blocks).
+//!
+//! Single test function: the telemetry registry is process-global and this
+//! file is its own test binary (see telemetry_counters.rs).
+
+use szx_core::config::KernelSelect;
+use szx_core::SzxConfig;
+
+#[test]
+fn scratch_arena_growth_is_bounded() {
+    szx_telemetry::set_enabled(true);
+    let tel = szx_telemetry::global();
+
+    // ~4000 blocks of 128, noisy enough that every block is non-constant.
+    let data: Vec<f32> = (0..512_000)
+        .map(|i| (i as f32 * 0.37).sin() * 1e3 + (i as f32 * 7.91).cos())
+        .collect();
+    let nblocks = data.len().div_ceil(128);
+    assert!(nblocks >= 4000);
+
+    for sel in [KernelSelect::Scalar, KernelSelect::Kernel] {
+        let cfg = SzxConfig::absolute(1e-4).with_kernel(sel);
+
+        // Serial: one scratch arena for the whole call. Uniform block
+        // sizes mean a single high-water-mark growth.
+        tel.reset();
+        let bytes = szx_core::compress(&data, &cfg).unwrap();
+        assert!(!bytes.is_empty());
+        let grows = tel
+            .snapshot()
+            .counter("compress.scratch.grows")
+            .unwrap_or(0);
+        // The kernel path grows its word arena exactly once (first block);
+        // the scalar path reuses the pre-existing bit/byte pools and never
+        // grows it. Either way: O(1), not O(blocks).
+        let expect = u64::from(sel == KernelSelect::Kernel);
+        assert_eq!(grows, expect, "serial ({sel:?}): arena growths");
+
+        // Parallel: one arena per rayon chunk, never one per block.
+        tel.reset();
+        let bytes = szx_core::parallel::compress(&data, &cfg).unwrap();
+        assert!(!bytes.is_empty());
+        let grows = tel
+            .snapshot()
+            .counter("compress.scratch.grows")
+            .unwrap_or(0);
+        let max_chunks = (rayon::current_num_threads() * 4 + 1) as u64;
+        assert!(
+            grows <= max_chunks,
+            "parallel ({sel:?}): {grows} grows for {nblocks} blocks (expected <= {max_chunks})"
+        );
+        if sel == KernelSelect::Kernel {
+            assert!(grows >= 1, "parallel kernel path must use the arena");
+        }
+    }
+}
