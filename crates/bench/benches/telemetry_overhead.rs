@@ -1,8 +1,10 @@
 //! Cost of the observability layer: compression throughput with telemetry
 //! disabled (the default — every instrument site is behind one relaxed
 //! atomic load) versus enabled (chunk-local accumulation, flushed once per
-//! pass at the assemble join point). The acceptance bar is <2% overhead
-//! enabled on a ≥64 MB field.
+//! pass at the assemble join point), and with the flight recorder on top
+//! (per-thread lock-free event buffers). The acceptance bar is <2%
+//! overhead enabled on a ≥64 MB field; with tracing merely *compiled in*
+//! but off (the shipped default), the cost is the same one relaxed load.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use szx_core::SzxConfig;
@@ -30,13 +32,20 @@ fn bench_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("telemetry-overhead");
     g.throughput(Throughput::Bytes(bytes as u64));
     g.sample_size(10);
-    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+    for (label, telemetry, trace) in [
+        ("disabled", false, false),
+        ("enabled", true, false),
+        ("enabled-plus-trace", true, true),
+    ] {
         g.bench_function(BenchmarkId::new("compress-64MB", label), |b| {
-            szx_telemetry::set_enabled(enabled);
+            szx_telemetry::set_enabled(telemetry);
+            szx_telemetry::set_trace_enabled(trace);
             b.iter(|| szx_core::compress(&data, &cfg).unwrap());
         });
     }
     szx_telemetry::set_enabled(false);
+    szx_telemetry::set_trace_enabled(false);
+    let _ = szx_telemetry::take_trace(); // free the recorded events
     g.finish();
 }
 

@@ -1,0 +1,549 @@
+//! The benchmark observatory: a fixed grid of szx measurements with a
+//! versioned, machine-readable trajectory (`BENCH_<n>.json`) and a
+//! regression gate.
+//!
+//! Every run sweeps the synthetic suites (CESM, Nyx, Hurricane) across
+//! relative error bounds × {scalar, kernel} hot loops × {serial, parallel}
+//! drivers, and records throughput, compression ratio, and distortion
+//! (PSNR, max-error/bound) per cell. Reports accumulate as
+//! `BENCH_0.json`, `BENCH_1.json`, … so the repository carries its own
+//! performance history; [`compare`] diffs a run against its predecessor
+//! and flags regressions under configurable thresholds.
+//!
+//! The JSON schema (documented in DESIGN.md §9) is versioned via
+//! `schema_version` and forward-compatible: readers ignore unknown fields
+//! and reject only documents claiming a *newer* schema than they know.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use szx_core::{KernelSelect, SzxConfig};
+use szx_data::{Application, Scale};
+use szx_telemetry::json::Json;
+
+/// Bump when a field changes meaning or a required field is added. Readers
+/// accept any document with `schema_version <= SCHEMA_VERSION`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Stand-in for infinite PSNR (lossless cells) so reports stay valid JSON.
+pub const PSNR_CAP_DB: f64 = 999.0;
+
+/// The suites a standard observatory run measures: the paper's smoothest
+/// (CESM), roughest (Nyx), and mid-spectrum (Hurricane) applications.
+pub const SUITES: [Application; 3] = [
+    Application::CesmAtm,
+    Application::Nyx,
+    Application::Hurricane,
+];
+
+/// One measured cell of the sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Suite short name (`CESM`, `NYX`, `Hurricane`).
+    pub suite: String,
+    /// Relative error bound the cell ran at.
+    pub rel_bound: f64,
+    /// Hot-loop selection: `scalar` or `kernel`.
+    pub kernel: String,
+    /// Driver: `serial` or `parallel`.
+    pub mode: String,
+    /// Uncompressed bytes processed (all fields of the suite).
+    pub raw_bytes: u64,
+    /// Compression throughput, raw GB/s (best-of-samples per field).
+    pub compress_gbps: f64,
+    /// Decompression throughput, raw GB/s.
+    pub decompress_gbps: f64,
+    /// Overall compression ratio (raw / compressed across fields).
+    pub ratio: f64,
+    /// Worst per-field PSNR in dB (capped at [`PSNR_CAP_DB`]).
+    pub psnr_db: f64,
+    /// Worst per-field `max|error| / error_bound`; > 1 means the bound was
+    /// violated — always a regression regardless of thresholds.
+    pub max_err_over_bound: f64,
+}
+
+impl BenchRecord {
+    /// Stable identity of the grid cell across runs.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/rel{:e}/{}/{}",
+            self.suite, self.rel_bound, self.kernel, self.mode
+        )
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("suite".into(), Json::Str(self.suite.clone())),
+            ("rel_bound".into(), Json::Num(self.rel_bound)),
+            ("kernel".into(), Json::Str(self.kernel.clone())),
+            ("mode".into(), Json::Str(self.mode.clone())),
+            ("raw_bytes".into(), Json::Num(self.raw_bytes as f64)),
+            ("compress_gbps".into(), Json::Num(self.compress_gbps)),
+            ("decompress_gbps".into(), Json::Num(self.decompress_gbps)),
+            ("ratio".into(), Json::Num(self.ratio)),
+            ("psnr_db".into(), Json::Num(self.psnr_db)),
+            (
+                "max_err_over_bound".into(),
+                Json::Num(self.max_err_over_bound),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<BenchRecord, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record missing string field {k:?}"))
+        };
+        let num_field = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("record missing numeric field {k:?}"))
+        };
+        Ok(BenchRecord {
+            suite: str_field("suite")?,
+            rel_bound: num_field("rel_bound")?,
+            kernel: str_field("kernel")?,
+            mode: str_field("mode")?,
+            raw_bytes: num_field("raw_bytes")? as u64,
+            compress_gbps: num_field("compress_gbps")?,
+            decompress_gbps: num_field("decompress_gbps")?,
+            ratio: num_field("ratio")?,
+            psnr_db: num_field("psnr_db")?,
+            max_err_over_bound: num_field("max_err_over_bound")?,
+        })
+    }
+}
+
+/// One observatory run: context plus every measured cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    pub schema_version: u64,
+    /// The `<n>` of the `BENCH_<n>.json` this report was written as.
+    pub bench_id: u64,
+    /// Seconds since the Unix epoch at measurement time.
+    pub created_unix: u64,
+    /// Dataset scale the suites were generated at.
+    pub scale: String,
+    /// Worker threads available to the parallel cells.
+    pub threads: u64,
+    /// Timing samples per cell (best is kept).
+    pub samples: u64,
+    /// Fields measured per suite (caps suite size).
+    pub fields_per_suite: u64,
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    pub fn to_json(&self) -> String {
+        let context = Json::Obj(vec![
+            ("scale".into(), Json::Str(self.scale.clone())),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("samples".into(), Json::Num(self.samples as f64)),
+            (
+                "fields_per_suite".into(),
+                Json::Num(self.fields_per_suite as f64),
+            ),
+        ]);
+        Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("bench_id".into(), Json::Num(self.bench_id as f64)),
+            ("created_unix".into(), Json::Num(self.created_unix as f64)),
+            ("context".into(), context),
+            (
+                "records".into(),
+                Json::Arr(self.records.iter().map(BenchRecord::to_json).collect()),
+            ),
+        ])
+        .render()
+    }
+
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v = Json::parse(text)?;
+        let version = v
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("missing schema_version")? as u64;
+        if version > SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} is newer than this reader ({SCHEMA_VERSION})"
+            ));
+        }
+        let num = |j: &Json, k: &str| -> Result<u64, String> {
+            j.get(k)
+                .and_then(Json::as_f64)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("missing numeric field {k:?}"))
+        };
+        let ctx = v.get("context").ok_or("missing context")?;
+        let records = v
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or("missing records array")?
+            .iter()
+            .map(BenchRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            schema_version: version,
+            bench_id: num(&v, "bench_id")?,
+            created_unix: num(&v, "created_unix")?,
+            scale: ctx
+                .get("scale")
+                .and_then(Json::as_str)
+                .ok_or("missing context.scale")?
+                .to_string(),
+            threads: num(ctx, "threads")?,
+            samples: num(ctx, "samples")?,
+            fields_per_suite: num(ctx, "fields_per_suite")?,
+            records,
+        })
+    }
+}
+
+/// Regression thresholds. Ratio and PSNR carry tiny tolerances (they are
+/// deterministic given the data; the slack only absorbs float formatting),
+/// while throughput — a wall-clock measurement — gets a real noise budget.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Max fractional throughput drop (0.05 = fail below 95% of baseline).
+    pub max_throughput_drop: f64,
+    /// Max fractional compression-ratio drop.
+    pub max_ratio_drop: f64,
+    /// Max absolute PSNR drop in dB.
+    pub max_psnr_drop_db: f64,
+    /// Gate on throughput at all (disable when comparing across machines).
+    pub check_throughput: bool,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            max_throughput_drop: 0.05,
+            max_ratio_drop: 1e-3,
+            max_psnr_drop_db: 0.05,
+            check_throughput: true,
+        }
+    }
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    pub key: String,
+    pub metric: &'static str,
+    pub baseline: f64,
+    pub current: f64,
+    /// The worst value the thresholds would still have accepted.
+    pub allowed: f64,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} regressed {:.4} -> {:.4} (allowed >= {:.4})",
+            self.key, self.metric, self.baseline, self.current, self.allowed
+        )
+    }
+}
+
+/// Diff `current` against `baseline`. Every baseline cell must still exist
+/// (a vanished cell is a coverage regression) and stay within thresholds;
+/// cells only present in `current` are growth, not failures. An error-bound
+/// violation (`max_err_over_bound > 1`) fails unconditionally.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, cfg: &CompareConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for old in &baseline.records {
+        let key = old.key();
+        let Some(new) = current.records.iter().find(|r| r.key() == key) else {
+            findings.push(Finding {
+                key,
+                metric: "coverage (cell missing from current run)",
+                baseline: 1.0,
+                current: 0.0,
+                allowed: 1.0,
+            });
+            continue;
+        };
+        if cfg.check_throughput {
+            for (metric, b, c) in [
+                ("compress_gbps", old.compress_gbps, new.compress_gbps),
+                ("decompress_gbps", old.decompress_gbps, new.decompress_gbps),
+            ] {
+                let floor = b * (1.0 - cfg.max_throughput_drop);
+                if c < floor {
+                    findings.push(Finding {
+                        key: key.clone(),
+                        metric,
+                        baseline: b,
+                        current: c,
+                        allowed: floor,
+                    });
+                }
+            }
+        }
+        let ratio_floor = old.ratio * (1.0 - cfg.max_ratio_drop);
+        if new.ratio < ratio_floor {
+            findings.push(Finding {
+                key: key.clone(),
+                metric: "ratio",
+                baseline: old.ratio,
+                current: new.ratio,
+                allowed: ratio_floor,
+            });
+        }
+        let psnr_floor = old.psnr_db - cfg.max_psnr_drop_db;
+        if new.psnr_db < psnr_floor {
+            findings.push(Finding {
+                key: key.clone(),
+                metric: "psnr_db",
+                baseline: old.psnr_db,
+                current: new.psnr_db,
+                allowed: psnr_floor,
+            });
+        }
+        if new.max_err_over_bound > 1.0 {
+            findings.push(Finding {
+                key: key.clone(),
+                metric: "max_err_over_bound (error bound violated)",
+                baseline: old.max_err_over_bound,
+                current: new.max_err_over_bound,
+                allowed: 1.0,
+            });
+        }
+    }
+    findings
+}
+
+/// Parse `BENCH_<n>.json` file names.
+fn bench_id_of(name: &str) -> Option<u64> {
+    name.strip_prefix("BENCH_")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+/// The highest-numbered `BENCH_<n>.json` in `dir`, if any.
+pub fn latest_bench(dir: &Path) -> Option<(u64, PathBuf)> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        if let Some(id) = name.to_str().and_then(bench_id_of) {
+            if best.as_ref().is_none_or(|(b, _)| id > *b) {
+                best = Some((id, entry.path()));
+            }
+        }
+    }
+    best
+}
+
+/// The id and path the next report in `dir` should be written as
+/// (`BENCH_0.json` when the directory has none — the bootstrap case).
+pub fn next_bench_path(dir: &Path) -> (u64, PathBuf) {
+    let id = latest_bench(dir).map_or(0, |(n, _)| n + 1);
+    (id, dir.join(format!("BENCH_{id}.json")))
+}
+
+/// Knobs of one observatory run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    pub scale: Scale,
+    /// Timing samples per cell; the fastest is recorded.
+    pub samples: usize,
+    /// Cap on fields generated per suite.
+    pub max_fields: usize,
+    /// Relative error bounds to sweep.
+    pub bounds: Vec<f64>,
+    /// Suppress per-cell progress on stderr.
+    pub quiet: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scale: Scale::Small,
+            samples: 3,
+            max_fields: 2,
+            bounds: vec![1e-2, 1e-3, 1e-4],
+            quiet: false,
+        }
+    }
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Large => "large",
+        Scale::Full => "full",
+    }
+}
+
+/// Fastest wall time of `samples` invocations, in seconds.
+fn best_time<R>(samples: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (best, result.unwrap())
+}
+
+/// Measure the full grid. Deterministic data (fixed per-suite seeds), so
+/// ratio/PSNR cells are exactly reproducible; throughput depends on the
+/// machine.
+pub fn run(opts: &RunOptions) -> BenchReport {
+    let mut records = Vec::new();
+    for app in SUITES {
+        let dataset = app.generate_limited(opts.scale, crate::seed_for(app), opts.max_fields);
+        for &rel in &opts.bounds {
+            for (kernel_name, kernel) in [
+                ("scalar", KernelSelect::Scalar),
+                ("kernel", KernelSelect::Kernel),
+            ] {
+                for mode in ["serial", "parallel"] {
+                    let cfg = SzxConfig::relative(rel).with_kernel(kernel);
+                    let mut raw_bytes = 0u64;
+                    let mut comp_bytes = 0u64;
+                    let mut compress_secs = 0.0;
+                    let mut decompress_secs = 0.0;
+                    let mut worst_psnr = f64::INFINITY;
+                    let mut worst_err_over_bound = 0.0f64;
+                    for field in &dataset.fields {
+                        let data = &field.data;
+                        let (ct, stream) = best_time(opts.samples, || {
+                            if mode == "parallel" {
+                                szx_core::parallel::compress(data, &cfg)
+                            } else {
+                                szx_core::compress(data, &cfg)
+                            }
+                            .expect("observatory compression failed")
+                        });
+                        let (dt, recon) = best_time(opts.samples, || {
+                            let out: Vec<f32> = if mode == "parallel" {
+                                szx_core::parallel::decompress(&stream)
+                            } else {
+                                szx_core::decompress(&stream)
+                            }
+                            .expect("observatory decompression failed");
+                            out
+                        });
+                        let header = szx_core::inspect(&stream).expect("own stream inspects");
+                        let d = szx_metrics::distortion(data, &recon);
+                        raw_bytes += (data.len() * 4) as u64;
+                        comp_bytes += stream.len() as u64;
+                        compress_secs += ct;
+                        decompress_secs += dt;
+                        worst_psnr = worst_psnr.min(d.psnr);
+                        if header.eb > 0.0 {
+                            worst_err_over_bound =
+                                worst_err_over_bound.max(d.max_abs_error / header.eb);
+                        }
+                    }
+                    let record = BenchRecord {
+                        suite: app.short_name().to_string(),
+                        rel_bound: rel,
+                        kernel: kernel_name.to_string(),
+                        mode: mode.to_string(),
+                        raw_bytes,
+                        compress_gbps: raw_bytes as f64 / compress_secs.max(1e-12) / 1e9,
+                        decompress_gbps: raw_bytes as f64 / decompress_secs.max(1e-12) / 1e9,
+                        ratio: raw_bytes as f64 / comp_bytes.max(1) as f64,
+                        psnr_db: worst_psnr.min(PSNR_CAP_DB),
+                        max_err_over_bound: worst_err_over_bound,
+                    };
+                    if !opts.quiet {
+                        eprintln!(
+                            "  {:<28} {:>7.3} GB/s c / {:>7.3} GB/s d   CR {:>7.2}  PSNR {:>7.2} dB",
+                            record.key(),
+                            record.compress_gbps,
+                            record.decompress_gbps,
+                            record.ratio,
+                            record.psnr_db
+                        );
+                    }
+                    records.push(record);
+                }
+            }
+        }
+    }
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        bench_id: 0,
+        created_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        scale: scale_name(opts.scale).to_string(),
+        threads: rayon::current_num_threads() as u64,
+        samples: opts.samples as u64,
+        fields_per_suite: opts.max_fields as u64,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_report() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            bench_id: 3,
+            created_unix: 1_754_500_000,
+            scale: "tiny".into(),
+            threads: 4,
+            samples: 1,
+            fields_per_suite: 1,
+            records: vec![BenchRecord {
+                suite: "CESM".into(),
+                rel_bound: 1e-3,
+                kernel: "kernel".into(),
+                mode: "parallel".into(),
+                raw_bytes: 1 << 20,
+                compress_gbps: 2.5,
+                decompress_gbps: 4.0,
+                ratio: 6.25,
+                psnr_db: 64.5,
+                max_err_over_bound: 0.93,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = sample_report();
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn newer_schema_is_rejected_older_accepted() {
+        let mut r = sample_report();
+        r.schema_version = SCHEMA_VERSION + 1;
+        let err = BenchReport::from_json(&r.to_json()).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+        // Unknown fields from the future are ignored, not fatal.
+        let doc = sample_report()
+            .to_json()
+            .replacen("{", "{\"from_the_future\":[1,2],", 1);
+        assert!(BenchReport::from_json(&doc).is_ok());
+    }
+
+    #[test]
+    fn bench_file_names_parse() {
+        assert_eq!(bench_id_of("BENCH_0.json"), Some(0));
+        assert_eq!(bench_id_of("BENCH_17.json"), Some(17));
+        assert_eq!(bench_id_of("BENCH_.json"), None);
+        assert_eq!(bench_id_of("bench_1.json"), None);
+        assert_eq!(bench_id_of("BENCH_1.json.bak"), None);
+    }
+}

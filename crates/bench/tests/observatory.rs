@@ -1,0 +1,166 @@
+//! The `BENCH_*.json` comparator: regression detection, improvement
+//! acceptance, and bootstrap behaviour of the trajectory directory.
+
+use bench::observatory::{
+    compare, latest_bench, next_bench_path, BenchRecord, BenchReport, CompareConfig, SCHEMA_VERSION,
+};
+
+fn record(suite: &str, mode: &str) -> BenchRecord {
+    BenchRecord {
+        suite: suite.into(),
+        rel_bound: 1e-3,
+        kernel: "kernel".into(),
+        mode: mode.into(),
+        raw_bytes: 1 << 22,
+        compress_gbps: 2.0,
+        decompress_gbps: 3.0,
+        ratio: 5.0,
+        psnr_db: 60.0,
+        max_err_over_bound: 0.9,
+    }
+}
+
+fn report(records: Vec<BenchRecord>) -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        bench_id: 0,
+        created_unix: 1_754_000_000,
+        scale: "tiny".into(),
+        threads: 2,
+        samples: 1,
+        fields_per_suite: 1,
+        records,
+    }
+}
+
+#[test]
+fn identical_runs_pass() {
+    let base = report(vec![record("CESM", "serial"), record("NYX", "parallel")]);
+    assert!(compare(&base, &base.clone(), &CompareConfig::default()).is_empty());
+}
+
+#[test]
+fn throughput_regression_is_detected_and_thresholded() {
+    let base = report(vec![record("CESM", "serial")]);
+    let mut cur = base.clone();
+    // A 3% dip sits inside the default 5% noise budget.
+    cur.records[0].compress_gbps = 2.0 * 0.97;
+    assert!(compare(&base, &cur, &CompareConfig::default()).is_empty());
+    // A 10% dip does not.
+    cur.records[0].compress_gbps = 2.0 * 0.90;
+    let findings = compare(&base, &cur, &CompareConfig::default());
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].metric, "compress_gbps");
+    // ...unless throughput checking is off (cross-machine comparisons).
+    let lax = CompareConfig {
+        check_throughput: false,
+        ..CompareConfig::default()
+    };
+    assert!(compare(&base, &cur, &lax).is_empty());
+}
+
+#[test]
+fn ratio_and_psnr_regressions_are_detected() {
+    let base = report(vec![record("CESM", "serial")]);
+    let mut cur = base.clone();
+    cur.records[0].ratio = 4.5;
+    cur.records[0].psnr_db = 59.0;
+    let findings = compare(&base, &cur, &CompareConfig::default());
+    let metrics: Vec<&str> = findings.iter().map(|f| f.metric).collect();
+    assert!(metrics.contains(&"ratio"), "{findings:?}");
+    assert!(metrics.contains(&"psnr_db"), "{findings:?}");
+}
+
+#[test]
+fn improvements_pass() {
+    let base = report(vec![record("CESM", "serial")]);
+    let mut cur = base.clone();
+    cur.records[0].compress_gbps = 3.5;
+    cur.records[0].decompress_gbps = 4.5;
+    cur.records[0].ratio = 6.0;
+    cur.records[0].psnr_db = 66.0;
+    cur.records[0].max_err_over_bound = 0.5;
+    assert!(compare(&base, &cur, &CompareConfig::default()).is_empty());
+}
+
+#[test]
+fn grown_coverage_passes_but_lost_coverage_fails() {
+    let base = report(vec![record("CESM", "serial")]);
+    let grown = report(vec![record("CESM", "serial"), record("NYX", "parallel")]);
+    assert!(compare(&base, &grown, &CompareConfig::default()).is_empty());
+    let findings = compare(&grown, &base, &CompareConfig::default());
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].metric.contains("coverage"), "{findings:?}");
+    assert!(findings[0].key.starts_with("NYX/"));
+}
+
+#[test]
+fn bound_violation_fails_even_if_baseline_also_violated() {
+    let mut base = report(vec![record("CESM", "serial")]);
+    base.records[0].max_err_over_bound = 1.5;
+    let cur = base.clone();
+    let findings = compare(&base, &cur, &CompareConfig::default());
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].metric.contains("error bound"), "{findings:?}");
+}
+
+#[test]
+fn custom_thresholds_are_honored() {
+    let base = report(vec![record("CESM", "serial")]);
+    let mut cur = base.clone();
+    cur.records[0].compress_gbps = 2.0 * 0.97;
+    let strict = CompareConfig {
+        max_throughput_drop: 0.01,
+        ..CompareConfig::default()
+    };
+    assert_eq!(compare(&base, &cur, &strict).len(), 1);
+}
+
+#[test]
+fn missing_baseline_bootstraps_cleanly() {
+    let dir = std::env::temp_dir().join(format!("szx-obs-boot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Empty directory: no latest, and the next report is BENCH_0.json.
+    assert_eq!(latest_bench(&dir), None);
+    let (id, path) = next_bench_path(&dir);
+    assert_eq!(id, 0);
+    assert!(path.ends_with("BENCH_0.json"));
+
+    // Write it (and a decoy) — the trajectory advances to BENCH_1.json.
+    std::fs::write(&path, report(vec![record("CESM", "serial")]).to_json()).unwrap();
+    std::fs::write(dir.join("BENCH_notanumber.json"), "{}").unwrap();
+    let (id1, latest_path) = latest_bench(&dir).unwrap();
+    assert_eq!(id1, 0);
+    let loaded = BenchReport::from_json(&std::fs::read_to_string(&latest_path).unwrap()).unwrap();
+    assert_eq!(loaded.records.len(), 1);
+    let (next_id, next_path) = next_bench_path(&dir);
+    assert_eq!(next_id, 1);
+    assert!(next_path.ends_with("BENCH_1.json"));
+
+    // Non-contiguous history: the latest wins, not the count.
+    std::fs::write(dir.join("BENCH_7.json"), "{}").unwrap();
+    assert_eq!(latest_bench(&dir).unwrap().0, 7);
+    assert_eq!(next_bench_path(&dir).0, 8);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn malformed_reports_are_rejected() {
+    assert!(BenchReport::from_json("not json").is_err());
+    assert!(
+        BenchReport::from_json("{}").is_err(),
+        "missing schema_version"
+    );
+    assert!(
+        BenchReport::from_json(r#"{"schema_version":1,"bench_id":0}"#).is_err(),
+        "missing context/records"
+    );
+    let missing_field = r#"{"schema_version":1,"bench_id":0,"created_unix":0,
+        "context":{"scale":"tiny","threads":1,"samples":1,"fields_per_suite":1},
+        "records":[{"suite":"CESM"}]}"#;
+    let err = BenchReport::from_json(missing_field).unwrap_err();
+    assert!(err.contains("record missing"), "{err}");
+}

@@ -38,8 +38,10 @@ USAGE:
   szx compress   <in.f32> <out.szx> --abs <e> | --rel <r>
                  [--f64] [--block <n>] [--parallel] [--strategy a|b|c]
                  [--kernel auto|scalar|kernel] [--stats [--json]]
+                 [--trace <out.trace.json>]
   szx decompress <in.szx> <out.f32> [--parallel] [--stats [--json]]
-  szx assess     <orig.f32> <in.szx> [--stats [--json]]
+                 [--trace <out.trace.json>]
+  szx assess     <orig.f32|orig.f64> <in.szx> [--stats [--json]]
   szx info       <in.szx> [--stats]
   szx gen        <cesm|hurricane|miranda|nyx|qmcpack|scale> <out-dir>
                  [--scale tiny|small|medium|large|full]
@@ -51,6 +53,14 @@ USAGE:
   the required-length histogram (szx-telemetry); the report goes to stderr
   as a table, or to stdout as one JSON line with --json. Setting
   SZX_TELEMETRY=1 enables collection without the flag.
+
+  --trace records a per-thread event timeline (stage zones, one lane per
+  rayon worker) and writes Chrome trace_event JSON loadable in
+  about:tracing or https://ui.perfetto.dev. SZX_TRACE=1 enables recording
+  without the flag (the CLI still needs --trace to know where to write).
+
+  assess reads the original as raw little-endian f32 or f64, matching the
+  element type recorded in the compressed stream's header.
 ";
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -117,6 +127,39 @@ fn pass_extras(
     ]
 }
 
+/// Honor `--trace <path>` (and the `SZX_TRACE` env var): returns where the
+/// Chrome trace should be written, enabling event recording as a side
+/// effect so the whole command lands in the capture.
+fn trace_requested(args: &[String]) -> Option<PathBuf> {
+    let path = flag_value(args, "--trace").map(PathBuf::from);
+    if path.is_some() {
+        szx_telemetry::set_trace_enabled(true);
+    }
+    path
+}
+
+/// Drain the flight recorder and write Chrome `trace_event` JSON.
+fn write_trace(path: &Path) -> Result<(), String> {
+    let capture = szx_telemetry::take_trace();
+    let events = capture.events.len();
+    let json = szx_telemetry::render_chrome_trace(&capture);
+    std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!(
+        "trace: {} events -> {} (open in about:tracing or ui.perfetto.dev){}",
+        events,
+        path.display(),
+        if capture.dropped > 0 {
+            format!(
+                "; {} events dropped (raise SZX_TRACE_CAPACITY)",
+                capture.dropped
+            )
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
 /// First two non-flag tokens, skipping the values of value-taking flags.
 fn io_pair(args: &[String]) -> Result<(PathBuf, PathBuf), String> {
     let mut cleaned = Vec::new();
@@ -129,7 +172,7 @@ fn io_pair(args: &[String]) -> Result<(PathBuf, PathBuf), String> {
         if a.starts_with("--") {
             if matches!(
                 a.as_str(),
-                "--abs" | "--rel" | "--block" | "--strategy" | "--scale" | "--kernel"
+                "--abs" | "--rel" | "--block" | "--strategy" | "--scale" | "--kernel" | "--trace"
             ) {
                 skip = true;
             }
@@ -177,6 +220,7 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         kernel,
     };
     let stats = stats_requested(args);
+    let trace = trace_requested(args);
     let json = has_flag(args, "--json");
     let parallel = has_flag(args, "--parallel");
 
@@ -225,6 +269,9 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
             pass_extras(mode, bytes.len(), compressed.len(), elapsed),
         );
     }
+    if let Some(path) = trace {
+        write_trace(&path)?;
+    }
     Ok(())
 }
 
@@ -247,6 +294,7 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     let header = szx_core::inspect(&bytes).map_err(|e| e.to_string())?;
     let parallel = has_flag(args, "--parallel");
     let stats = stats_requested(args);
+    let trace = trace_requested(args);
     let json = has_flag(args, "--json");
     let start = std::time::Instant::now();
     let out: Vec<u8> = if header.dtype == 0 {
@@ -283,38 +331,55 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
         let mode = if parallel { "parallel" } else { "serial" };
         emit_stats(json, pass_extras(mode, out.len(), bytes.len(), elapsed));
     }
+    if let Some(path) = trace {
+        write_trace(&path)?;
+    }
     Ok(())
 }
 
 fn cmd_assess(args: &[String]) -> Result<(), String> {
     let (orig_path, comp_path) = io_pair(args)?;
-    let orig = read_f32s(&orig_path)?;
     let bytes = std::fs::read(&comp_path).map_err(|e| format!("{}: {e}", comp_path.display()))?;
     let header = szx_core::inspect(&bytes).map_err(|e| e.to_string())?;
-    if header.dtype != 0 {
-        return Err("assess supports f32 streams".into());
-    }
     let stats_on = stats_requested(args);
+    // The stream header knows its element type; read the original in the
+    // matching raw layout and share one metric path for both widths.
     let start = std::time::Instant::now();
-    let recon: Vec<f32> = szx_core::decompress(&bytes).map_err(|e| e.to_string())?;
+    let (stats, raw_bytes) = if header.dtype == 0 {
+        let orig = read_f32s(&orig_path)?;
+        let recon: Vec<f32> = szx_core::decompress(&bytes).map_err(|e| e.to_string())?;
+        if recon.len() != orig.len() {
+            return Err(format!(
+                "length mismatch: {} vs {}",
+                orig.len(),
+                recon.len()
+            ));
+        }
+        (szx_metrics::distortion(&orig, &recon), orig.len() * 4)
+    } else {
+        let orig = szx_data::io::read_f64_raw(&orig_path)
+            .map_err(|e| format!("{}: {e}", orig_path.display()))?;
+        let recon: Vec<f64> = szx_core::decompress(&bytes).map_err(|e| e.to_string())?;
+        if recon.len() != orig.len() {
+            return Err(format!(
+                "length mismatch: {} vs {}",
+                orig.len(),
+                recon.len()
+            ));
+        }
+        (szx_metrics::distortion_f64(&orig, &recon), orig.len() * 8)
+    };
     let elapsed = start.elapsed();
-    if recon.len() != orig.len() {
-        return Err(format!(
-            "length mismatch: {} vs {}",
-            orig.len(),
-            recon.len()
-        ));
-    }
-    let stats = szx_metrics::distortion(&orig, &recon);
+    println!(
+        "element type: {}",
+        if header.dtype == 0 { "f32" } else { "f64" }
+    );
     println!("elements:     {}", stats.n);
     println!("error bound:  {:.6e}", header.eb);
     println!("max |error|:  {:.6e}", stats.max_abs_error);
     println!("PSNR:         {:.2} dB", stats.psnr);
     println!("NRMSE:        {:.6e}", stats.nrmse);
-    println!(
-        "CR:           {:.2}",
-        (orig.len() * 4) as f64 / bytes.len() as f64
-    );
+    println!("CR:           {:.2}", raw_bytes as f64 / bytes.len() as f64);
     println!(
         "bound ok:     {}",
         if stats.max_abs_error <= header.eb {
@@ -326,7 +391,7 @@ fn cmd_assess(args: &[String]) -> Result<(), String> {
     if stats_on {
         emit_stats(
             has_flag(args, "--json"),
-            pass_extras("serial", orig.len() * 4, bytes.len(), elapsed),
+            pass_extras("serial", raw_bytes, bytes.len(), elapsed),
         );
     }
     Ok(())

@@ -30,7 +30,9 @@ const DECODE_GROUP: usize = 32;
 fn value_range_par<F: SzxFloat>(data: &[F], use_kernel: bool) -> f64 {
     let (min, max) = data
         .par_chunks(64 * 1024)
-        .map(|chunk| {
+        .enumerate()
+        .map(|(ci, chunk)| {
+            let _z = szx_telemetry::trace_zone("compress.range_chunk", ci as u64);
             if use_kernel {
                 let (lo, hi) = kernels::minmax(chunk);
                 (lo.to_f64(), hi.to_f64())
@@ -97,7 +99,11 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
     let chunks: Vec<ChunkOutput<F>> = {
         let _s = szx_telemetry::span("compress.encode_blocks");
         data.par_chunks(elems_per_chunk)
-            .map(|chunk_data| {
+            .enumerate()
+            .map(|(ci, chunk_data)| {
+                // One timeline lane entry per worker chunk: the flight
+                // recorder's view of skew across rayon workers.
+                let _z = szx_telemetry::trace_zone("compress.chunk", ci as u64);
                 let chunk_blocks = chunk_data.len().div_ceil(bs);
                 let mut out = ChunkOutput::with_capacity(chunk_blocks, chunk_data.len() * F::BYTES);
                 // One scratch arena per chunk: rayon workers allocate once
@@ -171,6 +177,7 @@ fn decompress_with_index<F: SzxFloat>(index: &StreamIndex<'_>, out: &mut [F]) ->
     out.par_chunks_mut(bs * DECODE_GROUP)
         .enumerate()
         .try_for_each(|(g, group)| -> Result<()> {
+            let _z = szx_telemetry::trace_zone("decompress.group", g as u64);
             let first_block = g * DECODE_GROUP;
             for (j, block_out) in group.chunks_mut(bs).enumerate() {
                 let b = first_block + j;

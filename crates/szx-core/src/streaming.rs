@@ -102,6 +102,7 @@ impl FrameWriter {
 
     /// Compress and append one frame. Frames may have different lengths.
     pub fn push<F: SzxFloat>(&mut self, frame: &[F]) -> Result<()> {
+        let _z = szx_telemetry::trace_zone("stream.frame", self.stats.frames);
         let start = std::time::Instant::now();
         let bytes = crate::compress(frame, &self.cfg)?;
         let ns = start.elapsed().as_nanos() as u64;

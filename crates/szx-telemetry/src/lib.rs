@@ -51,12 +51,18 @@
 //! [`enabled`].
 
 mod hist;
+pub mod json;
 mod registry;
 mod report;
+mod trace;
 
 pub use hist::{Histogram, HistogramKind, HistogramSnapshot};
 pub use registry::{Counter, Registry, SpanStats};
 pub use report::{render_jsonl, render_table, Report, SpanSnapshot, Value};
+pub use trace::{
+    render_chrome_trace, set_trace_enabled, take_trace, trace_enabled, trace_instant, trace_zone,
+    TraceCapture, TraceEvent, TracePhase, TraceZone,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -104,6 +110,9 @@ pub fn global() -> &'static Registry {
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    /// Keeps the flight-recorder zone open for the span's lifetime when
+    /// event tracing is on (see [`trace_zone`]); `None`-named when off.
+    _zone: TraceZone,
 }
 
 impl Span {
@@ -125,6 +134,9 @@ impl Drop for Span {
 }
 
 /// Open a [`Span`] under `name` (`area.stage`-shaped names render grouped).
+/// When the flight recorder is on ([`trace_enabled`]), the span also emits
+/// begin/end trace events, so every aggregated stage timer doubles as a
+/// timeline zone for free.
 #[inline]
 pub fn span(name: &'static str) -> Span {
     Span {
@@ -134,6 +146,7 @@ pub fn span(name: &'static str) -> Span {
         } else {
             None
         },
+        _zone: trace_zone(name, 0),
     }
 }
 

@@ -125,7 +125,7 @@ pub fn render_table(report: &Report) -> String {
     out
 }
 
-fn json_escape(s: &str, out: &mut String) {
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

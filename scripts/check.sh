@@ -46,4 +46,17 @@ cargo clippy --release \
     -p szx-integration-tests -p szx-examples -p bench \
     --all-targets -- -D warnings
 
+# Observatory smoke: a tiny sweep must bootstrap BENCH_0.json, validate
+# against the schema, and a second identical sweep must pass the gate
+# (throughput ignored — CI timing is noisy; ratio/PSNR are deterministic).
+echo "==> bench observatory smoke (tiny)"
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+obs() { cargo run -q --release -p bench --bin observatory -- "$@"; }
+obs run --scale tiny --samples 1 --fields 1 --bounds 1e-3 \
+    --out-dir "$obs_dir" --quiet
+obs validate "$obs_dir/BENCH_0.json"
+obs run --scale tiny --samples 1 --fields 1 --bounds 1e-3 \
+    --out-dir "$obs_dir" --quiet --ignore-throughput
+
 echo "==> OK"
