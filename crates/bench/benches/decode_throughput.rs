@@ -1,0 +1,76 @@
+//! Decode-side acceptance bench: the two-pass branch-free decode kernel
+//! (`KernelSelect::Kernel`) vs. the scalar reference decoder
+//! (`KernelSelect::Scalar`) on 64 MB f32 streams from the CESM-ATM and Nyx
+//! generators. Both paths reconstruct bit-identical outputs (asserted at
+//! setup), so any delta is pure decode-loop throughput. Timed calls reuse a
+//! preallocated output buffer and a persistent `DecodeScratch`, so no
+//! allocation is inside the measured region.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szx_core::config::KernelSelect;
+use szx_core::{DecodeScratch, SzxConfig};
+use szx_data::{Application, Scale};
+
+/// 64 MB of f32 (16 Mi elements), stitched from the application's fields.
+const TARGET_ELEMS: usize = 16 * 1024 * 1024;
+
+fn dataset_64mb(app: Application) -> Vec<f32> {
+    let ds = app.generate_limited(Scale::Large, 7, 16);
+    let mut data = Vec::with_capacity(TARGET_ELEMS);
+    'outer: loop {
+        for f in &ds.fields {
+            let room = TARGET_ELEMS - data.len();
+            if room == 0 {
+                break 'outer;
+            }
+            data.extend_from_slice(&f.data[..f.data.len().min(room)]);
+        }
+    }
+    data
+}
+
+fn bench_decode(c: &mut Criterion) {
+    for (name, app) in [("cesm", Application::CesmAtm), ("nyx", Application::Nyx)] {
+        let data = dataset_64mb(app);
+        let bytes = (data.len() * 4) as u64;
+        let stream = szx_core::compress(&data, &SzxConfig::relative(1e-3)).unwrap();
+
+        // The acceptance criterion only counts if both decoders agree on
+        // every bit of the reconstruction.
+        let scalar: Vec<f32> = szx_core::decompress_with(&stream, KernelSelect::Scalar).unwrap();
+        let kernel: Vec<f32> = szx_core::decompress_with(&stream, KernelSelect::Kernel).unwrap();
+        for (i, (a, b)) in scalar.iter().zip(&kernel).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{name}: decode paths diverge at {i}"
+            );
+        }
+        drop((scalar, kernel));
+
+        let mut out = vec![0f32; data.len()];
+        let mut g = c.benchmark_group("decode-throughput");
+        g.throughput(Throughput::Bytes(bytes));
+        g.sample_size(10);
+        for (kname, sel) in [
+            ("scalar", KernelSelect::Scalar),
+            ("kernel", KernelSelect::Kernel),
+        ] {
+            let mut scratch = DecodeScratch::default();
+            g.bench_function(BenchmarkId::new(kname, name), |b| {
+                b.iter(|| {
+                    szx_core::decompress_into_scratch(&stream, &mut out, sel, &mut scratch).unwrap()
+                });
+            });
+            g.bench_function(BenchmarkId::new(format!("{kname}-parallel"), name), |b| {
+                b.iter(|| {
+                    szx_core::parallel::decompress_into_with(&stream, &mut out, sel).unwrap()
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

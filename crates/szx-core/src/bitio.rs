@@ -185,6 +185,70 @@ impl<'a> BitReader<'a> {
     }
 }
 
+/// Borrowed, zero-copy view over the paper's per-block state bit array
+/// (MSB-first, one bit per block: `1` = non-constant).
+///
+/// The decoder used to expand this section into a `Vec<bool>` on every
+/// decompression; the view answers the same queries straight from the
+/// stream bytes, so building a [`crate::decode::StreamIndex`] no longer
+/// allocates O(nblocks) for block states.
+#[derive(Debug, Clone, Copy)]
+pub struct StateBits<'a> {
+    bytes: &'a [u8],
+    n: usize,
+}
+
+impl<'a> StateBits<'a> {
+    /// Wrap `n` state bits stored MSB-first in `bytes`. Returns `None` when
+    /// the section is too short to hold them.
+    pub fn new(bytes: &'a [u8], n: usize) -> Option<Self> {
+        if bytes.len() < n.div_ceil(8) {
+            return None;
+        }
+        Some(StateBits { bytes, n })
+    }
+
+    /// Number of blocks covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// State of block `i` (`true` = non-constant). Panics if out of range,
+    /// matching slice indexing.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.n, "state bit {i} out of range ({} blocks)", self.n);
+        (self.bytes[i / 8] >> (7 - i % 8)) & 1 != 0
+    }
+
+    /// Number of set bits (non-constant blocks), ignoring any padding bits
+    /// past `n` in the final byte — a forged tail must not inflate the count.
+    pub fn count_ones(&self) -> usize {
+        let full = self.n / 8;
+        let mut count: usize = self.bytes[..full]
+            .iter()
+            .map(|b| b.count_ones() as usize)
+            .sum();
+        let rem = self.n % 8;
+        if rem > 0 {
+            let mask = !0u8 << (8 - rem);
+            count += (self.bytes[full] & mask).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Iterate the `n` states in block order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.n).map(move |i| self.get(i))
+    }
+}
+
 /// Pack one `bool` per block into the paper's state bit array (MSB-first).
 pub fn pack_state_bits(states: &[bool]) -> Vec<u8> {
     let mut w = BitWriter::with_capacity(states.len().div_ceil(8));
@@ -287,6 +351,37 @@ mod tests {
         assert_eq!(packed.len(), 5);
         assert_eq!(unpack_state_bits(&packed, 37).unwrap(), states);
         assert!(unpack_state_bits(&packed, 41).is_none());
+    }
+
+    #[test]
+    fn state_bits_view_matches_unpack() {
+        for n in [0usize, 1, 7, 8, 9, 37, 64, 129] {
+            let states: Vec<bool> = (0..n).map(|i| i % 5 == 0 || i % 3 == 1).collect();
+            let packed = pack_state_bits(&states);
+            let view = StateBits::new(&packed, n).unwrap();
+            assert_eq!(view.len(), n);
+            assert_eq!(view.is_empty(), n == 0);
+            assert_eq!(view.iter().collect::<Vec<_>>(), states, "n={n}");
+            assert_eq!(
+                view.count_ones(),
+                states.iter().filter(|&&s| s).count(),
+                "n={n}"
+            );
+            for (i, &s) in states.iter().enumerate() {
+                assert_eq!(view.get(i), s);
+            }
+        }
+        assert!(StateBits::new(&[0u8; 2], 17).is_none(), "section too short");
+    }
+
+    #[test]
+    fn state_bits_ignore_padding_in_final_byte() {
+        // 3 bits used, the 5 padding bits all forged to 1: the count must
+        // still see only the real bits.
+        let bytes = [0b101_11111u8];
+        let view = StateBits::new(&bytes, 3).unwrap();
+        assert_eq!(view.count_ones(), 2);
+        assert!(view.get(0) && !view.get(1) && view.get(2));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The SZx decompressor (serial path; the parallel path reuses the
 //! per-block routine through `pub(crate)` visibility).
 
-use crate::bitio::BitReader;
+use crate::bitio::{BitReader, StateBits};
 use crate::block::{bytes_for, shift_for};
-use crate::config::CommitStrategy;
+use crate::config::{CommitStrategy, KernelSelect};
+use crate::dekernels::DecodeScratch;
 use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
 use crate::stream::{Header, SectionLayout};
@@ -14,8 +15,10 @@ use crate::stream::{Header, SectionLayout};
 #[derive(Debug)]
 pub(crate) struct StreamIndex<'a> {
     pub header: Header,
-    /// Per block: `true` = non-constant.
-    pub states: Vec<bool>,
+    /// Per block: `true` = non-constant. A borrowed view straight into the
+    /// stream's state-bit section — building the index allocates nothing
+    /// per block for the states.
+    pub states: StateBits<'a>,
     /// Per block: μ (normalization offset / constant value) as raw LE bytes
     /// region; decoded lazily per block.
     pub mu_bytes: &'a [u8],
@@ -40,11 +43,10 @@ impl<'a> StreamIndex<'a> {
             )));
         }
         let nblocks = header.num_blocks();
-        let states =
-            crate::bitio::unpack_state_bits(&bytes[layout.state_off..layout.mu_off], nblocks)
-                .ok_or_else(|| SzxError::CorruptStream("state bit section truncated".into()))?;
+        let states = StateBits::new(&bytes[layout.state_off..layout.mu_off], nblocks)
+            .ok_or_else(|| SzxError::CorruptStream("state bit section truncated".into()))?;
 
-        let n_nonconstant = states.iter().filter(|&&s| s).count();
+        let n_nonconstant = states.count_ones();
         if n_nonconstant != header.n_nonconstant {
             return Err(SzxError::CorruptStream(format!(
                 "header declares {} non-constant blocks, state bits say {}",
@@ -95,8 +97,6 @@ pub struct ParsedStream<'a> {
     index: StreamIndex<'a>,
     /// Non-constant blocks preceding each block.
     nc_before: Vec<usize>,
-    /// Per-block state: `true` = non-constant.
-    pub states: Vec<bool>,
     /// The concatenated payload section.
     pub payloads: &'a [u8],
 }
@@ -107,16 +107,14 @@ impl<'a> ParsedStream<'a> {
         let index = StreamIndex::build::<F>(bytes)?;
         let mut nc_before = Vec::with_capacity(index.states.len());
         let mut acc = 0usize;
-        for &s in &index.states {
+        for s in index.states.iter() {
             nc_before.push(acc);
             acc += s as usize;
         }
-        let states = index.states.clone();
         let payloads = index.payloads;
         Ok(ParsedStream {
             index,
             nc_before,
-            states,
             payloads,
         })
     }
@@ -124,6 +122,17 @@ impl<'a> ParsedStream<'a> {
     /// Parsed header.
     pub fn header(&self) -> &Header {
         &self.index.header
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.index.states.len()
+    }
+
+    /// `true` if block `b` is non-constant (reads the stream's state bit
+    /// directly — no unpacked copy exists).
+    pub fn state(&self, b: usize) -> bool {
+        self.index.states.get(b)
     }
 
     /// μ of block `b`.
@@ -141,7 +150,7 @@ impl<'a> ParsedStream<'a> {
     /// (offset, length) of block `b`'s payload within [`Self::payloads`].
     /// Block `b` must be non-constant.
     pub fn payload_span(&self, b: usize) -> (usize, usize) {
-        debug_assert!(self.states[b], "block {b} is constant");
+        debug_assert!(self.state(b), "block {b} is constant");
         let nc = self.nc_before[b];
         (
             self.index.payload_offsets[nc],
@@ -153,6 +162,13 @@ impl<'a> ParsedStream<'a> {
 /// Decompress a stream produced by [`crate::compress`]. The element type
 /// must match the stream's; use [`crate::stream::inspect`] to discover it.
 pub fn decompress<F: SzxFloat>(bytes: &[u8]) -> Result<Vec<F>> {
+    decompress_with(bytes, KernelSelect::Auto)
+}
+
+/// [`decompress`] with an explicit decode-path selection. The kernel and
+/// scalar decoders are byte-identical on every valid stream; `kernel` only
+/// chooses *how* blocks are reconstructed, never *what* they decode to.
+pub fn decompress_with<F: SzxFloat>(bytes: &[u8], kernel: KernelSelect) -> Result<Vec<F>> {
     let _total = szx_telemetry::span("decompress.total");
     // Build (and thereby validate) the index *before* allocating the output:
     // a forged header could otherwise demand an absurd allocation.
@@ -161,19 +177,42 @@ pub fn decompress<F: SzxFloat>(bytes: &[u8]) -> Result<Vec<F>> {
         StreamIndex::build::<F>(bytes)?
     };
     let mut out = vec![F::ZERO; index.header.n];
-    decompress_with_index(&index, &mut out)?;
+    let mut scratch = DecodeScratch::default();
+    decompress_with_index(&index, &mut out, kernel.use_kernel(), &mut scratch)?;
     Ok(out)
 }
 
 /// Decompress into a caller-provided buffer of exactly `header.n` elements
 /// (allocation-free reuse across repeated decompressions).
 pub fn decompress_into<F: SzxFloat>(bytes: &[u8], out: &mut [F]) -> Result<()> {
+    decompress_into_with(bytes, out, KernelSelect::Auto)
+}
+
+/// [`decompress_into`] with an explicit decode-path selection.
+pub fn decompress_into_with<F: SzxFloat>(
+    bytes: &[u8],
+    out: &mut [F],
+    kernel: KernelSelect,
+) -> Result<()> {
+    let mut scratch = DecodeScratch::default();
+    decompress_into_scratch(bytes, out, kernel, &mut scratch)
+}
+
+/// [`decompress_into_with`] reusing a caller-held [`DecodeScratch`] — the
+/// fully allocation-free path for repeated decompressions (output buffer
+/// *and* kernel arenas amortized).
+pub fn decompress_into_scratch<F: SzxFloat>(
+    bytes: &[u8],
+    out: &mut [F],
+    kernel: KernelSelect,
+    scratch: &mut DecodeScratch,
+) -> Result<()> {
     let _total = szx_telemetry::span("decompress.total");
     let index = {
         let _s = szx_telemetry::span("decompress.index");
         StreamIndex::build::<F>(bytes)?
     };
-    decompress_with_index(&index, out)
+    decompress_with_index(&index, out, kernel.use_kernel(), scratch)
 }
 
 /// Publish what a decompression saw — block classes come for free from the
@@ -189,7 +228,31 @@ pub(crate) fn flush_decode_telemetry<F: SzxFloat>(index: &StreamIndex<'_>) {
         .add((index.header.n * F::BYTES) as u64);
 }
 
-fn decompress_with_index<F: SzxFloat>(index: &StreamIndex<'_>, out: &mut [F]) -> Result<()> {
+/// Route one non-constant block to the kernel or scalar decoder. The kernel
+/// only covers `ByteAligned` (the default strategy and the paper's Solution
+/// C); other strategies always take the scalar loop.
+#[inline]
+pub(crate) fn decode_block_dispatch<F: SzxFloat>(
+    payload: &[u8],
+    out: &mut [F],
+    mu: F,
+    strategy: CommitStrategy,
+    use_kernel: bool,
+    scratch: &mut DecodeScratch,
+) -> Result<()> {
+    if use_kernel && strategy == CommitStrategy::ByteAligned {
+        crate::dekernels::decode_nonconstant_block(payload, out, mu, scratch)
+    } else {
+        decode_nonconstant_block(payload, out, mu, strategy)
+    }
+}
+
+pub(crate) fn decompress_with_index<F: SzxFloat>(
+    index: &StreamIndex<'_>,
+    out: &mut [F],
+    use_kernel: bool,
+    scratch: &mut DecodeScratch,
+) -> Result<()> {
     if out.len() != index.header.n {
         return Err(SzxError::InvalidConfig(format!(
             "output buffer holds {} elements, stream has {}",
@@ -200,23 +263,38 @@ fn decompress_with_index<F: SzxFloat>(index: &StreamIndex<'_>, out: &mut [F]) ->
     if szx_telemetry::enabled() {
         flush_decode_telemetry::<F>(index);
     }
-    let _s = szx_telemetry::span("decompress.blocks");
-    let bs = index.header.block_size;
-    let strategy = index.header.strategy;
-    let mut nc = 0usize;
-    for (b, chunk) in out.chunks_mut(bs).enumerate() {
-        let mu = index.mu::<F>(b);
-        if index.states[b] {
-            let off = index.payload_offsets[nc];
-            let len = index.zsizes[nc] as usize;
-            let payload = &index.payloads[off..off + len];
-            decode_nonconstant_block(payload, chunk, mu, strategy)?;
-            nc += 1;
-        } else {
-            chunk.fill(mu);
+    let result = {
+        let _s = szx_telemetry::span("decompress.blocks");
+        let bs = index.header.block_size;
+        let strategy = index.header.strategy;
+        let mut nc = 0usize;
+        let mut result = Ok(());
+        for (b, chunk) in out.chunks_mut(bs).enumerate() {
+            let mu = index.mu::<F>(b);
+            if index.states.get(b) {
+                let off = index.payload_offsets[nc];
+                let len = index.zsizes[nc] as usize;
+                let payload = &index.payloads[off..off + len];
+                if let Err(e) =
+                    decode_block_dispatch(payload, chunk, mu, strategy, use_kernel, scratch)
+                {
+                    result = Err(e);
+                    break;
+                }
+                nc += 1;
+            } else {
+                chunk.fill(mu);
+            }
         }
+        result
+    };
+    let grows = scratch.take_grows();
+    if grows > 0 && szx_telemetry::enabled() {
+        szx_telemetry::global()
+            .counter("decompress.scratch.grows")
+            .add(grows);
     }
-    Ok(())
+    result
 }
 
 /// Decode one non-constant block payload into `out` (of the block's length).

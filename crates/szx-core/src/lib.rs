@@ -58,6 +58,7 @@ pub mod bitio;
 pub mod block;
 pub mod config;
 pub mod decode;
+pub mod dekernels;
 pub mod encode;
 pub mod error;
 pub mod float;
@@ -71,7 +72,10 @@ pub use archive::{ArchiveReader, ArchiveWriter};
 pub use config::{
     CommitStrategy, ErrorBound, KernelSelect, SzxConfig, DEFAULT_BLOCK_SIZE, MAX_BLOCK_SIZE,
 };
-pub use decode::{decompress, decompress_into};
+pub use decode::{
+    decompress, decompress_into, decompress_into_scratch, decompress_into_with, decompress_with,
+};
+pub use dekernels::DecodeScratch;
 pub use encode::compress;
 pub use error::{Result, SzxError};
 pub use float::SzxFloat;

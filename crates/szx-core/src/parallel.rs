@@ -12,8 +12,9 @@
 
 use rayon::prelude::*;
 
-use crate::config::SzxConfig;
-use crate::decode::{decode_nonconstant_block, StreamIndex};
+use crate::config::{KernelSelect, SzxConfig};
+use crate::decode::{decode_block_dispatch, StreamIndex};
+use crate::dekernels::DecodeScratch;
 use crate::encode::{assemble, encode_blocks, ChunkOutput};
 use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
@@ -128,6 +129,13 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
 
 /// Multicore SZx decompression.
 pub fn decompress<F: SzxFloat>(bytes: &[u8]) -> Result<Vec<F>> {
+    decompress_with(bytes, KernelSelect::Auto)
+}
+
+/// [`decompress`] with an explicit decode-path selection (see
+/// [`crate::decompress_with`] for the semantics — the output is identical
+/// either way).
+pub fn decompress_with<F: SzxFloat>(bytes: &[u8], kernel: KernelSelect) -> Result<Vec<F>> {
     let _total = szx_telemetry::span("decompress.total");
     // Validate the stream before allocating the output (see decode.rs).
     let index = {
@@ -135,21 +143,34 @@ pub fn decompress<F: SzxFloat>(bytes: &[u8]) -> Result<Vec<F>> {
         StreamIndex::build::<F>(bytes)?
     };
     let mut out = vec![F::ZERO; index.header.n];
-    decompress_with_index(&index, &mut out)?;
+    decompress_with_index(&index, &mut out, kernel.use_kernel())?;
     Ok(out)
 }
 
 /// Multicore decompression into a caller-provided buffer.
 pub fn decompress_into<F: SzxFloat>(bytes: &[u8], out: &mut [F]) -> Result<()> {
+    decompress_into_with(bytes, out, KernelSelect::Auto)
+}
+
+/// [`decompress_into`] with an explicit decode-path selection.
+pub fn decompress_into_with<F: SzxFloat>(
+    bytes: &[u8],
+    out: &mut [F],
+    kernel: KernelSelect,
+) -> Result<()> {
     let _total = szx_telemetry::span("decompress.total");
     let index = {
         let _s = szx_telemetry::span("decompress.index");
         StreamIndex::build::<F>(bytes)?
     };
-    decompress_with_index(&index, out)
+    decompress_with_index(&index, out, kernel.use_kernel())
 }
 
-fn decompress_with_index<F: SzxFloat>(index: &StreamIndex<'_>, out: &mut [F]) -> Result<()> {
+fn decompress_with_index<F: SzxFloat>(
+    index: &StreamIndex<'_>,
+    out: &mut [F],
+    use_kernel: bool,
+) -> Result<()> {
     if out.len() != index.header.n {
         return Err(SzxError::InvalidConfig(format!(
             "output buffer holds {} elements, stream has {}",
@@ -169,7 +190,7 @@ fn decompress_with_index<F: SzxFloat>(index: &StreamIndex<'_>, out: &mut [F]) ->
     let nblocks = index.states.len();
     let mut nc_before = Vec::with_capacity(nblocks);
     let mut acc = 0usize;
-    for &s in &index.states {
+    for s in index.states.iter() {
         nc_before.push(acc);
         acc += s as usize;
     }
@@ -178,16 +199,27 @@ fn decompress_with_index<F: SzxFloat>(index: &StreamIndex<'_>, out: &mut [F]) ->
         .enumerate()
         .try_for_each(|(g, group)| -> Result<()> {
             let _z = szx_telemetry::trace_zone("decompress.group", g as u64);
+            // One scratch arena per group, mirroring the per-chunk
+            // EncodeScratch: rayon workers allocate once per group of 32
+            // blocks, not once per block.
+            let mut scratch = DecodeScratch::default();
             let first_block = g * DECODE_GROUP;
             for (j, block_out) in group.chunks_mut(bs).enumerate() {
                 let b = first_block + j;
                 let mu = index.mu::<F>(b);
-                if index.states[b] {
+                if index.states.get(b) {
                     let nc = nc_before[b];
                     let off = index.payload_offsets[nc];
                     let len = index.zsizes[nc] as usize;
                     let payload = &index.payloads[off..off + len];
-                    decode_nonconstant_block(payload, block_out, mu, strategy)?;
+                    decode_block_dispatch(
+                        payload,
+                        block_out,
+                        mu,
+                        strategy,
+                        use_kernel,
+                        &mut scratch,
+                    )?;
                 } else {
                     block_out.fill(mu);
                 }

@@ -8,8 +8,11 @@
 //! compression use cases (e.g. the paper's quantum-circuit simulation
 //! scenario, which decompresses only the amplitudes a gate touches).
 
-use crate::config::CommitStrategy;
-use crate::decode::{decode_nonconstant_block, ParsedStream};
+use core::cell::RefCell;
+
+use crate::config::{CommitStrategy, KernelSelect};
+use crate::decode::{decode_block_dispatch, ParsedStream};
+use crate::dekernels::DecodeScratch;
 use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
 
@@ -19,6 +22,11 @@ pub struct RandomAccess<'a, F: SzxFloat> {
     strategy: CommitStrategy,
     block_size: usize,
     n: usize,
+    use_kernel: bool,
+    /// Kernel arenas reused across `decode_block` calls. A `RefCell` keeps
+    /// the decode methods `&self` (the reader is a view, not a mutator);
+    /// the borrow never escapes a single block decode.
+    scratch: RefCell<DecodeScratch>,
     _marker: core::marker::PhantomData<F>,
 }
 
@@ -33,8 +41,16 @@ impl<'a, F: SzxFloat> RandomAccess<'a, F> {
             strategy: header.strategy,
             block_size: header.block_size,
             n: header.n,
+            use_kernel: KernelSelect::Auto.use_kernel(),
+            scratch: RefCell::new(DecodeScratch::default()),
             _marker: core::marker::PhantomData,
         })
+    }
+
+    /// Select the decode path (kernel vs scalar — identical outputs).
+    pub fn with_kernel(mut self, kernel: KernelSelect) -> Self {
+        self.use_kernel = kernel.use_kernel();
+        self
     }
 
     /// Total number of elements in the stream.
@@ -48,7 +64,7 @@ impl<'a, F: SzxFloat> RandomAccess<'a, F> {
 
     /// Number of blocks.
     pub fn num_blocks(&self) -> usize {
-        self.parsed.states.len()
+        self.parsed.num_blocks()
     }
 
     /// Decode block `b` into `out` (must hold exactly the block's length;
@@ -68,13 +84,15 @@ impl<'a, F: SzxFloat> RandomAccess<'a, F> {
             )));
         }
         let mu = self.parsed.mu::<F>(b);
-        if self.parsed.states[b] {
+        if self.parsed.state(b) {
             let (off, len) = self.parsed.payload_span(b);
-            decode_nonconstant_block(
+            decode_block_dispatch(
                 &self.parsed.payloads[off..off + len],
                 out,
                 mu,
                 self.strategy,
+                self.use_kernel,
+                &mut self.scratch.borrow_mut(),
             )
         } else {
             out.fill(mu);
@@ -209,6 +227,26 @@ mod tests {
         let mut tiny = vec![0f32; 3];
         assert!(ra.decode_block(0, &mut tiny).is_err(), "wrong buffer size");
         assert!(ra.decode_block(5, &mut tiny).is_err(), "block out of range");
+    }
+
+    #[test]
+    fn kernel_and_scalar_paths_agree_bitwise() {
+        let mut data = wave(5000);
+        data[700] = f32::NAN; // one bit-exact block in the middle
+        let bytes = crate::compress(&data, &SzxConfig::absolute(1e-4)).unwrap();
+        let scalar = RandomAccess::<f32>::new(&bytes)
+            .unwrap()
+            .with_kernel(crate::KernelSelect::Scalar);
+        let kernel = RandomAccess::<f32>::new(&bytes)
+            .unwrap()
+            .with_kernel(crate::KernelSelect::Kernel);
+        for (start, end) in [(0, 5000), (100, 400), (699, 702), (4990, 5000)] {
+            let a = scalar.decode_range(start, end).unwrap();
+            let b = kernel.decode_range(start, end).unwrap();
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{start}..{end} elem {i}");
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! frames, each:  [len: u64 LE][SZx stream bytes]
 //! ```
 
-use crate::config::SzxConfig;
+use core::cell::RefCell;
+
+use crate::config::{KernelSelect, SzxConfig};
+use crate::dekernels::DecodeScratch;
 use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
 
@@ -149,6 +152,11 @@ pub struct FrameReader<'a> {
     /// (offset, length) of each frame's SZx stream.
     index: Vec<(usize, usize)>,
     bytes: &'a [u8],
+    kernel: KernelSelect,
+    /// Decode-kernel arenas reused across frames (grown once to the
+    /// largest block, then allocation-free). `RefCell` keeps `frame` a
+    /// `&self` method; the borrow is scoped to one frame decode.
+    scratch: RefCell<DecodeScratch>,
 }
 
 impl<'a> FrameReader<'a> {
@@ -176,7 +184,18 @@ impl<'a> FrameReader<'a> {
             index.push((pos, len));
             pos += len;
         }
-        Ok(FrameReader { index, bytes })
+        Ok(FrameReader {
+            index,
+            bytes,
+            kernel: KernelSelect::Auto,
+            scratch: RefCell::new(DecodeScratch::default()),
+        })
+    }
+
+    /// Select the decode path (kernel vs scalar — identical outputs).
+    pub fn with_kernel(mut self, kernel: KernelSelect) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     pub fn num_frames(&self) -> usize {
@@ -189,7 +208,20 @@ impl<'a> FrameReader<'a> {
             .index
             .get(i)
             .ok_or_else(|| SzxError::InvalidConfig(format!("frame {i} out of range")))?;
-        crate::decompress(&self.bytes[off..off + len])
+        let stream = &self.bytes[off..off + len];
+        let _total = szx_telemetry::span("decompress.total");
+        let index = {
+            let _s = szx_telemetry::span("decompress.index");
+            crate::decode::StreamIndex::build::<F>(stream)?
+        };
+        let mut out = vec![F::ZERO; index.header.n];
+        crate::decode::decompress_with_index(
+            &index,
+            &mut out,
+            self.kernel.use_kernel(),
+            &mut self.scratch.borrow_mut(),
+        )?;
+        Ok(out)
     }
 
     /// Raw compressed bytes of frame `i` (e.g. to forward downstream).
@@ -294,6 +326,28 @@ mod tests {
         assert!(s.compress_ns > 0);
         assert!(s.min_frame_ns <= s.max_frame_ns);
         assert!(s.mean_frame_ns() * 3.0 <= s.compress_ns as f64 + 1.0);
+    }
+
+    #[test]
+    fn kernel_and_scalar_frames_agree_bitwise() {
+        let mut w = FrameWriter::new(SzxConfig::absolute(1e-4)).unwrap();
+        for k in 0..4 {
+            w.push(&frame(k, 700 + 31 * k)).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let scalar = FrameReader::new(&bytes)
+            .unwrap()
+            .with_kernel(crate::KernelSelect::Scalar);
+        let kernel = FrameReader::new(&bytes)
+            .unwrap()
+            .with_kernel(crate::KernelSelect::Kernel);
+        for k in 0..4 {
+            let a: Vec<f32> = scalar.frame(k).unwrap();
+            let b: Vec<f32> = kernel.frame(k).unwrap();
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "frame {k} elem {i}");
+            }
+        }
     }
 
     #[test]

@@ -280,7 +280,7 @@ pub fn decompress_gpu(bytes: &[u8]) -> Result<(Vec<f32>, Cost)> {
     let bs = header.block_size;
     for (b, chunk) in out.chunks_mut(bs).enumerate() {
         let mu = parsed.mu::<f32>(b);
-        if parsed.states[b] {
+        if parsed.state(b) {
             let (off, len) = parsed.payload_span(b);
             let payload = &parsed.payloads[off..off + len];
             let decoded = decompress_block(payload, mu, chunk.len(), &mut cost)?;

@@ -4,7 +4,8 @@
 #
 #   scripts/check.sh           # build + tests + release property/kernel
 #                              # equivalence suite + fmt + clippy
-#   scripts/check.sh --quick   # tier-1 subset: build + debug tests only
+#   scripts/check.sh --quick   # tier-1 subset: build + debug tests +
+#                              # release decode-equivalence subset
 #   scripts/check.sh --fast    # alias for --quick (kept for muscle memory)
 #
 # Run from anywhere; the script cd's to the repo root.
@@ -22,7 +23,13 @@ echo "==> cargo test -q"
 cargo test -q
 
 if [[ "${1:-}" == "--fast" || "${1:-}" == "--quick" ]]; then
-    echo "==> OK (quick: skipped release suites, fmt, clippy)"
+    # The decode kernel only matters under optimizations (overlapping loads,
+    # autovectorized assembly sweep), so even the quick gate runs the
+    # scalar-vs-kernel decode equivalence subset in release mode.
+    echo "==> cargo test --release (decode kernel equivalence subset)"
+    cargo test -q --release -p szx-core dekernels
+    cargo test -q --release -p szx-integration-tests --test roundtrip_properties
+    echo "==> OK (quick: skipped full release suites, fmt, clippy)"
     exit 0
 fi
 
@@ -31,6 +38,7 @@ fi
 # is the build that actually exercises the branch-free kernel codegen.
 echo "==> cargo test --release (kernel equivalence + properties)"
 cargo test -q --release -p szx-core kernels
+cargo test -q --release -p szx-core dekernels
 cargo test -q --release -p szx-integration-tests \
     --test roundtrip_properties --test edge_cases \
     --test corrupt_archive --test scratch_allocation

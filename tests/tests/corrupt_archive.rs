@@ -4,7 +4,29 @@
 //! serial and the parallel decompressor are held to the same contract.
 
 use szx_core::stream::HEADER_LEN;
-use szx_core::SzxConfig;
+use szx_core::{KernelSelect, SzxConfig};
+
+/// Decode `bytes` with both the scalar oracle and the branch-free kernel;
+/// assert they agree on whether the stream is decodable, and — when it is —
+/// on every reconstructed bit. Returns whether decoding succeeded.
+fn scalar_kernel_parity(bytes: &[u8], what: &str) -> bool {
+    let s = szx_core::decompress_with::<f32>(bytes, KernelSelect::Scalar);
+    let k = szx_core::decompress_with::<f32>(bytes, KernelSelect::Kernel);
+    assert_eq!(
+        s.is_ok(),
+        k.is_ok(),
+        "{what}: scalar/kernel decoders disagree on decodability"
+    );
+    match (s, k) {
+        (Ok(a), Ok(b)) => {
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{what}: bit mismatch at {i}");
+            }
+            true
+        }
+        _ => false,
+    }
+}
 
 fn sample_stream() -> (Vec<f32>, Vec<u8>) {
     let data: Vec<f32> = (0..4096)
@@ -35,6 +57,13 @@ fn every_truncation_point_is_a_clean_error() {
         assert!(r.is_err(), "truncation at {cut}/{} decoded", bytes.len());
         let r = szx_core::parallel::decompress::<f32>(&bytes[..cut]);
         assert!(r.is_err(), "parallel truncation at {cut} decoded");
+        // The kernel decoder must reject every truncation the scalar one
+        // does — no panic, no out-of-bounds load from its overlapping-read
+        // arena.
+        let r = szx_core::decompress_with::<f32>(&bytes[..cut], KernelSelect::Kernel);
+        assert!(r.is_err(), "kernel truncation at {cut} decoded");
+        let r = szx_core::parallel::decompress_with::<f32>(&bytes[..cut], KernelSelect::Kernel);
+        assert!(r.is_err(), "parallel kernel truncation at {cut} decoded");
     }
 }
 
@@ -59,12 +88,14 @@ fn flipped_zsize_bytes_error_out() {
     }
 
     // Shrinking an entry misaligns every later payload; decoding may fail
-    // or produce garbage values, but must never panic or read OOB.
+    // or produce garbage values, but must never panic or read OOB — and
+    // the scalar and kernel decoders must agree on the garbage.
     let mut bad = bytes.clone();
     bad[z] = 1;
     bad[z + 1] = 0;
-    let _ = szx_core::decompress::<f32>(&bad);
+    scalar_kernel_parity(&bad, "shrunk zsize");
     let _ = szx_core::parallel::decompress::<f32>(&bad);
+    let _ = szx_core::parallel::decompress_with::<f32>(&bad, KernelSelect::Kernel);
 }
 
 #[test]
@@ -117,8 +148,9 @@ fn forged_header_fields_are_rejected() {
 #[test]
 fn single_byte_flips_never_panic() {
     // Exhaustive single-byte corruption over a small stream: any byte set
-    // to 0x00/0xff may yield Err or garbage-but-bounded output; the decoder
-    // must survive all of them.
+    // to 0x00/0xff may yield Err or garbage-but-bounded output; every
+    // decoder must survive all of them, and scalar vs kernel must agree
+    // both on decodability and on the reconstructed bits.
     let data: Vec<f32> = (0..640).map(|i| (i as f32 * 0.1).sin() * 3.0).collect();
     let bytes = szx_core::compress(&data, &SzxConfig::absolute(1e-3)).unwrap();
     for pos in 0..bytes.len() {
@@ -128,8 +160,9 @@ fn single_byte_flips_never_panic() {
             }
             let mut bad = bytes.clone();
             bad[pos] = val;
-            let _ = szx_core::decompress::<f32>(&bad);
+            scalar_kernel_parity(&bad, &format!("byte {pos} = {val:#x}"));
             let _ = szx_core::parallel::decompress::<f32>(&bad);
+            let _ = szx_core::parallel::decompress_with::<f32>(&bad, KernelSelect::Kernel);
         }
     }
 }

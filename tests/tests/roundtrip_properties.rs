@@ -4,7 +4,8 @@
 //!    within the stream's recorded absolute bound of the input.
 //! 2. **Path equivalence**: the scalar reference path, the branch-free
 //!    kernel path, and the parallel encoder all produce byte-identical
-//!    archives for the same input and config.
+//!    archives for the same input and config — and the scalar, kernel, and
+//!    parallel *decoders* reconstruct bit-identical outputs from them.
 //!
 //! ~200 deterministic cases (no proptest shrinking needed — the case seed
 //! is printed on failure) sweep f32/f64, block sizes {1, 17, 128, 4096},
@@ -96,13 +97,35 @@ fn check_case<F: SzxFloat>(seed: u64) {
     // stream header (relative bounds are resolved against the value range
     // at compress time).
     let eb = szx_core::inspect(&scalar).unwrap().eb;
-    let back: Vec<F> = szx_core::decompress(&scalar).unwrap();
+    let back: Vec<F> = szx_core::decompress_with(&scalar, KernelSelect::Scalar).unwrap();
     assert_eq!(back.len(), data.len(), "{ctx}: length mismatch");
     for (i, (x, y)) in data.iter().zip(&back).enumerate() {
         let (x, y) = (x.to_f64(), y.to_f64());
         assert!(
             (x - y).abs() <= eb,
             "{ctx}: element {i}: |{x} - {y}| > eb={eb}"
+        );
+    }
+
+    // Decode-path equivalence: the kernel decoder (and both parallel
+    // decode paths) must reconstruct *bit-identical* outputs to the scalar
+    // oracle — same NaN payloads included.
+    let kback: Vec<F> = szx_core::decompress_with(&scalar, KernelSelect::Kernel).unwrap();
+    let pback: Vec<F> = szx_core::parallel::decompress_with(&scalar, KernelSelect::Kernel).unwrap();
+    let psback: Vec<F> =
+        szx_core::parallel::decompress_with(&scalar, KernelSelect::Scalar).unwrap();
+    for (i, x) in back.iter().enumerate() {
+        let b = x.to_word();
+        assert_eq!(b, kback[i].to_word(), "{ctx}: kernel decode differs at {i}");
+        assert_eq!(
+            b,
+            pback[i].to_word(),
+            "{ctx}: parallel kernel decode differs at {i}"
+        );
+        assert_eq!(
+            b,
+            psback[i].to_word(),
+            "{ctx}: parallel scalar decode differs at {i}"
         );
     }
 }
