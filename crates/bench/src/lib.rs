@@ -1,6 +1,8 @@
 //! Shared harness for the experiment binaries (one per paper table/figure;
 //! see DESIGN.md §6 for the experiment index).
 
+#![forbid(unsafe_code)]
+
 pub mod observatory;
 
 use std::time::Instant;

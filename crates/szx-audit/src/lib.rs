@@ -1,0 +1,123 @@
+//! szx-audit: in-tree static analysis for the szx-rs workspace.
+//!
+//! Zero dependencies, same ethos as `szx_telemetry::json`: a small,
+//! hand-rolled lexer ([`source`]) feeds project-specific rules ([`rules`])
+//! that enforce the invariants the hot paths rely on — the unsafe
+//! allowlist, the trace publish protocol, panic-freedom on the untrusted
+//! decode path, and annotated narrowing casts in kernel arithmetic.
+//! See DESIGN.md §10 for the safety model these rules encode.
+//!
+//! Run it as `cargo run -p szx-audit` (or `scripts/check.sh --audit`);
+//! the committed `results/AUDIT.json` must stay clean and fresh.
+
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use report::Report;
+use source::SourceFile;
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+
+/// Collect every `*.rs` file under `root`, sorted by workspace-relative
+/// path so reports are deterministic regardless of filesystem order.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Workspace-relative path with `/` separators (report keys must not vary
+/// by platform).
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Run the full audit over the workspace rooted at `root`.
+pub fn run_audit(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut parsed: Vec<SourceFile> = Vec::new();
+    for path in collect_sources(root)? {
+        let text = fs::read_to_string(&path)?;
+        let file = source::parse_source(&rel_path(root, &path), &text);
+        report.counts.files_scanned += 1;
+        report.counts.lines_scanned += file.lines.len();
+        rules::check_file(&file, &mut report.findings, &mut report.counts);
+        parsed.push(file);
+    }
+    rules::check_crate_attrs(&parsed, &mut report.findings);
+    report.findings.sort();
+    report.findings.dedup();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The audit's own acceptance gate: the workspace it lives in must be
+    /// clean. Runs from the crate dir, so the workspace root is two up.
+    #[test]
+    fn audit_workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = run_audit(&root).expect("workspace sources must be readable");
+        assert!(
+            report.is_clean(),
+            "szx-audit found violations:\n{}",
+            report.render_text()
+        );
+        // Sanity: the scan actually saw the workspace, including the five
+        // allowlisted unsafe sites in szx-telemetry.
+        assert!(report.counts.files_scanned > 20, "{:?}", report.counts);
+        assert_eq!(report.counts.unsafe_sites, 5, "{:?}", report.counts);
+        assert_eq!(
+            report.counts.unsafe_sites, report.counts.safety_comments,
+            "every unsafe site carries a SAFETY comment"
+        );
+    }
+
+    #[test]
+    fn committed_report_is_fresh() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let committed = match fs::read_to_string(root.join("results/AUDIT.json")) {
+            Ok(s) => s,
+            // First run before the report exists: the CI audit job (which
+            // regenerates and diffs) is the authority; skip here.
+            Err(_) => return,
+        };
+        let report = run_audit(&root).expect("workspace sources must be readable");
+        assert_eq!(
+            committed,
+            report.to_json(),
+            "results/AUDIT.json is stale — regenerate with `cargo run -p szx-audit -- --json results/AUDIT.json`"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! CLI wrapper: `szx-audit [--root DIR] [--json FILE] [--quiet]`.
+//!
+//! Prints `path:line: [rule] message` diagnostics and a summary, optionally
+//! writes the deterministic JSON report, and exits 1 when any finding
+//! remains — so CI can gate on a plain exit code.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json needs a file path"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: szx-audit [--root DIR] [--json FILE] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match szx_audit::run_audit(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("szx-audit: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("szx-audit: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("szx-audit: {msg}\nusage: szx-audit [--root DIR] [--json FILE] [--quiet]");
+    ExitCode::from(2)
+}

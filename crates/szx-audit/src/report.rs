@@ -1,0 +1,171 @@
+//! Audit report model and the deterministic emitters.
+//!
+//! The JSON report is fully deterministic — findings are sorted, counters
+//! are integers, and there is no timestamp — so the committed
+//! `results/AUDIT.json` stays byte-stable across machines and CI can verify
+//! freshness with a plain `git diff --exit-code`.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (see `rules` module docs).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, path: &str, line: usize, message: &str) -> Self {
+        Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message: message.to_string(),
+        }
+    }
+}
+
+/// Aggregate counters: what the audit *saw*, not just what it flagged.
+/// Annotation counts make silent suppression visible in the report.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Counts {
+    pub files_scanned: usize,
+    pub lines_scanned: usize,
+    pub unsafe_sites: usize,
+    pub safety_comments: usize,
+    pub panic_ok: usize,
+    pub cast_notes: usize,
+    pub ordering_notes: usize,
+}
+
+/// A full audit run: findings (sorted) plus the counters.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub counts: Counts,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// `path:line: [rule] message` diagnostics plus a summary block.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        let c = &self.counts;
+        let _ = writeln!(
+            out,
+            "szx-audit: {} finding(s) in {} files / {} lines",
+            self.findings.len(),
+            c.files_scanned,
+            c.lines_scanned
+        );
+        let _ = writeln!(
+            out,
+            "  unsafe sites: {} ({} with SAFETY), PANIC-OK: {}, CAST: {}, ORDERING: {}",
+            c.unsafe_sites, c.safety_comments, c.panic_ok, c.cast_notes, c.ordering_notes
+        );
+        out
+    }
+
+    /// Deterministic, human-diffable JSON (schema `szx-audit/1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"szx-audit/1\",\n");
+        let c = &self.counts;
+        let _ = write!(
+            out,
+            "  \"counts\": {{\n    \"files_scanned\": {},\n    \"lines_scanned\": {},\n    \
+             \"unsafe_sites\": {},\n    \"safety_comments\": {},\n    \"panic_ok\": {},\n    \
+             \"cast_notes\": {},\n    \"ordering_notes\": {}\n  }},\n",
+            c.files_scanned,
+            c.lines_scanned,
+            c.unsafe_sites,
+            c.safety_comments,
+            c.panic_ok,
+            c.cast_notes,
+            c.ordering_notes
+        );
+        let _ = writeln!(out, "  \"finding_count\": {},", self.findings.len());
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_string(&f.path),
+                f.line,
+                json_string(f.rule),
+                json_string(&f.message)
+            );
+        }
+        if self.findings.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let mut r = Report::default();
+        r.counts.files_scanned = 2;
+        r.findings.push(Finding::new(
+            "panic-path",
+            "crates/x/src/a.rs",
+            7,
+            "`.unwrap()` with \"quotes\"\tand tabs",
+        ));
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"szx-audit/1\""));
+        assert!(a.contains("\\\"quotes\\\"\\tand tabs"));
+        assert!(a.contains("\"finding_count\": 1"));
+    }
+
+    #[test]
+    fn empty_report_renders_clean() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        assert!(r.to_json().contains("\"findings\": []"));
+        assert!(r.render_text().contains("0 finding(s)"));
+    }
+}

@@ -1,0 +1,661 @@
+//! The audit rules: project-specific invariants phrased over the lexical
+//! source model of [`crate::source`].
+//!
+//! | rule id               | invariant                                                        |
+//! |-----------------------|------------------------------------------------------------------|
+//! | `unsafe-allowlist`    | `unsafe` appears only in the allowlisted telemetry modules       |
+//! | `unsafe-safety`       | every allowlisted `unsafe` site carries a `// SAFETY:` comment   |
+//! | `forbid-unsafe`       | safe crates declare `#![forbid(unsafe_code)]` at the crate root  |
+//! | `deny-unsafe-op`      | the unsafe-bearing crate denies `unsafe_op_in_unsafe_fn`         |
+//! | `panic-path`          | decode-side modules are panic-free (or carry `// PANIC-OK:`)     |
+//! | `atomics-protocol`    | the trace publish field follows the release/acquire protocol     |
+//! | `cast-note`           | narrowing `as` casts in the kernels carry a `// CAST:` note      |
+
+use crate::report::{Counts, Finding};
+use crate::source::SourceFile;
+
+/// Files allowed to contain `unsafe` (each site still needs `// SAFETY:`).
+pub const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/szx-telemetry/src/trace.rs",
+    "crates/szx-telemetry/src/json.rs",
+];
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`.
+pub const FORBID_UNSAFE_ROOTS: &[&str] = &[
+    "crates/szx-core/src/lib.rs",
+    "crates/szx-data/src/lib.rs",
+    "crates/szx-cli/src/main.rs",
+    "crates/szx-metrics/src/lib.rs",
+    "crates/szx-baselines/src/lib.rs",
+    "crates/szx-gpu-sim/src/lib.rs",
+    "crates/szx-io-sim/src/lib.rs",
+    "crates/bench/src/lib.rs",
+    "crates/szx-audit/src/lib.rs",
+    "tests/src/lib.rs",
+];
+
+/// The crate root that must carry `#![deny(unsafe_op_in_unsafe_fn)]`
+/// (the only crate allowed to hold unsafe code at all).
+pub const DENY_UNSAFE_OP_ROOT: &str = "crates/szx-telemetry/src/lib.rs";
+
+/// Decode-side modules that parse attacker-controllable bytes: no panics
+/// without a `// PANIC-OK:` justification.
+pub const DECODE_PATH: &[&str] = &[
+    "crates/szx-core/src/decode.rs",
+    "crates/szx-core/src/dekernels.rs",
+    "crates/szx-core/src/bitio.rs",
+    "crates/szx-core/src/archive.rs",
+    "crates/szx-core/src/stream.rs",
+];
+
+/// Kernel modules whose offset arithmetic must annotate narrowing casts.
+pub const CAST_FILES: &[&str] = &[
+    "crates/szx-core/src/kernels.rs",
+    "crates/szx-core/src/dekernels.rs",
+];
+
+/// The lock-free trace module and the atomic fields in it whose stores
+/// publish `UnsafeCell` buffer contents (and therefore must pair release
+/// stores with acquire loads).
+pub const TRACE_MODULE: &str = "crates/szx-telemetry/src/trace.rs";
+pub const PUBLISH_FIELDS: &[&str] = &["len"];
+
+/// Run every per-file rule on `file`.
+pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut Counts) {
+    unsafe_hygiene(file, findings, counts);
+    if DECODE_PATH.contains(&file.rel_path.as_str()) {
+        panic_freedom(file, findings, counts);
+    }
+    if CAST_FILES.contains(&file.rel_path.as_str()) {
+        cast_notes(file, findings, counts);
+    }
+    if file.rel_path == TRACE_MODULE {
+        atomics_protocol(file, findings, counts);
+    }
+}
+
+/// Cross-file rule: crate roots carry their lint attributes. `files` is the
+/// full scanned set.
+pub fn check_crate_attrs(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let find = |rel: &str| files.iter().find(|f| f.rel_path == rel);
+    let declares = |f: &SourceFile, attr: &str| {
+        f.lines
+            .iter()
+            .any(|l| l.code.replace(' ', "").contains(attr))
+    };
+    for &root in FORBID_UNSAFE_ROOTS {
+        match find(root) {
+            Some(f) if declares(f, "#![forbid(unsafe_code)]") => {}
+            Some(_) => findings.push(Finding::new(
+                "forbid-unsafe",
+                root,
+                1,
+                "crate root is missing #![forbid(unsafe_code)]",
+            )),
+            None => findings.push(Finding::new(
+                "forbid-unsafe",
+                root,
+                1,
+                "expected crate root not found under the audit root",
+            )),
+        }
+    }
+    match find(DENY_UNSAFE_OP_ROOT) {
+        Some(f) if declares(f, "#![deny(unsafe_op_in_unsafe_fn)]") => {}
+        Some(_) => findings.push(Finding::new(
+            "deny-unsafe-op",
+            DENY_UNSAFE_OP_ROOT,
+            1,
+            "crate root is missing #![deny(unsafe_op_in_unsafe_fn)]",
+        )),
+        None => findings.push(Finding::new(
+            "deny-unsafe-op",
+            DENY_UNSAFE_OP_ROOT,
+            1,
+            "expected crate root not found under the audit root",
+        )),
+    }
+}
+
+/// `unsafe` only in the allowlist, and there only with a `// SAFETY:`
+/// justification on or directly above the site.
+fn unsafe_hygiene(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut Counts) {
+    let allowed = UNSAFE_ALLOWLIST.contains(&file.rel_path.as_str());
+    for (i, line) in file.lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        counts.unsafe_sites += 1;
+        if !allowed {
+            findings.push(Finding::new(
+                "unsafe-allowlist",
+                &file.rel_path,
+                i + 1,
+                "`unsafe` outside the allowlisted telemetry modules",
+            ));
+        } else if file.annotated(i, "SAFETY:") {
+            counts.safety_comments += 1;
+        } else {
+            findings.push(Finding::new(
+                "unsafe-safety",
+                &file.rel_path,
+                i + 1,
+                "unsafe site without a `// SAFETY:` justification",
+            ));
+        }
+    }
+}
+
+/// Panic vectors on the untrusted decode path: `.unwrap()` / `.expect(` /
+/// panicking macros / slice indexing without `.get`. Suppressed (and
+/// counted) by a `// PANIC-OK:` comment on or directly above the line.
+fn panic_freedom(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut Counts) {
+    const MACROS: &[&str] = &[
+        "panic!",
+        "unreachable!",
+        "todo!",
+        "unimplemented!",
+        "assert!",
+        "assert_eq!",
+        "assert_ne!",
+    ];
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let mut hits: Vec<&str> = Vec::new();
+        if line.code.contains(".unwrap()") {
+            hits.push("`.unwrap()`");
+        }
+        if line.code.contains(".expect(") {
+            hits.push("`.expect(...)`");
+        }
+        for m in MACROS {
+            if has_macro(&line.code, m) {
+                hits.push(m);
+            }
+        }
+        if has_index_expr(&line.code) {
+            hits.push("slice index without `.get`");
+        }
+        if hits.is_empty() {
+            continue;
+        }
+        if file.annotated(i, "PANIC-OK:") {
+            counts.panic_ok += hits.len();
+        } else {
+            for h in hits {
+                findings.push(Finding::new(
+                    "panic-path",
+                    &file.rel_path,
+                    i + 1,
+                    &format!("{h} on the untrusted decode path (no `// PANIC-OK:` note)"),
+                ));
+            }
+        }
+    }
+}
+
+/// Narrowing `as` casts in kernel offset arithmetic need a `// CAST:` note
+/// stating why the value fits.
+fn cast_notes(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut Counts) {
+    const NARROW: &[&str] = &["as u8", "as u16", "as u32", "as i8", "as i16", "as i32"];
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let mut sites = 0usize;
+        for pat in NARROW {
+            let mut from = 0usize;
+            while let Some(at) = line.code[from..].find(pat) {
+                let abs = from + at;
+                let before_ok =
+                    abs == 0 || !is_ident_char(line.code[..abs].chars().next_back().unwrap_or(' '));
+                let after = line.code[abs + pat.len()..].chars().next().unwrap_or(' ');
+                if before_ok && !is_ident_char(after) {
+                    sites += 1;
+                }
+                from = abs + pat.len();
+            }
+        }
+        if sites == 0 {
+            continue;
+        }
+        if file.annotated(i, "CAST:") {
+            counts.cast_notes += sites;
+        } else {
+            findings.push(Finding::new(
+                "cast-note",
+                &file.rel_path,
+                i + 1,
+                "narrowing `as` cast in kernel arithmetic without a `// CAST:` note",
+            ));
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Clone, Copy)]
+enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// One atomic operation found in the trace module.
+#[derive(Debug)]
+struct AtomicOp {
+    field: String,
+    kind: OpKind,
+    ordering: String,
+    line: usize,
+}
+
+/// The trace module's publish protocol: the fields guarding `UnsafeCell`
+/// slot publication must release-store and acquire-load; a relaxed store
+/// would let readers observe torn events, and a relaxed cross-thread load
+/// would read slots before their writes are visible. Owner-thread relaxed
+/// loads are legal but must carry an `// ORDERING:` note.
+fn atomics_protocol(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut Counts) {
+    let mut ops: Vec<AtomicOp> = Vec::new();
+    const METHODS: &[(&str, OpKind)] = &[
+        (".load(", OpKind::Load),
+        (".store(", OpKind::Store),
+        (".swap(", OpKind::Rmw),
+        (".fetch_add(", OpKind::Rmw),
+        (".fetch_sub(", OpKind::Rmw),
+        (".compare_exchange(", OpKind::Rmw),
+    ];
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        for &(pat, kind) in METHODS {
+            let mut from = 0usize;
+            while let Some(at) = line.code[from..].find(pat) {
+                let abs = from + at;
+                // When rustfmt wraps the receiver onto its own line
+                // (`self.len\n    .store(...)`), the field identifier sits
+                // on the nearest preceding non-blank code line.
+                let mut field = trailing_ident(line.code[..abs].trim_end());
+                if field.is_empty() {
+                    for j in (i.saturating_sub(3)..i).rev() {
+                        let t = file.lines[j].code.trim_end();
+                        if !t.is_empty() {
+                            field = trailing_ident(t);
+                            break;
+                        }
+                    }
+                }
+                // The Ordering argument may sit on a continuation line when
+                // rustfmt wraps the call.
+                let ordering = (i..file.lines.len().min(i + 4))
+                    .find_map(|j| {
+                        let code = &file.lines[j].code;
+                        let start = if j == i { abs } else { 0 };
+                        code[start..]
+                            .find("Ordering::")
+                            .map(|o| leading_ident(&code[start + o + "Ordering::".len()..]))
+                    })
+                    .unwrap_or_default();
+                ops.push(AtomicOp {
+                    field,
+                    kind,
+                    ordering,
+                    line: i + 1,
+                });
+                from = abs + pat.len();
+            }
+        }
+    }
+
+    for field in PUBLISH_FIELDS {
+        let field_ops: Vec<&AtomicOp> = ops.iter().filter(|o| &o.field == field).collect();
+        if field_ops.is_empty() {
+            continue;
+        }
+        for op in &field_ops {
+            match op.kind {
+                OpKind::Store | OpKind::Rmw if op.ordering == "Relaxed" => {
+                    findings.push(Finding::new(
+                        "atomics-protocol",
+                        &file.rel_path,
+                        op.line,
+                        &format!(
+                            "relaxed store to publish field `{field}` — buffer contents \
+                             published without release ordering"
+                        ),
+                    ));
+                }
+                OpKind::Load if op.ordering == "Relaxed" => {
+                    if file.annotated(op.line - 1, "ORDERING:") {
+                        counts.ordering_notes += 1;
+                    } else {
+                        findings.push(Finding::new(
+                            "atomics-protocol",
+                            &file.rel_path,
+                            op.line,
+                            &format!(
+                                "relaxed load of publish field `{field}` without an \
+                                 `// ORDERING:` note (owner-thread reads must be justified)"
+                            ),
+                        ));
+                    }
+                }
+                _ if op.ordering.is_empty() => {
+                    findings.push(Finding::new(
+                        "atomics-protocol",
+                        &file.rel_path,
+                        op.line,
+                        &format!("atomic op on `{field}` without an explicit Ordering"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        let has_release_store = field_ops
+            .iter()
+            .any(|o| o.kind != OpKind::Load && (o.ordering == "Release" || o.ordering == "SeqCst"));
+        let has_acquire_load = field_ops
+            .iter()
+            .any(|o| o.kind == OpKind::Load && (o.ordering == "Acquire" || o.ordering == "SeqCst"));
+        if !(has_release_store && has_acquire_load) {
+            findings.push(Finding::new(
+                "atomics-protocol",
+                &file.rel_path,
+                field_ops[0].line,
+                &format!(
+                    "publish field `{field}` lacks a release-store/acquire-load pair \
+                     (stores: {}, loads: {})",
+                    field_ops.iter().filter(|o| o.kind != OpKind::Load).count(),
+                    field_ops.iter().filter(|o| o.kind == OpKind::Load).count(),
+                ),
+            ));
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Word-boundary search for an identifier-like token.
+fn has_word(code: &str, word: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(at) = code[from..].find(word) {
+        let abs = from + at;
+        let before = code[..abs].chars().next_back();
+        let after = code[abs + word.len()..].chars().next();
+        if !before.is_some_and(is_ident_char) && !after.is_some_and(is_ident_char) {
+            return true;
+        }
+        from = abs + word.len();
+    }
+    false
+}
+
+/// Macro-call search: `name` must not be preceded by an identifier char
+/// (so `assert!` does not match inside `debug_assert!`).
+fn has_macro(code: &str, name: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(at) = code[from..].find(name) {
+        let abs = from + at;
+        if !code[..abs].chars().next_back().is_some_and(is_ident_char) {
+            return true;
+        }
+        from = abs + name.len();
+    }
+    false
+}
+
+/// Does the line contain an index expression `expr[...]`? A `[` counts when
+/// the previous non-space character ends an expression (identifier, `)`,
+/// `]`), except when that identifier is a lifetime (`&'a [u8]`).
+fn has_index_expr(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && chars[j - 1] == ' ' {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let prev = chars[j - 1];
+        if prev == ')' || prev == ']' {
+            return true;
+        }
+        if is_ident_char(prev) {
+            // Walk back over the identifier; a leading `'` makes it a
+            // lifetime, and a keyword (`&mut [F]`, `dyn [..]`, `x in [..]`)
+            // starts a type or expression — neither is an indexable value.
+            let mut k = j - 1;
+            while k > 0 && is_ident_char(chars[k - 1]) {
+                k -= 1;
+            }
+            if k > 0 && chars[k - 1] == '\'' {
+                continue;
+            }
+            const KEYWORDS: &[&str] = &[
+                "mut", "dyn", "in", "as", "return", "break", "else", "match", "if", "while",
+                "impl", "where", "move", "ref", "const", "static", "let", "loop",
+            ];
+            let ident: String = chars[k..j].iter().collect();
+            if !KEYWORDS.contains(&ident.as_str()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The identifier ending `s` (e.g. `"self.len"` → `"len"`).
+fn trailing_ident(s: &str) -> String {
+    s.chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect()
+}
+
+/// The identifier starting `s`.
+fn leading_ident(s: &str) -> String {
+    s.chars().take_while(|&c| is_ident_char(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::parse_source;
+
+    fn run_on(rel_path: &str, src: &str) -> (Vec<Finding>, Counts) {
+        let file = parse_source(rel_path, src);
+        let mut findings = Vec::new();
+        let mut counts = Counts::default();
+        check_file(&file, &mut findings, &mut counts);
+        (findings, counts)
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_is_flagged() {
+        let (f, c) = run_on("crates/szx-core/src/lib.rs", "unsafe { boom() }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unsafe-allowlist");
+        assert_eq!(c.unsafe_sites, 1);
+    }
+
+    #[test]
+    fn allowlisted_unsafe_needs_safety_comment() {
+        let bad = "fn f() { unsafe { go() } }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/trace.rs", bad);
+        assert!(f.iter().any(|x| x.rule == "unsafe-safety"), "{f:?}");
+
+        let good = "// SAFETY: the owner thread is the only writer.\nfn f() { unsafe { go() } }\n";
+        let (f, c) = run_on("crates/szx-telemetry/src/trace.rs", good);
+        assert!(f.iter().all(|x| x.rule != "unsafe-safety"), "{f:?}");
+        assert_eq!(c.safety_comments, 1);
+    }
+
+    #[test]
+    fn unsafe_in_word_or_string_does_not_count() {
+        let (f, c) = run_on(
+            "crates/szx-core/src/lib.rs",
+            "#![forbid(unsafe_code)]\nlet s = \"unsafe\";\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(c.unsafe_sites, 0);
+    }
+
+    #[test]
+    fn panic_vectors_on_decode_path_are_flagged() {
+        let src = "fn parse(b: &[u8]) -> u8 {\n\
+                   let x = b.first().unwrap();\n\
+                   let y = b[1];\n\
+                   panic!(\"no\");\n\
+                   }\n";
+        let (f, _) = run_on("crates/szx-core/src/decode.rs", src);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["panic-path"; 3], "{f:?}");
+    }
+
+    #[test]
+    fn panic_ok_note_suppresses_and_counts() {
+        let src = "fn parse(b: &[u8]) -> u8 {\n\
+                   // PANIC-OK: caller checked b.len() >= 2 above.\n\
+                   let y = b[1] + b.first().unwrap();\n\
+                   b[0]\n\
+                   }\n";
+        let (f, c) = run_on("crates/szx-core/src/decode.rs", src);
+        assert_eq!(f.len(), 1, "only the unannotated line remains: {f:?}");
+        assert_eq!(c.panic_ok, 2, "index + unwrap on the annotated line");
+    }
+
+    #[test]
+    fn debug_assert_and_unwrap_or_are_not_panic_vectors() {
+        let src = "fn f(v: &[u8]) {\n\
+                   debug_assert!(v.len() > 1);\n\
+                   debug_assert_eq!(v.len(), 2);\n\
+                   let _ = v.first().copied().unwrap_or(0);\n\
+                   let _ = v.first().copied().unwrap_or_default();\n\
+                   }\n";
+        let (f, _) = run_on("crates/szx-core/src/decode.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lifetime_slices_and_attributes_are_not_index_exprs() {
+        let src = "#[derive(Debug)]\n\
+                   pub struct S<'a> { pub b: &'a [u8], pub n: [u8; 4] }\n\
+                   fn f(x: &'static [u8]) -> Vec<u8> { vec![0; 4] }\n";
+        let (f, _) = run_on("crates/szx-core/src/decode.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        assert!(has_index_expr("let x = data[i];"));
+        assert!(has_index_expr("f()[0]"));
+        assert!(!has_index_expr("let a: [u8; 8] = x;"));
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_panic_rules() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   #[test]\n\
+                   fn t() { x[0].unwrap(); }\n\
+                   }\n";
+        let (f, _) = run_on("crates/szx-core/src/decode.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn narrowing_casts_need_cast_notes() {
+        let src = "fn f(x: u64) -> u8 {\n\
+                   let a = x as u8;\n\
+                   // CAST: leading_zeros() <= 64 fits in u8.\n\
+                   let b = (x.leading_zeros() >> 3) as u8;\n\
+                   let wide = a as u64;\n\
+                   a + b\n\
+                   }\n";
+        let (f, c) = run_on("crates/szx-core/src/kernels.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "cast-note");
+        assert_eq!(f[0].line, 2);
+        assert_eq!(c.cast_notes, 1);
+    }
+
+    #[test]
+    fn relaxed_publish_store_is_flagged() {
+        let src = "fn push(&self) {\n\
+                   let n = self.len.load(Ordering::Acquire);\n\
+                   self.len.store(n + 1, Ordering::Relaxed);\n\
+                   }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/trace.rs", src);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "atomics-protocol" && x.line == 3),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn release_acquire_pair_passes() {
+        let src = "fn push(&self) {\n\
+                   // ORDERING: owner-thread read; only this thread stores len.\n\
+                   let n = self.len.load(Ordering::Relaxed);\n\
+                   self.len.store(n + 1, Ordering::Release);\n\
+                   }\n\
+                   fn drain(&self) {\n\
+                   let n = self.len.load(Ordering::Acquire);\n\
+                   self.len.store(0, Ordering::Release);\n\
+                   }\n";
+        let (f, c) = run_on("crates/szx-telemetry/src/trace.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(c.ordering_notes, 1);
+    }
+
+    #[test]
+    fn missing_acquire_load_breaks_the_pair() {
+        let src = "fn f(&self) {\n\
+                   self.len.store(1, Ordering::Release);\n\
+                   let _ = self.len.load(Ordering::Acquire);\n\
+                   }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/trace.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        let src = "fn f(&self) { self.len.store(1, Ordering::Release); }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/trace.rs", src);
+        assert!(
+            f.iter()
+                .any(|x| x.message.contains("release-store/acquire-load")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn wrapped_ordering_argument_is_found_on_continuation_line() {
+        let src = "fn f(&self) {\n\
+                   self.len\n\
+                   .store(\n\
+                   n + 1,\n\
+                   Ordering::Release,\n\
+                   );\n\
+                   let _ = self.len.load(Ordering::Acquire);\n\
+                   }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/trace.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn crate_attr_rule_reports_missing_roots() {
+        let present = parse_source("crates/szx-core/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        let mut findings = Vec::new();
+        check_crate_attrs(&[present], &mut findings);
+        // szx-core passes; every other root is missing from the set.
+        assert!(findings
+            .iter()
+            .all(|f| f.path != "crates/szx-core/src/lib.rs"));
+        assert_eq!(findings.len(), FORBID_UNSAFE_ROOTS.len()); // -1 found +1 deny root
+    }
+}

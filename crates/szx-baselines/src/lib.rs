@@ -16,6 +16,8 @@
 //!   multicore experiments (Tables 6–7).
 //! * [`huffman`] — the shared canonical Huffman substrate.
 
+#![forbid(unsafe_code)]
+
 pub mod chunked;
 pub mod error;
 pub mod huffman;

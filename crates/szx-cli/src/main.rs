@@ -1,6 +1,8 @@
 //! `szx` — command-line compressor/decompressor/assessor, mirroring the
 //! upstream SZx executable's workflow on raw little-endian f32/f64 files.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 

@@ -13,6 +13,7 @@
 //! ```
 
 use crate::config::SzxConfig;
+use crate::cursor::Cursor;
 use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
 
@@ -90,43 +91,39 @@ pub struct ArchiveReader<'a> {
 impl<'a> ArchiveReader<'a> {
     pub fn new(bytes: &'a [u8]) -> Result<Self> {
         let corrupt = |m: &str| SzxError::CorruptStream(format!("archive: {m}"));
-        if bytes.len() < 8 || bytes[0..4] != MAGIC {
-            return Err(corrupt("bad magic"));
+        let mut c = Cursor::new(bytes);
+        match c.take(4) {
+            Some(magic) if magic == MAGIC => {}
+            _ => return Err(corrupt("bad magic")),
         }
-        let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let count = c.u32_le().ok_or_else(|| corrupt("bad magic"))? as usize;
         if count > bytes.len() / 18 {
             return Err(corrupt("implausible field count"));
         }
-        let mut pos = 8usize;
         let mut raw_toc = Vec::with_capacity(count);
         for _ in 0..count {
-            if pos + 2 > bytes.len() {
-                return Err(corrupt("truncated TOC"));
-            }
-            let nlen = u16::from_le_bytes(bytes[pos..pos + 2].try_into().unwrap()) as usize;
-            pos += 2;
-            if pos + nlen + 16 > bytes.len() {
+            let nlen = c.u16_le().ok_or_else(|| corrupt("truncated TOC"))? as usize;
+            if c.remaining() < nlen + 16 {
                 return Err(corrupt("truncated TOC entry"));
             }
-            let name = std::str::from_utf8(&bytes[pos..pos + nlen])
+            let name_bytes = c.take(nlen).ok_or_else(|| corrupt("truncated TOC entry"))?;
+            let name = std::str::from_utf8(name_bytes)
                 .map_err(|_| corrupt("field name is not UTF-8"))?
                 .to_string();
-            pos += nlen;
-            let offset = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
-            let len = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap()) as usize;
-            pos += 16;
+            let offset = c.u64_le().ok_or_else(|| corrupt("truncated TOC entry"))? as usize;
+            let len = c.u64_le().ok_or_else(|| corrupt("truncated TOC entry"))? as usize;
             raw_toc.push((name, offset, len));
         }
-        let payload = &bytes[pos..];
+        let payload = c.rest();
         let mut toc = Vec::with_capacity(count);
         for (name, offset, len) in raw_toc {
             let end = offset
                 .checked_add(len)
                 .ok_or_else(|| corrupt("TOC overflow"))?;
-            if end > payload.len() {
-                return Err(corrupt("TOC points past payload"));
-            }
-            toc.push((name, &payload[offset..end]));
+            let span = payload
+                .get(offset..end)
+                .ok_or_else(|| corrupt("TOC points past payload"))?;
+            toc.push((name, span));
         }
         Ok(ArchiveReader { toc })
     }

@@ -64,6 +64,9 @@ impl BitWriter {
             let free = 8 - self.used;
             let take = free.min(remaining);
             let chunk = (value >> (remaining - take)) as u8 & ((1u16 << take) - 1) as u8;
+            // PANIC-OK: when used == 0 a byte was just pushed above, so the
+            // buffer is never empty here. (Writer side; not fed untrusted
+            // bytes, but the whole module is audited uniformly.)
             let last = self.buf.last_mut().expect("buffer has a current byte");
             *last |= chunk << (free - take);
             self.used = (self.used + take) % 8;
@@ -132,6 +135,8 @@ impl<'a> BitReader<'a> {
         let mut out = 0u64;
         let mut remaining = n;
         while remaining > 0 {
+            // PANIC-OK: the remaining() check above guarantees pos + n bits
+            // fit, so pos / 8 stays within buf for the whole loop.
             let byte = self.buf[self.pos / 8];
             let offset = (self.pos % 8) as u32;
             let avail = 8 - offset;
@@ -223,7 +228,10 @@ impl<'a> StateBits<'a> {
     /// matching slice indexing.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
+        // PANIC-OK: the documented out-of-range panic mirrors slice
+        // indexing; new() guaranteed bytes covers ceil(n / 8).
         assert!(i < self.n, "state bit {i} out of range ({} blocks)", self.n);
+        // PANIC-OK: i < n just asserted; new() guaranteed ceil(n / 8) bytes.
         (self.bytes[i / 8] >> (7 - i % 8)) & 1 != 0
     }
 
@@ -231,6 +239,8 @@ impl<'a> StateBits<'a> {
     /// past `n` in the final byte — a forged tail must not inflate the count.
     pub fn count_ones(&self) -> usize {
         let full = self.n / 8;
+        // PANIC-OK: new() guaranteed bytes.len() >= ceil(n / 8), which
+        // covers both the full-byte prefix and the partial final byte.
         let mut count: usize = self.bytes[..full]
             .iter()
             .map(|b| b.count_ones() as usize)
@@ -238,6 +248,7 @@ impl<'a> StateBits<'a> {
         let rem = self.n % 8;
         if rem > 0 {
             let mask = !0u8 << (8 - rem);
+            // PANIC-OK: rem > 0 means ceil(n / 8) == full + 1 <= bytes.len().
             count += (self.bytes[full] & mask).count_ones() as usize;
         }
         count

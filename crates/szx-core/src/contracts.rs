@@ -1,0 +1,51 @@
+//! Debug-only contract checks for the kernel hot paths.
+//!
+//! [`contract!`](crate::contracts::contract) is an `assert!` with a
+//! uniform "contract violated:" prefix that exists only under
+//! `debug_assertions` — the release expansion is an *empty block*, not a
+//! `debug_assert!`'s dead `if false` branch, so the macro cannot perturb
+//! MIR inlining cost estimates inside the branch-free kernels (the
+//! observatory's −5% throughput gate is the regression test for that).
+//! Contracts state the invariants the kernels' `// PANIC-OK:` proofs rely
+//! on: scratch-arena sizing, mid-byte pool bounds, and prefix-sum
+//! monotonicity. Keep contract *expressions* free of slice indexing —
+//! `szx-audit` scans them like any other decode-path code.
+
+/// Assert a kernel invariant in debug builds; expands to nothing in release.
+macro_rules! contract {
+    ($cond:expr, $($arg:tt)+) => {{
+        #[cfg(debug_assertions)]
+        {
+            assert!($cond, "contract violated: {}", format_args!($($arg)+));
+        }
+    }};
+}
+pub(crate) use contract;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn contract_passes_when_true() {
+        contract!(1 + 1 == 2, "arithmetic holds");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "contracts compile out in release")]
+    fn contract_panics_with_prefix_in_debug() {
+        let err = std::panic::catch_unwind(|| {
+            contract!(false, "pool needs {} bytes", 42);
+        })
+        .expect_err("contract must fire under debug_assertions");
+        let msg = match err.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => err
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .unwrap_or_default(),
+        };
+        assert!(
+            msg.contains("contract violated: pool needs 42 bytes"),
+            "{msg}"
+        );
+    }
+}

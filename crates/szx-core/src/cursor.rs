@@ -1,0 +1,102 @@
+//! Panic-free byte reader for the cold parse paths (header, archive TOC,
+//! stream index).
+//!
+//! Every accessor returns `Option`, so the `szx-audit` panic-freedom rule
+//! holds by construction: no indexing, no `unwrap`, no arithmetic that can
+//! overflow. Call sites attach the appropriate [`crate::error::SzxError`]
+//! with `ok_or_else`. The hot per-block decode loops deliberately do *not*
+//! route through this type — they validate bounds once up front and carry
+//! `// PANIC-OK:` proofs instead.
+
+/// Forward-only reader over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
+    /// Consume `n` bytes; `None` if fewer remain.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Everything not yet consumed (the cursor keeps its position).
+    pub fn rest(&self) -> &'a [u8] {
+        self.bytes.get(self.pos..).unwrap_or(&[])
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1)?.first().copied()
+    }
+
+    pub fn u16_le(&mut self) -> Option<u16> {
+        self.take(2)?.try_into().ok().map(u16::from_le_bytes)
+    }
+
+    pub fn u32_le(&mut self) -> Option<u32> {
+        self.take(4)?.try_into().ok().map(u32::from_le_bytes)
+    }
+
+    pub fn u64_le(&mut self) -> Option<u64> {
+        self.take(8)?.try_into().ok().map(u64::from_le_bytes)
+    }
+
+    pub fn f64_le(&mut self) -> Option<f64> {
+        self.u64_le().map(f64::from_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_in_order() {
+        let mut buf = vec![7u8];
+        buf.extend_from_slice(&0xbeefu16.to_le_bytes());
+        buf.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        buf.extend_from_slice(&1.5f64.to_le_bytes());
+        buf.extend_from_slice(b"tail");
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u8(), Some(7));
+        assert_eq!(c.u16_le(), Some(0xbeef));
+        assert_eq!(c.u32_le(), Some(0xdead_beef));
+        assert_eq!(c.f64_le(), Some(1.5));
+        assert_eq!(c.take(4), Some(&b"tail"[..]));
+        assert_eq!(c.remaining(), 0);
+        assert_eq!(c.rest(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn short_reads_are_none_and_consume_nothing() {
+        let buf = [1u8, 2, 3];
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u32_le(), None);
+        assert_eq!(c.remaining(), 3, "failed read must not advance");
+        assert_eq!(c.take(4), None);
+        assert_eq!(c.take(3), Some(&buf[..]));
+        assert_eq!(c.u8(), None);
+    }
+
+    #[test]
+    fn rest_tracks_position() {
+        let buf = [1u8, 2, 3, 4];
+        let mut c = Cursor::new(&buf);
+        let _ = c.take(1);
+        assert_eq!(c.rest(), &[2, 3, 4]);
+        assert_eq!(c.remaining(), 3);
+    }
+}

@@ -43,7 +43,13 @@ impl<'a> StreamIndex<'a> {
             )));
         }
         let nblocks = header.num_blocks();
-        let states = StateBits::new(&bytes[layout.state_off..layout.mu_off], nblocks)
+        // The payload_off length check above guarantees every section range
+        // below is in bounds; `get` keeps this path panic-free regardless.
+        let truncated = || SzxError::CorruptStream("section out of bounds".into());
+        let state_bytes = bytes
+            .get(layout.state_off..layout.mu_off)
+            .ok_or_else(truncated)?;
+        let states = StateBits::new(state_bytes, nblocks)
             .ok_or_else(|| SzxError::CorruptStream("state bit section truncated".into()))?;
 
         let n_nonconstant = states.count_ones();
@@ -54,19 +60,27 @@ impl<'a> StreamIndex<'a> {
             )));
         }
 
-        let mu_bytes = &bytes[layout.mu_off..layout.zsize_off];
+        let mu_bytes = bytes
+            .get(layout.mu_off..layout.zsize_off)
+            .ok_or_else(truncated)?;
 
-        let zsize_bytes = &bytes[layout.zsize_off..layout.payload_off];
+        let zsize_bytes = bytes
+            .get(layout.zsize_off..layout.payload_off)
+            .ok_or_else(truncated)?;
         let mut zsizes = Vec::with_capacity(n_nonconstant);
         let mut payload_offsets = Vec::with_capacity(n_nonconstant);
         let mut acc = 0usize;
-        for i in 0..n_nonconstant {
-            let z = u16::from_le_bytes([zsize_bytes[2 * i], zsize_bytes[2 * i + 1]]);
+        // The layout gives zsize_bytes exactly 2 * n_nonconstant bytes.
+        for pair in zsize_bytes.chunks_exact(2) {
+            let z = match pair {
+                [a, b] => u16::from_le_bytes([*a, *b]),
+                _ => 0, // unreachable: chunks_exact yields 2-byte windows
+            };
             payload_offsets.push(acc);
             zsizes.push(z);
             acc += z as usize;
         }
-        let payloads = &bytes[layout.payload_off..];
+        let payloads = bytes.get(layout.payload_off..).unwrap_or(&[]);
         if payloads.len() < acc {
             return Err(SzxError::CorruptStream(format!(
                 "payload section holds {} bytes, zsize array requires {acc}",
@@ -85,6 +99,8 @@ impl<'a> StreamIndex<'a> {
 
     #[inline]
     pub(crate) fn mu<F: SzxFloat>(&self, block: usize) -> F {
+        // PANIC-OK: build() sliced mu_bytes to exactly nblocks * F::BYTES,
+        // and every caller iterates block < nblocks.
         F::read_le(&self.mu_bytes[block * F::BYTES..])
     }
 }
@@ -151,10 +167,13 @@ impl<'a> ParsedStream<'a> {
     /// Block `b` must be non-constant.
     pub fn payload_span(&self, b: usize) -> (usize, usize) {
         debug_assert!(self.state(b), "block {b} is constant");
+        // PANIC-OK: documented contract — `b` must index a non-constant
+        // block (state(b) itself panics past num_blocks, matching slices);
+        // nc_before[b] < n_nonconstant then bounds both per-block arrays.
         let nc = self.nc_before[b];
         (
-            self.index.payload_offsets[nc],
-            self.index.zsizes[nc] as usize,
+            self.index.payload_offsets[nc], // PANIC-OK: nc < n_nonconstant
+            self.index.zsizes[nc] as usize, // PANIC-OK: nc < n_nonconstant
         )
     }
 }
@@ -272,9 +291,12 @@ pub(crate) fn decompress_with_index<F: SzxFloat>(
         for (b, chunk) in out.chunks_mut(bs).enumerate() {
             let mu = index.mu::<F>(b);
             if index.states.get(b) {
+                // PANIC-OK: build() verified count_ones == n_nonconstant
+                // (bounding nc) and that the payload section holds the full
+                // zsize prefix sum, so off + len <= payloads.len().
                 let off = index.payload_offsets[nc];
-                let len = index.zsizes[nc] as usize;
-                let payload = &index.payloads[off..off + len];
+                let len = index.zsizes[nc] as usize; // PANIC-OK: as above
+                let payload = &index.payloads[off..off + len]; // PANIC-OK: as above
                 if let Err(e) =
                     decode_block_dispatch(payload, chunk, mu, strategy, use_kernel, scratch)
                 {
@@ -309,6 +331,7 @@ pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
     if payload.len() < 1 + lead_bytes {
         return Err(SzxError::CorruptStream("block payload truncated".into()));
     }
+    // PANIC-OK: the length check above guarantees 1 + lead_bytes bytes.
     let req_len = payload[0] as u32;
     if req_len < F::SIGN_EXP_BITS || req_len > F::FULL_BITS {
         return Err(SzxError::CorruptStream(format!(
@@ -317,11 +340,14 @@ pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
         )));
     }
     let raw = req_len == F::FULL_BITS;
+    // PANIC-OK: same length check; payload.len() >= 1 + lead_bytes.
     let codes = &payload[1..1 + lead_bytes];
-    let body = &payload[1 + lead_bytes..];
+    let body = &payload[1 + lead_bytes..]; // PANIC-OK: as above
 
     #[inline]
     fn code_at(codes: &[u8], i: usize) -> usize {
+        // PANIC-OK: callers pass i < blen, and codes holds
+        // ceil(2 * blen / 8) bytes, so i / 4 < codes.len().
         ((codes[i / 4] >> (6 - 2 * (i % 4))) & 3) as usize
     }
 
@@ -338,6 +364,8 @@ pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
                     return Err(SzxError::CorruptStream("mid-byte pool truncated".into()));
                 }
                 let mut be = prev.to_be_bytes();
+                // PANIC-OK: lead <= nb <= 8 by the min() above, and the
+                // pos + k bound was just checked against body.len().
                 be[lead..nb].copy_from_slice(&body[pos..pos + k]);
                 pos += k;
                 let w = u64::from_be_bytes(be);
@@ -391,7 +419,10 @@ pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
                 let alpha = base_alpha - lead;
                 let prev_be = prev.to_be_bytes();
                 let mut be = [0u8; 8];
+                // PANIC-OK: lead + alpha == base_alpha <= 8, and the pool
+                // holds total_alpha == sum(alpha_i) bytes (checked above).
                 be[..lead].copy_from_slice(&prev_be[..lead]);
+                // PANIC-OK: as above.
                 be[lead..lead + alpha].copy_from_slice(&pool[pos..pos + alpha]);
                 pos += alpha;
                 let mut w = u64::from_be_bytes(be);

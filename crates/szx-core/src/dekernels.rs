@@ -44,6 +44,7 @@
 //! the oracle, exactly as the encode kernels did in `kernels.rs`.
 
 use crate::block::{bytes_for, shift_for};
+use crate::contracts::contract;
 use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
 
@@ -88,6 +89,10 @@ impl DecodeScratch {
             self.words.resize(blen + 1, 0);
             self.pool.resize(blen * 8 + 8, 0);
         }
+        contract!(
+            self.words.len() > blen && self.pool.len() >= blen * 8 + 8,
+            "decode arenas sized for {blen} elements"
+        );
     }
 
     /// Drain the growth-event count (for telemetry/regression flushes).
@@ -122,6 +127,8 @@ pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
     if payload.len() < 1 + lead_bytes {
         return Err(SzxError::CorruptStream("block payload truncated".into()));
     }
+    // PANIC-OK: the length check above guarantees 1 + lead_bytes bytes.
+    // CAST: widening u8 -> u32.
     let req_len = payload[0] as u32;
     if req_len < F::SIGN_EXP_BITS || req_len > F::FULL_BITS {
         return Err(SzxError::CorruptStream(format!(
@@ -130,8 +137,9 @@ pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
         )));
     }
     let raw = req_len == F::FULL_BITS;
+    // PANIC-OK: same length check; payload.len() >= 1 + lead_bytes.
     let codes = &payload[1..1 + lead_bytes];
-    let body = &payload[1 + lead_bytes..];
+    let body = &payload[1 + lead_bytes..]; // PANIC-OK: as above
 
     let s = shift_for(req_len);
     let nb = bytes_for(req_len);
@@ -146,30 +154,39 @@ pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
     // byte; a lead of 0 — a fully restated word — resets all three scans,
     // which is what breaks the scalar loop's `prev` recurrence). Selects,
     // not branches; the clamp is the same `.min(nb)` the scalar loop does.
-    let nb8 = nb as u8;
+    let nb8 = nb as u8; // CAST: bytes_for() <= 8
     let total = {
+        // PANIC-OK: ensure(blen) above sized every arena to >= blen.
         let leads = &mut scratch.leads[..blen];
-        let offsets = &mut scratch.offsets[..blen];
-        let prov0 = &mut scratch.prov0[..blen];
-        let prov1 = &mut scratch.prov1[..blen];
-        let prov2 = &mut scratch.prov2[..blen];
+        let offsets = &mut scratch.offsets[..blen]; // PANIC-OK: as above
+        let prov0 = &mut scratch.prov0[..blen]; // PANIC-OK: as above
+        let prov1 = &mut scratch.prov1[..blen]; // PANIC-OK: as above
+        let prov2 = &mut scratch.prov2[..blen]; // PANIC-OK: as above
         let mut acc = 0u32;
         let (mut a0, mut a1, mut a2) = (0u32, 0u32, 0u32);
         for i in 0..blen {
+            // PANIC-OK: i < blen bounds every arena slice taken above, and
+            // i >> 2 < ceil(2 * blen / 8) = codes.len().
             let l = ((codes[i >> 2] >> (6 - 2 * (i & 3))) & 3).min(nb8);
-            leads[i] = l;
-            offsets[i] = acc;
+            leads[i] = l; // PANIC-OK: as above
+            offsets[i] = acc; // PANIC-OK: as above
+                              // CAST: widening u8 -> u32.
             acc += (nb8 - l) as u32;
+            // CAST: i < blen <= MAX_BLOCK_SIZE, far below 2^32 - 1.
             let idx = i as u32 + 1;
             a0 = if l == 0 { idx } else { a0 };
             a1 = if l <= 1 { idx } else { a1 };
             a2 = if l <= 2 { idx } else { a2 };
-            prov0[i] = a0;
-            prov1[i] = a1;
-            prov2[i] = a2;
+            prov0[i] = a0; // PANIC-OK: as above
+            prov1[i] = a1; // PANIC-OK: as above
+            prov2[i] = a2; // PANIC-OK: as above
         }
         acc as usize
     };
+    contract!(
+        scratch.offsets.iter().take(blen).is_sorted() && total <= blen * 8,
+        "mid-byte offsets must be a monotone prefix sum bounded by 8 per value"
+    );
     // One total-length check subsumes the scalar loop's per-value
     // `pos + k > body.len()` test: the per-value needs are non-negative,
     // so any prefix overrun implies a total overrun and vice versa.
@@ -189,28 +206,41 @@ pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
     // and deeper are always self-provided because lead codes top out at 3.
     // Providers are never *later* values, so materializing `words[i + 1]`
     // and assembling `out[i]` fuse into one pass without ordering hazards.
+    // PANIC-OK: total <= body.len() was just checked, and ensure() sized
+    // the pool to blen * 8 + 8 >= total + 8.
     scratch.pool[..total].copy_from_slice(&body[..total]);
     let m0 = byte_mask(0, nb);
     let m1 = byte_mask(1, nb);
     let m2 = byte_mask(2, nb);
-    let top = (!0u64) << (64 - 8 * nb as u32);
+    let top = (!0u64) << (64 - 8 * nb as u32); // CAST: nb <= 8
     let m_rest = top & !(m0 | m1 | m2);
+    // PANIC-OK: ensure(blen) sized words to blen + 1 and the per-element
+    // arenas to blen; full-range [..] cannot fail.
     let pool = &scratch.pool[..];
-    let words = &mut scratch.words[..blen + 1];
-    words[0] = 0; // the implicit zero word `prev` starts from
-    let leads = &scratch.leads[..blen];
-    let offsets = &scratch.offsets[..blen];
-    let prov0 = &scratch.prov0[..blen];
-    let prov1 = &scratch.prov1[..blen];
-    let prov2 = &scratch.prov2[..blen];
+    let words = &mut scratch.words[..blen + 1]; // PANIC-OK: as above
+    words[0] = 0; // the implicit zero word `prev` starts from -- PANIC-OK: as above
+    let leads = &scratch.leads[..blen]; // PANIC-OK: as above
+    let offsets = &scratch.offsets[..blen]; // PANIC-OK: as above
+    let prov0 = &scratch.prov0[..blen]; // PANIC-OK: as above
+    let prov1 = &scratch.prov1[..blen]; // PANIC-OK: as above
+    let prov2 = &scratch.prov2[..blen]; // PANIC-OK: as above
     for (i, slot) in out.iter_mut().enumerate() {
+        // PANIC-OK: i < blen = out.len() bounds every arena slice; the
+        // provider indices are 0..=i + 1 <= blen < words.len().
         let off = offsets[i] as usize;
+        contract!(
+            off + 8 <= pool.len(),
+            "overlapping load at {off} must stay inside the slack-padded pool"
+        );
+        // PANIC-OK: off + 8 <= total + 8 <= pool.len() (8-byte slack); the
+        // unwrap is on an infallible 8-byte slice -> [u8; 8] conversion.
         let loaded = u64::from_be_bytes(pool[off..off + 8].try_into().unwrap());
+        // CAST: leads[i] <= nb <= 8. -- PANIC-OK: as above
         let a = loaded >> (8 * leads[i] as u32);
-        words[i + 1] = a;
-        let w = (words[prov0[i] as usize] & m0)
-            | (words[prov1[i] as usize] & m1)
-            | (words[prov2[i] as usize] & m2)
+        words[i + 1] = a; // PANIC-OK: as above
+        let w = (words[prov0[i] as usize] & m0) // PANIC-OK: as above
+            | (words[prov1[i] as usize] & m1) // PANIC-OK: as above
+            | (words[prov2[i] as usize] & m2) // PANIC-OK: as above
             | (a & m_rest);
         let v = F::from_word(w << s);
         *slot = if raw { v } else { v + mu };

@@ -33,6 +33,7 @@
 use crate::bitio::BitWriter;
 use crate::block::{bytes_for, required_length, shift_for, BlockStats};
 use crate::config::CommitStrategy;
+use crate::contracts::contract;
 use crate::float::SzxFloat;
 
 /// Accumulator stripes per scan loop. Eight lanes cover a 256-bit vector of
@@ -74,6 +75,10 @@ impl EncodeScratch {
             self.leads.resize(blen, 0);
             self.mid.resize(blen * 8 + 8, 0);
         }
+        contract!(
+            self.mid.len() >= blen * 8 + 8,
+            "mid-byte arena sized for {blen} elements plus slack"
+        );
     }
 
     /// Drain the growth-event count (for the telemetry flush).
@@ -201,7 +206,7 @@ pub(crate) fn encode_nonconstant<F: SzxFloat>(
     let blen = block.len();
     scratch.ensure(blen);
 
-    payload.push(req_len as u8);
+    payload.push(req_len as u8); // CAST: req_len <= FULL_BITS = 64
 
     // Pass 1 — normalize and shift (Formula 5). Solution C right-shifts so
     // the required bits fill whole bytes; A/B keep the word unshifted. The
@@ -226,14 +231,17 @@ pub(crate) fn encode_nonconstant<F: SzxFloat>(
     // identical leading bytes, clamped branch-free to the strategy's cap.
     // The predecessor comes from a two-element window over the materialized
     // words, so there is no loop-carried scalar dependence.
+    // CAST: both arms are clamped to at most 3.
     let lead_cap = match strategy {
         CommitStrategy::ByteAligned => bytes_for(req_len).min(3),
         _ => (req_len / 8).min(3) as usize,
-    } as u8;
+    } as u8; // CAST: as above
     let leads = &mut scratch.leads[..blen];
+    // CAST: leading_zeros() <= 64, so clz >> 3 <= 8 fits u8.
     leads[0] = ((words[0].leading_zeros() >> 3) as u8).min(lead_cap);
     for (l, pair) in leads[1..].iter_mut().zip(words.windows(2)) {
         let xor = pair[0] ^ pair[1];
+        // CAST: as above; clz >> 3 <= 8 fits u8.
         *l = ((xor.leading_zeros() >> 3) as u8).min(lead_cap);
     }
 
@@ -265,6 +273,11 @@ pub(crate) fn encode_nonconstant<F: SzxFloat>(
             let mut pos = 0usize;
             for (&w, &lead) in words.iter().zip(leads.iter()) {
                 let lead = lead as usize;
+                contract!(
+                    lead <= nb && pos + 8 <= mid.len(),
+                    "committer store at {pos} must stay inside the slack-padded arena"
+                );
+                // CAST: lead <= lead_cap <= 3.
                 mid[pos..pos + 8].copy_from_slice(&(w << (8 * lead as u32)).to_be_bytes());
                 pos += nb - lead;
             }
@@ -273,11 +286,12 @@ pub(crate) fn encode_nonconstant<F: SzxFloat>(
         CommitStrategy::BitPack => {
             scratch.bits.clear();
             for (&w, &lead) in words.iter().zip(leads.iter()) {
+                // CAST: lead <= lead_cap <= 3 (twice below).
                 let t = req_len - 8 * lead as u32;
                 if t > 0 {
                     scratch
                         .bits
-                        .write_bits((w << (8 * lead as u32)) >> (64 - t), t);
+                        .write_bits((w << (8 * lead as u32)) >> (64 - t), t); // CAST: as above
                 }
             }
             payload.extend_from_slice(scratch.bits.as_bytes());
@@ -288,12 +302,17 @@ pub(crate) fn encode_nonconstant<F: SzxFloat>(
             // loop's `shift_out = 8·(lead + α)` collapses to `8·(R/8)`.
             let beta = req_len % 8;
             let base_alpha = (req_len / 8) as usize;
-            let shift_out = 8 * base_alpha as u32;
+            let shift_out = 8 * base_alpha as u32; // CAST: base_alpha <= 8
             scratch.bits.clear();
             let mid = &mut scratch.mid[..];
             let mut pos = 0usize;
             for (&w, &lead) in words.iter().zip(leads.iter()) {
                 let lead = lead as usize;
+                contract!(
+                    lead <= base_alpha && pos + 8 <= mid.len(),
+                    "byte-pool store at {pos} must stay inside the slack-padded arena"
+                );
+                // CAST: lead <= lead_cap <= 3.
                 mid[pos..pos + 8].copy_from_slice(&(w << (8 * lead as u32)).to_be_bytes());
                 pos += base_alpha - lead;
                 if beta > 0 {

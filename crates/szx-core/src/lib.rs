@@ -52,11 +52,15 @@
 //! * decompression of corrupt or truncated streams returns an error, never
 //!   panics or reads out of bounds.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod archive;
 pub mod bitio;
 pub mod block;
 pub mod config;
+pub(crate) mod contracts;
+pub(crate) mod cursor;
 pub mod decode;
 pub mod dekernels;
 pub mod encode;

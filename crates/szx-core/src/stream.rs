@@ -25,6 +25,7 @@
 //! ```
 
 use crate::config::{CommitStrategy, MAX_BLOCK_SIZE};
+use crate::cursor::Cursor;
 use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
 
@@ -72,39 +73,45 @@ impl Header {
                 bytes.len()
             )));
         }
-        if bytes[0..4] != MAGIC {
+        // The length check above makes every cursor read below succeed; the
+        // fallback error is unreachable but keeps the path panic-free even
+        // if the layout constants drift.
+        let mut c = Cursor::new(bytes);
+        let trunc = || SzxError::CorruptStream("stream shorter than header".into());
+        if c.take(4).ok_or_else(trunc)? != MAGIC {
             return Err(SzxError::CorruptStream("bad magic".into()));
         }
-        if bytes[4] != VERSION {
+        let version = c.u8().ok_or_else(trunc)?;
+        if version != VERSION {
             return Err(SzxError::CorruptStream(format!(
-                "unsupported version {}",
-                bytes[4]
+                "unsupported version {version}"
             )));
         }
-        let dtype = bytes[5];
+        let dtype = c.u8().ok_or_else(trunc)?;
         if dtype > 1 {
             return Err(SzxError::CorruptStream(format!(
                 "unknown dtype code {dtype}"
             )));
         }
-        let strategy = CommitStrategy::from_code(bytes[6])?;
-        let block_size = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let strategy = CommitStrategy::from_code(c.u8().ok_or_else(trunc)?)?;
+        let _reserved = c.u8().ok_or_else(trunc)?;
+        let block_size = c.u32_le().ok_or_else(trunc)? as usize;
         if block_size == 0 || block_size > MAX_BLOCK_SIZE {
             return Err(SzxError::CorruptStream(format!(
                 "block size {block_size} out of range"
             )));
         }
-        let n = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let n = c.u64_le().ok_or_else(trunc)? as usize;
         if n == 0 {
             return Err(SzxError::CorruptStream(
                 "stream declares zero elements".into(),
             ));
         }
-        let eb = f64::from_le_bytes(bytes[20..28].try_into().unwrap());
+        let eb = c.f64_le().ok_or_else(trunc)?;
         if !eb.is_finite() || eb < 0.0 {
             return Err(SzxError::CorruptStream(format!("bad error bound {eb}")));
         }
-        let n_nonconstant = u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
+        let n_nonconstant = c.u64_le().ok_or_else(trunc)? as usize;
         let header = Header {
             dtype,
             strategy,

@@ -20,6 +20,8 @@
 //! assert!(pressure.data.iter().all(|v| v.is_finite()));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 pub mod fields;
 pub mod grf;

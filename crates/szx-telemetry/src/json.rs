@@ -296,9 +296,11 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so slicing on
-                    // char boundaries is guaranteed to succeed).
                     let rest = &self.bytes[self.pos..];
+                    // SAFETY: `self.bytes` came from a `&str` and `self.pos`
+                    // only ever advances by whole UTF-8 scalars (1 for ASCII
+                    // arms, `len_utf8()` here), so the tail at `pos..` is
+                    // always valid UTF-8.
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let c = s.chars().next().unwrap();
                     out.push(c);

@@ -50,6 +50,8 @@
 //! sensibly, and gate any non-trivial computation of `n` behind
 //! [`enabled`].
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod hist;
 pub mod json;
 mod registry;

@@ -143,6 +143,9 @@ impl ThreadBuf {
 
     /// Append one event (owning thread only).
     fn push(&self, name: &'static str, phase: TracePhase, arg: u64) {
+        // ORDERING: relaxed is sufficient for this load — only the owning
+        // thread stores `len` (drain's reset happens at quiescent points),
+        // so this read observes the thread's own last store.
         let n = self.len.load(Ordering::Relaxed);
         if n == self.slots.len() {
             self.dropped.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,151 @@
+//! Concurrency tests for the flight recorder's publish/drain protocol.
+//!
+//! The recorder's contract (see `trace.rs`): each thread owns a bounded
+//! buffer, writes a slot, then release-stores the published length; a
+//! drainer acquire-loads the length and reads only below it. These tests
+//! drive that protocol with real interleavings and assert that **no event
+//! is ever torn** (name and arg always agree on the producing writer) and
+//! that **no event is lost below capacity** when draining at a quiescent
+//! point.
+//!
+//! The suite is sized so it also runs under Miri, whose weak-memory and
+//! data-race machinery is the real reviewer here:
+//!
+//! ```text
+//! MIRIFLAGS="-Zmiri-many-seeds" \
+//!     cargo +nightly miri test -p szx-telemetry --test trace_interleave
+//! ```
+
+use std::sync::Mutex;
+use szx_telemetry::{set_trace_enabled, take_trace, trace_instant, TracePhase};
+
+const WRITERS: u64 = 4;
+const EVENTS_PER_WRITER: u64 = if cfg!(miri) { 24 } else { 512 };
+const DRAINS: usize = if cfg!(miri) { 4 } else { 64 };
+/// `arg = writer * ARG_STRIDE + sequence` — a self-describing payload: any
+/// mismatch between the arg's writer field and the event name is a tear.
+const ARG_STRIDE: u64 = 1_000_000;
+
+static NAMES: [&str; WRITERS as usize] = [
+    "interleave.w0",
+    "interleave.w1",
+    "interleave.w2",
+    "interleave.w3",
+];
+
+/// Both tests mutate process-global trace state; serialize them and start
+/// each from a drained recorder.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = take_trace();
+    guard
+}
+
+/// Every writer's event stream survives intact when the drain happens at a
+/// quiescent point (all writers joined): exact counts, no duplicates, no
+/// torn name/arg pairs, and per-thread FIFO order.
+#[test]
+fn no_event_is_torn_or_lost_below_capacity() {
+    let _g = lock();
+    set_trace_enabled(true);
+    std::thread::scope(|s| {
+        for t in 0..WRITERS {
+            s.spawn(move || {
+                for i in 0..EVENTS_PER_WRITER {
+                    trace_instant(NAMES[t as usize], t * ARG_STRIDE + i);
+                }
+            });
+        }
+    });
+    set_trace_enabled(false);
+    let cap = take_trace();
+
+    assert_eq!(cap.dropped, 0, "buffers are far below capacity");
+    assert_eq!(cap.events.len(), (WRITERS * EVENTS_PER_WRITER) as usize);
+
+    let mut seen = vec![vec![false; EVENTS_PER_WRITER as usize]; WRITERS as usize];
+    for e in &cap.events {
+        assert_eq!(e.phase, TracePhase::Instant);
+        let t = (e.arg / ARG_STRIDE) as usize;
+        let i = (e.arg % ARG_STRIDE) as usize;
+        assert!(
+            t < WRITERS as usize && i < EVENTS_PER_WRITER as usize,
+            "alien payload — torn event: {e:?}"
+        );
+        assert_eq!(e.name, NAMES[t], "name/arg disagree — torn event: {e:?}");
+        assert!(!seen[t][i], "event delivered twice at quiescence: {e:?}");
+        seen[t][i] = true;
+    }
+    // The count + no-duplicate checks above already imply completeness;
+    // `seen` being full restates it directly.
+    assert!(seen.iter().flatten().all(|&s| s), "an event was lost");
+
+    // take_trace sorts by timestamp with a stable sort and each buffer is
+    // appended in push order, so filtering one tid must yield that writer's
+    // strictly increasing sequence numbers.
+    let mut tids: Vec<u64> = cap.events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), WRITERS as usize, "one buffer lane per writer");
+    for tid in tids {
+        let args: Vec<u64> = cap
+            .events
+            .iter()
+            .filter(|e| e.tid == tid)
+            .map(|e| e.arg)
+            .collect();
+        assert!(
+            args.windows(2).all(|w| w[0] < w[1]),
+            "per-thread order lost for tid {tid}: {args:?}"
+        );
+    }
+}
+
+/// Draining *while writers are mid-flight* deliberately drops the
+/// documented quiescence precondition. The protocol must stay memory-safe
+/// (Miri verifies no data race and no uninitialized read) and every
+/// delivered event must still be fully written — a racing writer may
+/// re-publish an already-drained prefix (duplicates are acceptable), but a
+/// torn or alien event is a protocol violation.
+#[test]
+fn concurrent_drain_yields_only_well_formed_events() {
+    let _g = lock();
+    set_trace_enabled(true);
+    let mut captures = Vec::new();
+    std::thread::scope(|s| {
+        for t in 0..WRITERS {
+            s.spawn(move || {
+                for i in 0..EVENTS_PER_WRITER {
+                    trace_instant(NAMES[t as usize], t * ARG_STRIDE + i);
+                    if i % 8 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        for _ in 0..DRAINS {
+            captures.push(take_trace());
+            std::thread::yield_now();
+        }
+    });
+    set_trace_enabled(false);
+    captures.push(take_trace());
+
+    let mut dropped = 0;
+    for cap in &captures {
+        dropped += cap.dropped;
+        for e in &cap.events {
+            assert_eq!(e.phase, TracePhase::Instant);
+            let t = (e.arg / ARG_STRIDE) as usize;
+            let i = e.arg % ARG_STRIDE;
+            assert!(
+                t < WRITERS as usize && i < EVENTS_PER_WRITER,
+                "alien payload — torn event: {e:?}"
+            );
+            assert_eq!(e.name, NAMES[t], "name/arg disagree — torn event: {e:?}");
+        }
+    }
+    assert_eq!(dropped, 0, "capacity is far above the event count");
+}

@@ -2,11 +2,16 @@
 # Tier-1 gate, fully offline: everything resolves against the in-repo
 # shims (see shims/README.md), so no network or registry access is needed.
 #
-#   scripts/check.sh           # build + tests + release property/kernel
-#                              # equivalence suite + fmt + clippy
-#   scripts/check.sh --quick   # tier-1 subset: build + debug tests +
-#                              # release decode-equivalence subset
-#   scripts/check.sh --fast    # alias for --quick (kept for muscle memory)
+#   scripts/check.sh            # build + tests + release property/kernel
+#                               # equivalence suite + fmt + clippy + audit
+#   scripts/check.sh --quick    # tier-1 subset: build + debug tests +
+#                               # release decode-equivalence subset + audit
+#   scripts/check.sh --fast     # alias for --quick (kept for muscle memory)
+#   scripts/check.sh --audit    # just the szx-audit static-analysis pass,
+#                               # refreshing results/AUDIT.json
+#   scripts/check.sh --sanitize # nightly-only ASan (and TSan when rust-src
+#                               # is installed) over the unsafe surface;
+#                               # skips gracefully when nightly is absent
 #
 # Run from anywhere; the script cd's to the repo root.
 set -euo pipefail
@@ -15,6 +20,49 @@ cd "$(dirname "$0")/.."
 # Keep cargo away from the network: the workspace pins every external
 # dependency to a local path shim, so an offline build must succeed.
 export CARGO_NET_OFFLINE=true
+
+# In-tree static analysis (crates/szx-audit): unsafe hygiene, decode-path
+# panic freedom, and the trace-buffer atomics protocol. Exits non-zero on
+# any finding and refreshes the committed report (CI diffs it for
+# freshness).
+run_audit() {
+    echo "==> szx-audit (unsafe/panic/atomics audit)"
+    cargo run -q --release -p szx-audit -- --json results/AUDIT.json
+}
+
+if [[ "${1:-}" == "--audit" ]]; then
+    run_audit
+    echo "==> OK (audit only)"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+    # Sanitizers need -Z flags, hence nightly. The container images this
+    # repo builds in do not always carry a nightly toolchain (or the
+    # rust-src component TSan's -Zbuild-std needs), so every missing piece
+    # downgrades to an explicit skip instead of a failure.
+    if ! rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+        echo "==> SKIP --sanitize: no nightly toolchain installed"
+        exit 0
+    fi
+    target="$(rustc -vV | sed -n 's/^host: //p')"
+    # --lib --tests: doctest binaries fail to link the sanitizer runtime.
+    echo "==> AddressSanitizer (nightly, ${target})"
+    RUSTFLAGS="-Zsanitizer=address" \
+        cargo +nightly test -q --target "$target" --lib --tests \
+        -p szx-telemetry -p szx-core
+    if rustup component list --toolchain nightly --installed 2>/dev/null \
+        | grep -q '^rust-src'; then
+        echo "==> ThreadSanitizer (nightly, -Zbuild-std, ${target})"
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -q -Zbuild-std --target "$target" \
+            --lib --tests -p szx-telemetry
+    else
+        echo "==> SKIP ThreadSanitizer: rust-src component not installed"
+    fi
+    echo "==> OK (sanitize)"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -29,6 +77,7 @@ if [[ "${1:-}" == "--fast" || "${1:-}" == "--quick" ]]; then
     echo "==> cargo test --release (decode kernel equivalence subset)"
     cargo test -q --release -p szx-core dekernels
     cargo test -q --release -p szx-integration-tests --test roundtrip_properties
+    run_audit
     echo "==> OK (quick: skipped full release suites, fmt, clippy)"
     exit 0
 fi
@@ -51,8 +100,10 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --release \
     -p szx-telemetry -p szx-core -p szx-cli -p szx-data \
-    -p szx-integration-tests -p szx-examples -p bench \
+    -p szx-integration-tests -p szx-examples -p bench -p szx-audit \
     --all-targets -- -D warnings
+
+run_audit
 
 # Observatory smoke: a tiny sweep must bootstrap BENCH_0.json, validate
 # against the schema, and a second identical sweep must pass the gate

@@ -17,6 +17,13 @@ use rand::{Rng, SeedableRng};
 use szx_core::config::KernelSelect;
 use szx_core::{CommitStrategy, ErrorBound, SzxConfig, SzxFloat};
 
+// Under Miri the same properties run over a reduced sweep: a handful of
+// seeds and small inputs keep the interpreted run tractable while still
+// crossing the block-size/strategy/bound space. `cargo miri test` (with
+// `MIRIFLAGS=-Zmiri-many-seeds` in CI) picks these up automatically.
+const CASES_PER_TYPE: u64 = if cfg!(miri) { 4 } else { 100 };
+const MAX_N: usize = if cfg!(miri) { 512 } else { 20_000 };
+
 const BLOCK_SIZES: [usize; 4] = [1, 17, 128, 4096];
 const STRATEGIES: [CommitStrategy; 3] = [
     CommitStrategy::ByteAligned,
@@ -64,7 +71,7 @@ fn check_case<F: SzxFloat>(seed: u64) {
     // Ragged length: never a multiple of the block size when bs > 1.
     let blocks = rng.gen_range(1usize..8);
     let tail = if bs > 1 { rng.gen_range(1..bs) } else { 1 };
-    let n = (bs * blocks + tail).min(20_000);
+    let n = (bs * blocks + tail).min(MAX_N);
     let shape = rng.gen::<u32>();
     let data = gen_data::<F>(&mut rng, n, shape);
 
@@ -132,22 +139,23 @@ fn check_case<F: SzxFloat>(seed: u64) {
 
 #[test]
 fn roundtrip_error_bound_and_path_equivalence_f32() {
-    for seed in 0..100 {
+    for seed in 0..CASES_PER_TYPE {
         check_case::<f32>(seed);
     }
 }
 
 #[test]
 fn roundtrip_error_bound_and_path_equivalence_f64() {
-    for seed in 100..200 {
+    for seed in 100..100 + CASES_PER_TYPE {
         check_case::<f64>(seed);
     }
 }
 
 #[test]
 fn lossless_when_bound_is_zero() {
+    const N: usize = if cfg!(miri) { 300 } else { 5_000 };
     let mut rng = SmallRng::seed_from_u64(99);
-    let data: Vec<f32> = (0..5_000).map(|_| (rng.gen::<f32>() - 0.5) * 1e6).collect();
+    let data: Vec<f32> = (0..N).map(|_| (rng.gen::<f32>() - 0.5) * 1e6).collect();
     for sel in [KernelSelect::Scalar, KernelSelect::Kernel] {
         let cfg = SzxConfig::absolute(0.0).with_kernel(sel);
         let bytes = szx_core::compress(&data, &cfg).unwrap();
@@ -160,15 +168,16 @@ fn lossless_when_bound_is_zero() {
 fn streaming_frames_match_serial_per_frame() {
     // The frame writer routes through the same compress(); KernelSelect
     // must not change frame bytes either.
+    const N: usize = if cfg!(miri) { 1_000 } else { 10_000 };
     let mut rng = SmallRng::seed_from_u64(7);
-    let data: Vec<f32> = (0..10_000)
+    let data: Vec<f32> = (0..N)
         .map(|i| (i as f32 * 0.01).sin() + rng.gen::<f32>() * 0.01)
         .collect();
     let mut streams = Vec::new();
     for sel in [KernelSelect::Scalar, KernelSelect::Kernel] {
         let cfg = SzxConfig::absolute(1e-4).with_kernel(sel);
         let mut w = szx_core::FrameWriter::new(cfg).unwrap();
-        for chunk in data.chunks(3_000) {
+        for chunk in data.chunks(if cfg!(miri) { 300 } else { 3_000 }) {
             w.push(chunk).unwrap();
         }
         streams.push(w.into_bytes());
