@@ -43,6 +43,22 @@ fn bench_overhead(c: &mut Criterion) {
             b.iter(|| szx_core::compress(&data, &cfg).unwrap());
         });
     }
+    // The full `--metrics` path: instrumented compression plus a registry
+    // snapshot rendered to Prometheus text every iteration. Real runs
+    // export once at exit, so this is a generous upper bound on what the
+    // exposition layer can ever add.
+    g.bench_function(
+        BenchmarkId::new("compress-64MB", "enabled-plus-export"),
+        |b| {
+            szx_telemetry::set_enabled(true);
+            szx_telemetry::set_trace_enabled(false);
+            b.iter(|| {
+                let stream = szx_core::compress(&data, &cfg).unwrap();
+                let text = szx_telemetry::render_prometheus(&szx_telemetry::global().snapshot());
+                (stream, text)
+            });
+        },
+    );
     szx_telemetry::set_enabled(false);
     szx_telemetry::set_trace_enabled(false);
     let _ = szx_telemetry::take_trace(); // free the recorded events

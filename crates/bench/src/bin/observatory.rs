@@ -14,7 +14,9 @@
 //! `BENCH_<n>.json` in `--out-dir` (default: the working directory), and —
 //! unless `--no-gate` or there is no predecessor — compares against the
 //! latest prior report, exiting non-zero on regression. `compare` diffs two
-//! explicit reports; `validate` checks one against the schema.
+//! explicit reports; `validate` checks one against the schema. Both accept
+//! a CLI run manifest (`szx … --manifest run.json`) anywhere a report is
+//! expected — it loads as a one-record report.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -85,9 +87,11 @@ fn compare_config(args: &[String]) -> Result<CompareConfig, String> {
     Ok(cfg)
 }
 
+/// Accepts both `BENCH_<n>.json` reports and CLI run manifests (the
+/// `szx … --manifest` output) — either side of a `compare` can be either.
 fn load_report(path: &Path) -> Result<BenchReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    BenchReport::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    bench::observatory::load_any(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 /// Print findings; `Ok(true)` means the gate passed.

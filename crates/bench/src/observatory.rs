@@ -204,6 +204,89 @@ impl BenchReport {
     }
 }
 
+/// Map a CLI run manifest (`szx … --manifest run.json`, schema v1 from
+/// `szx_telemetry::Manifest`) onto a one-record [`BenchReport`] so the
+/// comparator can diff ad-hoc CLI runs against observatory sweeps (or each
+/// other). Metrics a manifest doesn't carry come out as harmless neutrals:
+/// absent throughputs are 0.0 (never above any baseline floor), absent
+/// PSNR is [`PSNR_CAP_DB`], absent distortion means `max_err_over_bound`
+/// 0.0.
+pub fn report_from_manifest(text: &str) -> Result<BenchReport, String> {
+    let v = szx_telemetry::Manifest::parse(text)?;
+    let qual = |k: &str| {
+        v.get("quality")
+            .and_then(|q| q.get(k))
+            .and_then(Json::as_f64)
+    };
+    let cfg = v.get("config").ok_or("manifest missing config")?;
+    let cfg_str = |k: &str| {
+        cfg.get(k)
+            .and_then(Json::as_str)
+            .map(str::to_lowercase)
+            .ok_or_else(|| format!("manifest config missing {k:?}"))
+    };
+    let dataset = v.get("dataset").ok_or("manifest missing dataset")?;
+    let suite = dataset
+        .get("path")
+        .and_then(Json::as_str)
+        .map(|p| {
+            Path::new(p)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.to_string())
+        })
+        .ok_or("manifest dataset missing path")?;
+    let bound = cfg
+        .get("bound")
+        .and_then(Json::as_f64)
+        .ok_or("manifest config missing bound")?;
+    let max_err_over_bound = match qual("max_abs_err") {
+        Some(e) if bound > 0.0 => e / bound,
+        _ => 0.0,
+    };
+    let record = BenchRecord {
+        suite,
+        rel_bound: bound,
+        kernel: cfg_str("kernel")?,
+        mode: cfg_str("mode")?,
+        raw_bytes: dataset.get("bytes").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        compress_gbps: qual("compress_gbps").unwrap_or(0.0),
+        decompress_gbps: qual("decompress_gbps").unwrap_or(0.0),
+        ratio: qual("ratio").unwrap_or(0.0),
+        psnr_db: qual("psnr_db").unwrap_or(PSNR_CAP_DB).min(PSNR_CAP_DB),
+        max_err_over_bound,
+    };
+    Ok(BenchReport {
+        schema_version: SCHEMA_VERSION,
+        bench_id: 0,
+        created_unix: v
+            .get("created_unix_ms")
+            .and_then(Json::as_f64)
+            .map(|ms| (ms / 1e3) as u64)
+            .unwrap_or(0),
+        scale: "manifest".to_string(),
+        threads: cfg.get("threads").and_then(Json::as_f64).unwrap_or(1.0) as u64,
+        samples: 1,
+        fields_per_suite: 1,
+        records: vec![record],
+    })
+}
+
+/// Load either document the observatory understands: a `BENCH_<n>.json`
+/// trajectory report or a CLI run manifest, telling them apart by the
+/// manifest's `kind` tag.
+pub fn load_any(text: &str) -> Result<BenchReport, String> {
+    let is_manifest = Json::parse(text)
+        .ok()
+        .and_then(|v| v.get("kind").and_then(Json::as_str).map(str::to_string))
+        .is_some_and(|k| k == szx_telemetry::MANIFEST_KIND);
+    if is_manifest {
+        report_from_manifest(text)
+    } else {
+        BenchReport::from_json(text)
+    }
+}
+
 /// Regression thresholds. Ratio and PSNR carry tiny tolerances (they are
 /// deterministic given the data; the slack only absorbs float formatting),
 /// while throughput — a wall-clock measurement — gets a real noise budget.
@@ -546,6 +629,63 @@ mod tests {
             .to_json()
             .replacen("{", "{\"from_the_future\":[1,2],", 1);
         assert!(BenchReport::from_json(&doc).is_ok());
+    }
+
+    fn sample_manifest() -> String {
+        let mut m = szx_telemetry::Manifest::new("compress");
+        m.set_config(&[
+            ("bound_mode", szx_telemetry::Value::Str("abs".into())),
+            ("bound", szx_telemetry::Value::F64(1e-3)),
+            ("kernel", szx_telemetry::Value::Str("Auto".into())),
+            ("mode", szx_telemetry::Value::Str("serial".into())),
+            ("threads", szx_telemetry::Value::U64(1)),
+        ]);
+        m.set_dataset("suites/CLDHGH.f32", 100800, 0xab8e_4ce8_11d6_b0a2);
+        m.set_quality(&[
+            ("ratio", szx_telemetry::Value::F64(3.57)),
+            ("psnr_db", szx_telemetry::Value::F64(79.1)),
+            ("max_abs_err", szx_telemetry::Value::F64(4.9e-4)),
+            ("compress_gbps", szx_telemetry::Value::F64(2.2)),
+        ]);
+        m.render()
+    }
+
+    #[test]
+    fn manifest_maps_to_one_record_report() {
+        let r = report_from_manifest(&sample_manifest()).unwrap();
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.scale, "manifest");
+        let rec = &r.records[0];
+        assert_eq!(rec.suite, "CLDHGH.f32");
+        assert_eq!(rec.kernel, "auto");
+        assert_eq!(rec.mode, "serial");
+        assert_eq!(rec.raw_bytes, 100800);
+        assert!((rec.compress_gbps - 2.2).abs() < 1e-12);
+        // No decompress measurement in a compress manifest — neutral 0.0
+        // so a throughput floor of `0.95 * 0.0` can never fire.
+        assert_eq!(rec.decompress_gbps, 0.0);
+        assert!((rec.max_err_over_bound - 0.49).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manifests_compare_against_each_other() {
+        let base = report_from_manifest(&sample_manifest()).unwrap();
+        let mut cur = base.clone();
+        assert!(compare(&base, &cur, &CompareConfig::default()).is_empty());
+        cur.records[0].ratio *= 0.5;
+        let findings = compare(&base, &cur, &CompareConfig::default());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "ratio");
+    }
+
+    #[test]
+    fn load_any_distinguishes_reports_from_manifests() {
+        assert_eq!(
+            load_any(&sample_report().to_json()).unwrap(),
+            sample_report()
+        );
+        assert_eq!(load_any(&sample_manifest()).unwrap().scale, "manifest");
+        assert!(load_any("{}").is_err());
     }
 
     #[test]

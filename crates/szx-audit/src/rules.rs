@@ -500,6 +500,29 @@ mod tests {
         assert_eq!(c.safety_comments, 1);
     }
 
+    /// Allowlist review for the observability layer: the resource-sampler
+    /// thread, exporters, manifest, snapshot, and progress modules are pure
+    /// safe code, so `szx-telemetry` keeps its `unsafe` confined to the two
+    /// long-audited files — nothing new earns an allowance.
+    #[test]
+    fn observability_modules_need_no_unsafe_allowance() {
+        assert_eq!(
+            UNSAFE_ALLOWLIST,
+            &[
+                "crates/szx-telemetry/src/trace.rs",
+                "crates/szx-telemetry/src/json.rs",
+            ]
+        );
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        for module in ["snapshot", "export", "resource", "manifest", "progress"] {
+            let rel = format!("crates/szx-telemetry/src/{module}.rs");
+            let text = std::fs::read_to_string(root.join(&rel)).expect("module exists");
+            let (f, c) = run_on(&rel, &text);
+            assert_eq!(c.unsafe_sites, 0, "{rel} must stay safe code");
+            assert!(f.iter().all(|x| x.rule != "unsafe-allowlist"), "{f:?}");
+        }
+    }
+
     #[test]
     fn unsafe_in_word_or_string_does_not_count() {
         let (f, c) = run_on(

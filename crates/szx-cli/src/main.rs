@@ -13,6 +13,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("compress") => cmd_compress(&args[1..]),
         Some("decompress") => cmd_decompress(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("assess") => cmd_assess(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
@@ -40,10 +41,16 @@ USAGE:
   szx compress   <in.f32> <out.szx> --abs <e> | --rel <r>
                  [--f64] [--block <n>] [--parallel] [--strategy a|b|c]
                  [--kernel auto|scalar|kernel] [--stats [--json]]
-                 [--trace <out.trace.json>]
+                 [--trace <out.trace.json>] [--metrics <out.prom>]
+                 [--events <out.jsonl>] [--manifest <run.json>]
   szx decompress <in.szx> <out.f32> [--parallel]
                  [--kernel auto|scalar|kernel] [--stats [--json]]
-                 [--trace <out.trace.json>]
+                 [--trace <out.trace.json>] [--metrics <out.prom>]
+                 [--events <out.jsonl>] [--manifest <run.json>]
+  szx stream     <in.f32> <out.szxs> --abs <e> | --rel <r>
+                 [--f64] [--frame <elems>] [--progress] [--stats [--json]]
+                 [--metrics <out.prom>] [--events <out.jsonl>]
+                 [--manifest <run.json>]
   szx assess     <orig.f32|orig.f64> <in.szx> [--stats [--json]]
   szx info       <in.szx> [--stats]
   szx gen        <cesm|hurricane|miranda|nyx|qmcpack|scale> <out-dir>
@@ -64,6 +71,17 @@ USAGE:
 
   assess reads the original as raw little-endian f32 or f64, matching the
   element type recorded in the compressed stream's header.
+
+  --metrics writes the final registry snapshot as a Prometheus text
+  exposition (format 0.0.4); --events streams per-frame JSON-lines events;
+  --manifest writes a versioned run manifest (config, dataset digest,
+  metrics, quality) the bench observatory can ingest. Any of the three
+  implies telemetry collection and starts the resource accountant (peak
+  RSS, CPU time, per-phase attribution via /proc/self).
+
+  stream compresses the input one frame at a time through the streaming
+  container (SZXS); --progress renders a live line with EWMA GB/s, the
+  running ratio, and an ETA.
 ";
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -103,6 +121,112 @@ fn emit_stats(json: bool, extra: Vec<(&str, szx_telemetry::Value)>) {
     } else {
         eprint!("{}", szx_telemetry::render_table(&report));
     }
+    // Trace-buffer overflow is otherwise invisible in --stats-only runs.
+    if let Some(dropped) = report.counter("trace.dropped_events") {
+        if dropped > 0 {
+            eprintln!(
+                "warning: {dropped} trace events dropped — timeline is incomplete \
+                 (raise SZX_TRACE_CAPACITY)"
+            );
+        }
+    }
+}
+
+/// Observability outputs requested on the command line (tentpole flags).
+/// `begin` turns collection on and starts the resource accountant when any
+/// export is requested; `finish` stops the accountant, writes the
+/// Prometheus exposition and the manifest, and closes the event sink.
+struct Obs {
+    metrics: Option<PathBuf>,
+    events: Option<PathBuf>,
+    manifest: Option<PathBuf>,
+    accountant: Option<szx_telemetry::ResourceAccountant>,
+}
+
+fn obs_begin(args: &[String]) -> Result<Obs, String> {
+    let metrics = flag_value(args, "--metrics").map(PathBuf::from);
+    let events = flag_value(args, "--events").map(PathBuf::from);
+    let manifest = flag_value(args, "--manifest").map(PathBuf::from);
+    let any = metrics.is_some() || events.is_some() || manifest.is_some();
+    if any {
+        szx_telemetry::set_enabled(true);
+    }
+    if let Some(path) = &events {
+        let f = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        szx_telemetry::install_event_sink(Box::new(std::io::BufWriter::new(f)));
+        szx_telemetry::emit_event(
+            "run.start",
+            &[("argv", szx_telemetry::Value::Str(args.join(" ")))],
+        );
+    }
+    let accountant =
+        any.then(|| szx_telemetry::ResourceAccountant::start(std::time::Duration::from_millis(50)));
+    Ok(Obs {
+        metrics,
+        events,
+        manifest,
+        accountant,
+    })
+}
+
+impl Obs {
+    fn any(&self) -> bool {
+        self.metrics.is_some() || self.events.is_some() || self.manifest.is_some()
+    }
+
+    /// Stop sampling, flush every requested artifact. `manifest` carries the
+    /// command-specific sections (config, dataset, quality); the final
+    /// metrics snapshot is attached here so it includes the accountant's
+    /// last (exact-peak) sample.
+    fn finish(mut self, manifest: Option<szx_telemetry::Manifest>) -> Result<(), String> {
+        if let Some(acc) = self.accountant.take() {
+            acc.stop();
+        }
+        if self.events.is_some() {
+            if szx_telemetry::event_sink_installed() {
+                szx_telemetry::emit_event("run.complete", &[]);
+            }
+            drop(szx_telemetry::take_event_sink()); // flush + close
+        }
+        if !self.any() {
+            return Ok(());
+        }
+        let snapshot = szx_telemetry::global().snapshot();
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, szx_telemetry::render_prometheus(&snapshot))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!("metrics: {}", path.display());
+        }
+        if let Some(path) = &self.manifest {
+            let mut m = manifest.ok_or("internal: manifest requested but not built")?;
+            m.set_metrics(&snapshot);
+            let mut text = m.render();
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!("manifest: {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// Quality section of a compress-style manifest, from measured distortion.
+/// Measuring it costs one extra decompression — documented behavior of
+/// `--manifest` on the compress/stream paths.
+fn quality_entries(
+    d: &szx_metrics::DistortionStats,
+    raw_bytes: usize,
+    stream_bytes: usize,
+) -> Vec<(&'static str, szx_telemetry::Value)> {
+    use szx_telemetry::Value;
+    vec![
+        (
+            "ratio",
+            Value::F64(raw_bytes as f64 / stream_bytes.max(1) as f64),
+        ),
+        ("psnr_db", Value::F64(d.psnr)),
+        ("max_abs_err", Value::F64(d.max_abs_error)),
+        ("nrmse", Value::F64(d.nrmse)),
+    ]
 }
 
 /// `\"label\": value` pairs summarizing one timed codec pass.
@@ -175,7 +299,17 @@ fn io_pair(args: &[String]) -> Result<(PathBuf, PathBuf), String> {
         if a.starts_with("--") {
             if matches!(
                 a.as_str(),
-                "--abs" | "--rel" | "--block" | "--strategy" | "--scale" | "--kernel" | "--trace"
+                "--abs"
+                    | "--rel"
+                    | "--block"
+                    | "--strategy"
+                    | "--scale"
+                    | "--kernel"
+                    | "--trace"
+                    | "--metrics"
+                    | "--events"
+                    | "--manifest"
+                    | "--frame"
             ) {
                 skip = true;
             }
@@ -201,8 +335,9 @@ fn parse_kernel(args: &[String]) -> Result<szx_core::KernelSelect, String> {
     }
 }
 
-fn cmd_compress(args: &[String]) -> Result<(), String> {
-    let (input, output) = io_pair(args)?;
+/// Full `SzxConfig` from the compression flags shared by `compress` and
+/// `stream` (`--abs`/`--rel`, `--block`, `--strategy`, `--kernel`).
+fn parse_config(args: &[String]) -> Result<SzxConfig, String> {
     let bound = if let Some(e) = flag_value(args, "--abs") {
         ErrorBound::Absolute(e.parse().map_err(|_| "bad --abs value".to_string())?)
     } else if let Some(r) = flag_value(args, "--rel") {
@@ -220,21 +355,27 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         Some("c") | None => CommitStrategy::ByteAligned,
         Some(other) => return Err(format!("unknown strategy {other}")),
     };
-    let kernel = parse_kernel(args)?;
-    let cfg = SzxConfig {
+    Ok(SzxConfig {
         block_size: block,
         error_bound: bound,
         strategy,
-        kernel,
-    };
+        kernel: parse_kernel(args)?,
+    })
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let (input, output) = io_pair(args)?;
+    let cfg = parse_config(args)?;
     let stats = stats_requested(args);
     let trace = trace_requested(args);
+    let obs = obs_begin(args)?;
     let json = has_flag(args, "--json");
     let parallel = has_flag(args, "--parallel");
+    let want_quality = obs.manifest.is_some();
 
     let bytes = std::fs::read(&input).map_err(|e| format!("{}: {e}", input.display()))?;
     let start = std::time::Instant::now();
-    let compressed = if has_flag(args, "--f64") {
+    let (compressed, elapsed, quality) = if has_flag(args, "--f64") {
         if bytes.len() % 8 != 0 {
             return Err("input length is not a multiple of 8".into());
         }
@@ -242,7 +383,17 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        run_compress(&data, &cfg, parallel)?
+        let c = run_compress(&data, &cfg, parallel)?;
+        let elapsed = start.elapsed();
+        let q = if want_quality {
+            Some(szx_metrics::distortion_f64(
+                &data,
+                &decompress_quiet::<f64>(&c)?,
+            ))
+        } else {
+            None
+        };
+        (c, elapsed, q)
     } else {
         if bytes.len() % 4 != 0 {
             return Err("input length is not a multiple of 4 (use --f64 for doubles?)".into());
@@ -251,9 +402,18 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        run_compress(&data, &cfg, parallel)?
+        let c = run_compress(&data, &cfg, parallel)?;
+        let elapsed = start.elapsed();
+        let q = if want_quality {
+            Some(szx_metrics::distortion(
+                &data,
+                &decompress_quiet::<f32>(&c)?,
+            ))
+        } else {
+            None
+        };
+        (c, elapsed, q)
     };
-    let elapsed = start.elapsed();
     let cr = bytes.len() as f64 / compressed.len() as f64;
     std::fs::write(&output, &compressed).map_err(|e| format!("{}: {e}", output.display()))?;
     let summary = format!(
@@ -270,8 +430,28 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     } else {
         println!("{summary}");
     }
+    let mode = if parallel { "parallel" } else { "serial" };
+    let manifest = obs.manifest.is_some().then(|| {
+        let dtype = if has_flag(args, "--f64") {
+            "f64"
+        } else {
+            "f32"
+        };
+        let mut m = run_manifest("compress", &cfg, mode, dtype, &input, &bytes);
+        let mut q = quality_entries(
+            quality.as_ref().expect("quality measured when --manifest"),
+            bytes.len(),
+            compressed.len(),
+        );
+        q.push((
+            "compress_gbps",
+            szx_telemetry::Value::F64(bytes.len() as f64 / 1e9 / elapsed.as_secs_f64().max(1e-12)),
+        ));
+        m.set_quality(&q);
+        m
+    });
+    obs.finish(manifest)?;
     if stats {
-        let mode = if parallel { "parallel" } else { "serial" };
         emit_stats(
             json,
             pass_extras(mode, bytes.len(), compressed.len(), elapsed),
@@ -281,6 +461,57 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         write_trace(&path)?;
     }
     Ok(())
+}
+
+/// Decompress without polluting the live registry — used for the quality
+/// measurement a `--manifest` compress run performs on its own output.
+fn decompress_quiet<F: szx_core::SzxFloat>(stream: &[u8]) -> Result<Vec<F>, String> {
+    let was = szx_telemetry::enabled();
+    szx_telemetry::set_enabled(false);
+    let r = szx_core::decompress(stream).map_err(|e| e.to_string());
+    szx_telemetry::set_enabled(was);
+    r
+}
+
+/// Shared manifest skeleton: command, full config, parallelism, dataset
+/// identity (path, bytes, FNV-1a digest of the raw input file).
+fn run_manifest(
+    command: &str,
+    cfg: &SzxConfig,
+    mode: &str,
+    dtype: &str,
+    input: &Path,
+    input_bytes: &[u8],
+) -> szx_telemetry::Manifest {
+    use szx_telemetry::Value;
+    let (bound_mode, bound) = match cfg.error_bound {
+        ErrorBound::Absolute(e) => ("abs", e),
+        ErrorBound::Relative(r) => ("rel", r),
+    };
+    let threads = if mode == "parallel" {
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1)
+    } else {
+        1
+    };
+    let mut m = szx_telemetry::Manifest::new(command);
+    m.set_config(&[
+        ("bound_mode", Value::Str(bound_mode.into())),
+        ("bound", Value::F64(bound)),
+        ("block_size", Value::U64(cfg.block_size as u64)),
+        ("strategy", Value::Str(format!("{:?}", cfg.strategy))),
+        ("kernel", Value::Str(format!("{:?}", cfg.kernel))),
+        ("mode", Value::Str(mode.into())),
+        ("threads", Value::U64(threads)),
+        ("dtype", Value::Str(dtype.into())),
+    ]);
+    m.set_dataset(
+        &input.to_string_lossy(),
+        input_bytes.len() as u64,
+        szx_telemetry::fnv1a64(input_bytes),
+    );
+    m
 }
 
 fn run_compress<F: szx_core::SzxFloat>(
@@ -304,6 +535,7 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     let kernel = parse_kernel(args)?;
     let stats = stats_requested(args);
     let trace = trace_requested(args);
+    let obs = obs_begin(args)?;
     let json = has_flag(args, "--json");
     let start = std::time::Instant::now();
     let out: Vec<u8> = if header.dtype == 0 {
@@ -336,20 +568,223 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     } else {
         println!("{summary}");
     }
-    if stats {
-        let mode = if parallel { "parallel" } else { "serial" };
-        // The decode kernel covers only the ByteAligned strategy; report
-        // the path the blocks actually took.
-        let decode_path = if kernel.use_kernel() && header.strategy == CommitStrategy::ByteAligned {
-            "kernel"
-        } else {
-            "scalar"
+    let mode = if parallel { "parallel" } else { "serial" };
+    // The decode kernel covers only the ByteAligned strategy; report
+    // the path the blocks actually took.
+    let decode_path = if kernel.use_kernel() && header.strategy == CommitStrategy::ByteAligned {
+        "kernel"
+    } else {
+        "scalar"
+    };
+    let manifest = obs.manifest.is_some().then(|| {
+        use szx_telemetry::Value;
+        let cfg = SzxConfig {
+            block_size: header.block_size,
+            error_bound: ErrorBound::Absolute(header.eb),
+            strategy: header.strategy,
+            kernel,
         };
+        let dtype = if header.dtype == 0 { "f32" } else { "f64" };
+        let mut m = run_manifest("decompress", &cfg, mode, dtype, &input, &bytes);
+        m.set_quality(&[
+            (
+                "ratio",
+                Value::F64(out.len() as f64 / bytes.len().max(1) as f64),
+            ),
+            (
+                "decompress_gbps",
+                Value::F64(out.len() as f64 / 1e9 / elapsed.as_secs_f64().max(1e-12)),
+            ),
+            ("decode_path", Value::Str(decode_path.into())),
+        ]);
+        m
+    });
+    obs.finish(manifest)?;
+    if stats {
         let mut extras = pass_extras(mode, out.len(), bytes.len(), elapsed);
         extras.push((
             "decode_path",
             szx_telemetry::Value::Str(decode_path.to_string()),
         ));
+        emit_stats(json, extras);
+    }
+    if let Some(path) = trace {
+        write_trace(&path)?;
+    }
+    Ok(())
+}
+
+/// Decode every frame of a streaming container without touching the live
+/// registry or the event sink — the quality measurement a `--manifest`
+/// stream run performs on its own output.
+fn decode_frames_quiet<F: szx_core::SzxFloat>(container: &[u8]) -> Result<Vec<F>, String> {
+    let was = szx_telemetry::enabled();
+    szx_telemetry::set_enabled(false);
+    let r = (|| {
+        let reader = szx_core::streaming::FrameReader::new(container).map_err(|e| e.to_string())?;
+        let mut all = Vec::with_capacity(reader.num_frames());
+        for f in reader.iter::<F>() {
+            all.extend(f.map_err(|e| e.to_string())?);
+        }
+        Ok(all)
+    })();
+    szx_telemetry::set_enabled(was);
+    r
+}
+
+/// Chunk `data` into frames and push each through a [`FrameWriter`],
+/// narrating a `\r`-refreshed progress line when asked. Returns the
+/// finished container plus the writer's cumulative stats.
+fn stream_compress<F: szx_core::SzxFloat>(
+    data: &[F],
+    cfg: &SzxConfig,
+    frame_elems: usize,
+    progress: bool,
+    total_raw_bytes: u64,
+) -> Result<(Vec<u8>, szx_core::streaming::FrameStats), String> {
+    let mut w = szx_core::streaming::FrameWriter::new(*cfg).map_err(|e| e.to_string())?;
+    let mut meter = szx_telemetry::ProgressMeter::new(Some(total_raw_bytes));
+    let mut prev_compressed = 0u64;
+    for chunk in data.chunks(frame_elems) {
+        w.push(chunk).map_err(|e| e.to_string())?;
+        let s = *w.stats();
+        let snap = meter.on_frame(
+            (chunk.len() * F::BYTES) as u64,
+            s.compressed_bytes - prev_compressed,
+        );
+        prev_compressed = s.compressed_bytes;
+        if progress {
+            eprint!("\r{}", snap.render_line());
+        }
+    }
+    if progress {
+        eprintln!();
+    }
+    let stats = *w.stats();
+    Ok((w.into_bytes(), stats))
+}
+
+/// `szx stream <in> <out>` — compress a raw float file frame by frame into
+/// the self-describing streaming container, the path an instrument
+/// pipeline (LCLS-II in the paper's §1) would take. Each frame is an
+/// independent SZx stream; `--progress` narrates EWMA throughput, running
+/// ratio, and ETA as frames land.
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    let (input, output) = io_pair(args)?;
+    let cfg = parse_config(args)?;
+    let frame_elems: usize = flag_value(args, "--frame")
+        .map(|v| v.parse().map_err(|_| "bad --frame value".to_string()))
+        .transpose()?
+        .unwrap_or(1 << 20);
+    if frame_elems == 0 {
+        return Err("--frame must be positive".into());
+    }
+    let progress = has_flag(args, "--progress");
+    let stats_on = stats_requested(args);
+    let trace = trace_requested(args);
+    let obs = obs_begin(args)?;
+    let json = has_flag(args, "--json");
+    let want_quality = obs.manifest.is_some();
+
+    let bytes = std::fs::read(&input).map_err(|e| format!("{}: {e}", input.display()))?;
+    let start = std::time::Instant::now();
+    let (container, fstats, quality) = if has_flag(args, "--f64") {
+        if bytes.len() % 8 != 0 {
+            return Err("input length is not a multiple of 8".into());
+        }
+        let data: Vec<f64> = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let (c, s) = stream_compress(&data, &cfg, frame_elems, progress, bytes.len() as u64)?;
+        let q = if want_quality {
+            // Frame events are all written; close the sink so the quality
+            // decode below doesn't append frame.decoded noise.
+            drop(szx_telemetry::take_event_sink());
+            Some(szx_metrics::distortion_f64(
+                &data,
+                &decode_frames_quiet::<f64>(&c)?,
+            ))
+        } else {
+            None
+        };
+        (c, s, q)
+    } else {
+        if bytes.len() % 4 != 0 {
+            return Err("input length is not a multiple of 4 (use --f64 for doubles?)".into());
+        }
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let (c, s) = stream_compress(&data, &cfg, frame_elems, progress, bytes.len() as u64)?;
+        let q = if want_quality {
+            drop(szx_telemetry::take_event_sink());
+            Some(szx_metrics::distortion(
+                &data,
+                &decode_frames_quiet::<f32>(&c)?,
+            ))
+        } else {
+            None
+        };
+        (c, s, q)
+    };
+    let elapsed = start.elapsed();
+    std::fs::write(&output, &container).map_err(|e| format!("{}: {e}", output.display()))?;
+    let summary = format!(
+        "{} -> {} ({} frames, {} -> {} bytes, CR {:.2})",
+        input.display(),
+        output.display(),
+        fstats.frames,
+        bytes.len(),
+        container.len(),
+        fstats.ratio()
+    );
+    if stats_on && json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+    let manifest = obs.manifest.is_some().then(|| {
+        use szx_telemetry::json::Json;
+        use szx_telemetry::Value;
+        let dtype = if has_flag(args, "--f64") {
+            "f64"
+        } else {
+            "f32"
+        };
+        let mut m = run_manifest("stream", &cfg, "serial", dtype, &input, &bytes);
+        let mut q = quality_entries(
+            quality.as_ref().expect("quality measured when --manifest"),
+            bytes.len(),
+            fstats.compressed_bytes as usize,
+        );
+        q.push((
+            "compress_gbps",
+            Value::F64(bytes.len() as f64 / 1e9 / elapsed.as_secs_f64().max(1e-12)),
+        ));
+        m.set_quality(&q);
+        m.set(
+            "stream",
+            Json::Obj(vec![
+                ("frames".to_string(), Json::Num(fstats.frames as f64)),
+                ("frame_elems".to_string(), Json::Num(frame_elems as f64)),
+                (
+                    "mean_frame_ns".to_string(),
+                    Json::Num(fstats.mean_frame_ns()),
+                ),
+            ]),
+        );
+        m
+    });
+    obs.finish(manifest)?;
+    if stats_on {
+        use szx_telemetry::Value;
+        let mut extras = pass_extras("stream", bytes.len(), container.len(), elapsed);
+        extras.push(("frames", Value::U64(fstats.frames)));
+        extras.push(("frame_elems", Value::U64(frame_elems as u64)));
+        extras.push(("min_frame_ns", Value::U64(fstats.min_frame_ns)));
+        extras.push(("max_frame_ns", Value::U64(fstats.max_frame_ns)));
         emit_stats(json, extras);
     }
     if let Some(path) = trace {

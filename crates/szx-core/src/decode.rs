@@ -312,9 +312,10 @@ pub(crate) fn decompress_with_index<F: SzxFloat>(
     };
     let grows = scratch.take_grows();
     if grows > 0 && szx_telemetry::enabled() {
-        szx_telemetry::global()
-            .counter("decompress.scratch.grows")
-            .add(grows);
+        let tel = szx_telemetry::global();
+        tel.counter("decompress.scratch.grows").add(grows);
+        tel.gauge("decompress.scratch.arena_bytes")
+            .set_max(scratch.arena_bytes() as f64);
     }
     result
 }

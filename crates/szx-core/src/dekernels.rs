@@ -100,6 +100,18 @@ impl DecodeScratch {
     pub(crate) fn take_grows(&mut self) -> u64 {
         std::mem::take(&mut self.grows)
     }
+
+    /// Bytes currently reserved by the arenas — published as the
+    /// `decompress.scratch.arena_bytes` gauge at the telemetry flush.
+    pub(crate) fn arena_bytes(&self) -> u64 {
+        (self.leads.capacity()
+            + self.offsets.capacity() * 4
+            + self.prov0.capacity() * 4
+            + self.prov1.capacity() * 4
+            + self.prov2.capacity() * 4
+            + self.words.capacity() * 8
+            + self.pool.capacity()) as u64
+    }
 }
 
 /// Mask selecting big-endian byte `p` of a word, zero past the `nb`-byte

@@ -42,6 +42,10 @@ pub(crate) struct BlockEncodeStats {
     /// Scratch-arena growth events — nonzero only while the per-chunk
     /// [`EncodeScratch`] warms up to the largest block.
     pub scratch_grows: u64,
+    /// Final arena footprint of the chunk's [`EncodeScratch`] in bytes;
+    /// merged as a max (chunks size independently), published as the
+    /// `compress.scratch.arena_bytes` gauge.
+    pub scratch_arena_bytes: u64,
 }
 
 impl Default for BlockEncodeStats {
@@ -56,6 +60,7 @@ impl Default for BlockEncodeStats {
             ns_range_scan: 0,
             ns_encode: 0,
             scratch_grows: 0,
+            scratch_arena_bytes: 0,
         }
     }
 }
@@ -73,6 +78,7 @@ impl BlockEncodeStats {
         self.ns_range_scan += other.ns_range_scan;
         self.ns_encode += other.ns_encode;
         self.scratch_grows += other.scratch_grows;
+        self.scratch_arena_bytes = self.scratch_arena_bytes.max(other.scratch_arena_bytes);
     }
 
     /// Record one non-constant block. The space accounting is derived from
@@ -217,6 +223,7 @@ pub(crate) fn encode_blocks<F: SzxFloat>(
     // the allocation-regression test can observe them; the counter is reset
     // so a reused scratch is not double-counted.
     out.stats.scratch_grows += scratch.take_grows();
+    out.stats.scratch_arena_bytes = out.stats.scratch_arena_bytes.max(scratch.arena_bytes());
 }
 
 /// The monomorphized block loop. `KERNEL` is a const so each path compiles
@@ -365,6 +372,8 @@ fn flush_encode_telemetry<F: SzxFloat>(
         .add(stream_bytes as u64);
     tel.counter("compress.scratch.grows")
         .add(merged.scratch_grows);
+    tel.gauge("compress.scratch.arena_bytes")
+        .set_max(merged.scratch_arena_bytes as f64);
     // Per-kernel time attribution: one aggregate record per top-level call
     // (per-block clock reads happen only while telemetry is on).
     if merged.ns_range_scan > 0 {

@@ -86,6 +86,15 @@ impl EncodeScratch {
     pub(crate) fn take_grows(&mut self) -> u64 {
         std::mem::take(&mut self.grows)
     }
+
+    /// Bytes currently reserved by the arenas — published as the
+    /// `compress.scratch.arena_bytes` gauge at the telemetry flush.
+    pub(crate) fn arena_bytes(&self) -> u64 {
+        (self.words.capacity() * 8
+            + self.leads.capacity()
+            + self.mid.capacity()
+            + self.bytes_pool.capacity()) as u64
+    }
 }
 
 /// Branch-free equivalent of [`BlockStats::compute`]: the min/max scan runs

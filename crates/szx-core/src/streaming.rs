@@ -123,6 +123,20 @@ impl FrameWriter {
             tel.counter("stream.bytes.compressed")
                 .add(bytes.len() as u64);
         }
+        if szx_telemetry::event_sink_installed() {
+            use szx_telemetry::Value;
+            let raw = (frame.len() * F::BYTES) as u64;
+            szx_telemetry::emit_event(
+                "frame.compressed",
+                &[
+                    ("frame", Value::U64(self.stats.frames - 1)),
+                    ("raw_bytes", Value::U64(raw)),
+                    ("compressed_bytes", Value::U64(bytes.len() as u64)),
+                    ("ns", Value::U64(ns)),
+                    ("ratio", Value::F64(raw as f64 / bytes.len().max(1) as f64)),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -209,6 +223,8 @@ impl<'a> FrameReader<'a> {
             .get(i)
             .ok_or_else(|| SzxError::InvalidConfig(format!("frame {i} out of range")))?;
         let stream = &self.bytes[off..off + len];
+        // Clock read only when somebody is listening on the event sink.
+        let started = szx_telemetry::event_sink_installed().then(std::time::Instant::now);
         let _total = szx_telemetry::span("decompress.total");
         let index = {
             let _s = szx_telemetry::span("decompress.index");
@@ -221,6 +237,18 @@ impl<'a> FrameReader<'a> {
             self.kernel.use_kernel(),
             &mut self.scratch.borrow_mut(),
         )?;
+        if let Some(start) = started {
+            use szx_telemetry::Value;
+            szx_telemetry::emit_event(
+                "frame.decoded",
+                &[
+                    ("frame", Value::U64(i as u64)),
+                    ("compressed_bytes", Value::U64(len as u64)),
+                    ("raw_bytes", Value::U64((out.len() * F::BYTES) as u64)),
+                    ("ns", Value::U64(start.elapsed().as_nanos() as u64)),
+                ],
+            );
+        }
         Ok(out)
     }
 

@@ -1,0 +1,398 @@
+//! Export sinks: Prometheus text exposition for snapshots and a process-wide
+//! JSON-lines **event sink** for streaming (per-frame) events.
+//!
+//! The Prometheus renderer follows text format 0.0.4: every metric is
+//! prefixed `szx_`, counters get the `_total` suffix, histograms expose
+//! cumulative `_bucket{le="…"}` series plus `_sum`/`_count`, and spans
+//! export as `summary`-typed `<name>_seconds_{sum,count}` pairs. Metric
+//! names are sanitized ([`sanitize_metric_name`]) and label values escaped
+//! ([`escape_label_value`]) so arbitrary instrument names can't corrupt the
+//! exposition.
+//!
+//! The event sink is the streaming counterpart of the one-shot report
+//! sinks: [`install_event_sink`] points the process at any `Write + Send`
+//! target, after which [`emit_event`] appends one JSON object per line.
+//! When no sink is installed the emit path is one relaxed atomic load —
+//! the same zero-cost-when-off discipline as the rest of the crate.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::report::{json_escape, Report, Value};
+
+/// Sanitize an instrument name into a Prometheus metric name: every char
+/// outside `[a-zA-Z0-9_:]` becomes `_`, a leading digit gets an extra `_`,
+/// and the result is prefixed `szx_` (which also guarantees a valid first
+/// character). `encode.block_count` → `szx_encode_block_count`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("szx_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double quote,
+/// and line feed are escaped; everything else passes through.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".into()
+    } else if v > 0.0 {
+        "+Inf".into()
+    } else {
+        "-Inf".into()
+    }
+}
+
+/// Render a [`Report`] as a Prometheus text exposition (format 0.0.4).
+///
+/// * counters → `counter`, name suffixed `_total`;
+/// * gauges → `gauge`, labels preserved (one `# TYPE` line per name);
+/// * histograms → `histogram` with cumulative `_bucket{le="hi"}` series
+///   over the *inclusive upper bounds* of the non-empty buckets, a final
+///   `+Inf` bucket, `_sum`, and `_count`;
+/// * spans → `summary` as `<name>_seconds_sum` / `<name>_seconds_count`
+///   (nanoseconds converted to seconds), plus companion
+///   `<name>_seconds_min`/`_max` gauges since aggregated extrema don't fit
+///   the summary model;
+/// * `extra` entries → gauges (numeric) or info-style gauges with the value
+///   in a label (strings).
+pub fn render_prometheus(report: &Report) -> String {
+    let mut o = String::with_capacity(4096);
+
+    for (name, v) in &report.counters {
+        let m = sanitize_metric_name(name);
+        o.push_str(&format!("# TYPE {m}_total counter\n{m}_total {v}\n"));
+    }
+
+    let mut last_gauge: Option<&str> = None;
+    for (name, g) in &report.gauges {
+        let m = sanitize_metric_name(name);
+        if last_gauge != Some(name.as_str()) {
+            o.push_str(&format!("# TYPE {m} gauge\n"));
+            last_gauge = Some(name.as_str());
+        }
+        o.push_str(&m);
+        if !g.labels.is_empty() {
+            o.push('{');
+            for (i, (k, v)) in g.labels.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                o.push_str(&format!(
+                    "{}=\"{}\"",
+                    sanitize_label_name(k),
+                    escape_label_value(v)
+                ));
+            }
+            o.push('}');
+        }
+        o.push_str(&format!(" {}\n", fmt_f64(g.value)));
+    }
+
+    for (name, h) in &report.hists {
+        let m = sanitize_metric_name(name);
+        o.push_str(&format!("# TYPE {m} histogram\n"));
+        let mut cum = 0u64;
+        for &(lo, n) in &h.buckets {
+            cum += n;
+            let le = h.kind.bucket_hi_of_lo(lo);
+            o.push_str(&format!("{m}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        o.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        o.push_str(&format!("{m}_sum {}\n{m}_count {}\n", h.sum, h.count));
+    }
+
+    for (name, s) in &report.spans {
+        let m = sanitize_metric_name(name);
+        o.push_str(&format!("# TYPE {m}_seconds summary\n"));
+        o.push_str(&format!(
+            "{m}_seconds_sum {}\n",
+            fmt_f64(s.total_ns as f64 / 1e9)
+        ));
+        o.push_str(&format!("{m}_seconds_count {}\n", s.count));
+        o.push_str(&format!("# TYPE {m}_seconds_min gauge\n"));
+        o.push_str(&format!(
+            "{m}_seconds_min {}\n",
+            fmt_f64(s.min_ns as f64 / 1e9)
+        ));
+        o.push_str(&format!("# TYPE {m}_seconds_max gauge\n"));
+        o.push_str(&format!(
+            "{m}_seconds_max {}\n",
+            fmt_f64(s.max_ns as f64 / 1e9)
+        ));
+    }
+
+    for (name, v) in &report.extra {
+        let m = sanitize_metric_name(name);
+        match v {
+            Value::U64(x) => o.push_str(&format!("# TYPE {m} gauge\n{m} {x}\n")),
+            Value::F64(x) => o.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", fmt_f64(*x))),
+            Value::Str(s) => o.push_str(&format!(
+                "# TYPE {m}_info gauge\n{m}_info{{value=\"{}\"}} 1\n",
+                escape_label_value(s)
+            )),
+        }
+    }
+
+    o
+}
+
+fn sanitize_label_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON-lines event sink
+
+static SINK_INSTALLED: AtomicBool = AtomicBool::new(false);
+static SINK_SEQ: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// Is an event sink installed? One relaxed load — callers building
+/// non-trivial event payloads should gate on this first.
+#[inline]
+pub fn event_sink_installed() -> bool {
+    SINK_INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Install (or replace) the process-wide event sink. Subsequent
+/// [`emit_event`] calls append one JSON line each to `w`.
+pub fn install_event_sink(w: Box<dyn Write + Send>) {
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    *sink = Some(w);
+    SINK_SEQ.store(0, Ordering::Relaxed);
+    SINK_INSTALLED.store(true, Ordering::Relaxed);
+}
+
+/// Remove the event sink and return it (flushed), e.g. to close the file
+/// deterministically at end of run. `None` if nothing was installed.
+pub fn take_event_sink() -> Option<Box<dyn Write + Send>> {
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    SINK_INSTALLED.store(false, Ordering::Relaxed);
+    let mut w = sink.take()?;
+    let _ = w.flush();
+    Some(w)
+}
+
+/// Append one event line: `{"event":NAME,"seq":N,"ts_ms":…,FIELDS…}`.
+/// No-op (one atomic load) when no sink is installed; write errors are
+/// swallowed after disabling the sink — telemetry must never take down the
+/// compression run it observes.
+pub fn emit_event(name: &str, fields: &[(&str, Value)]) {
+    if !event_sink_installed() {
+        return;
+    }
+    let seq = SINK_SEQ.fetch_add(1, Ordering::Relaxed);
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut line = String::with_capacity(128);
+    line.push_str("{\"event\":");
+    json_escape(name, &mut line);
+    line.push_str(&format!(",\"seq\":{seq},\"ts_ms\":{ts_ms}"));
+    for (k, v) in fields {
+        line.push(',');
+        json_escape(k, &mut line);
+        line.push(':');
+        match v {
+            Value::U64(x) => line.push_str(&x.to_string()),
+            Value::F64(x) => {
+                if x.is_finite() {
+                    line.push_str(&format!("{x}"));
+                } else {
+                    line.push_str("null");
+                }
+            }
+            Value::Str(s) => json_escape(s, &mut line),
+        }
+    }
+    line.push_str("}\n");
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(w) = sink.as_mut() {
+        if w.write_all(line.as_bytes()).is_err() {
+            *sink = None;
+            SINK_INSTALLED.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::{Histogram, HistogramKind};
+    use crate::json::Json;
+    use crate::report::SpanSnapshot;
+    use crate::snapshot::GaugeSnapshot;
+    use std::sync::mpsc;
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(
+            sanitize_metric_name("encode.block_count"),
+            "szx_encode_block_count"
+        );
+        assert_eq!(sanitize_metric_name("a-b c"), "szx_a_b_c");
+        assert_eq!(sanitize_metric_name("0weird"), "szx_0weird");
+        assert_eq!(sanitize_label_name("le-gal"), "le_gal");
+        assert_eq!(sanitize_label_name("9x"), "_x");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let h = Histogram::new(HistogramKind::Log2);
+        h.record(3); // bucket [2,3]
+        h.record(3);
+        h.record(100); // bucket [64,127]
+        let mut r = Report::default();
+        r.hists.push(("h".into(), h.snapshot()));
+        let p = render_prometheus(&r);
+        assert!(p.contains("szx_h_bucket{le=\"3\"} 2\n"), "{p}");
+        assert!(p.contains("szx_h_bucket{le=\"127\"} 3\n"), "{p}");
+        assert!(p.contains("szx_h_bucket{le=\"+Inf\"} 3\n"), "{p}");
+        assert!(p.contains("szx_h_sum 106\n"), "{p}");
+        assert!(p.contains("szx_h_count 3\n"), "{p}");
+    }
+
+    #[test]
+    fn golden_exposition_snapshot() {
+        let h = Histogram::new(HistogramKind::Linear { max: 4 });
+        h.record(1);
+        h.record(2);
+        let mut r = Report::default();
+        r.counters.push(("blocks.total".into(), 9));
+        r.gauges.push((
+            "rss.bytes".into(),
+            GaugeSnapshot {
+                labels: Vec::new(),
+                value: 4096.0,
+            },
+        ));
+        r.gauges.push((
+            "rss.bytes".into(),
+            GaugeSnapshot {
+                labels: vec![("phase".into(), "compress".into())],
+                value: 1024.0,
+            },
+        ));
+        r.hists.push(("len".into(), h.snapshot()));
+        r.spans.push((
+            "total".into(),
+            SpanSnapshot {
+                count: 2,
+                total_ns: 3_000_000_000,
+                min_ns: 1_000_000_000,
+                max_ns: 2_000_000_000,
+            },
+        ));
+        r.push_extra("ratio", Value::F64(5.5));
+        r.push_extra("mode", Value::Str("serial".into()));
+        let got = render_prometheus(&r);
+        let want = "\
+# TYPE szx_blocks_total_total counter
+szx_blocks_total_total 9
+# TYPE szx_rss_bytes gauge
+szx_rss_bytes 4096
+szx_rss_bytes{phase=\"compress\"} 1024
+# TYPE szx_len histogram
+szx_len_bucket{le=\"1\"} 1
+szx_len_bucket{le=\"2\"} 2
+szx_len_bucket{le=\"+Inf\"} 2
+szx_len_sum 3
+szx_len_count 2
+# TYPE szx_total_seconds summary
+szx_total_seconds_sum 3
+szx_total_seconds_count 2
+# TYPE szx_total_seconds_min gauge
+szx_total_seconds_min 1
+# TYPE szx_total_seconds_max gauge
+szx_total_seconds_max 2
+# TYPE szx_ratio gauge
+szx_ratio 5.5
+# TYPE szx_mode_info gauge
+szx_mode_info{value=\"serial\"} 1
+";
+        assert_eq!(got, want);
+    }
+
+    /// A `Write` handing each chunk to an mpsc channel, so the test can
+    /// observe what the global sink wrote without files.
+    struct ChanWriter(mpsc::Sender<Vec<u8>>);
+    impl Write for ChanWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let _ = self.0.send(buf.to_vec());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn event_sink_emits_parseable_json_lines() {
+        let (tx, rx) = mpsc::channel();
+        install_event_sink(Box::new(ChanWriter(tx)));
+        emit_event(
+            "frame",
+            &[
+                ("raw_bytes", Value::U64(4096)),
+                ("ratio", Value::F64(5.25)),
+                ("field", Value::Str("CLDHGH".into())),
+            ],
+        );
+        emit_event("done", &[]);
+        take_event_sink();
+        emit_event("after_close", &[]); // must be a silent no-op
+        let written: Vec<u8> = rx.try_iter().flatten().collect();
+        let text = String::from_utf8(written).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event").unwrap().as_str(), Some("frame"));
+        assert_eq!(first.get("seq").unwrap().as_f64(), Some(0.0));
+        assert_eq!(first.get("raw_bytes").unwrap().as_f64(), Some(4096.0));
+        assert_eq!(first.get("ratio").unwrap().as_f64(), Some(5.25));
+        assert_eq!(first.get("field").unwrap().as_str(), Some("CLDHGH"));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("seq").unwrap().as_f64(), Some(1.0));
+    }
+}

@@ -46,6 +46,23 @@ impl HistogramKind {
             HistogramKind::Linear { .. } => i as u64,
         }
     }
+
+    /// Inclusive upper bound of the bucket whose lower bound is `lo` (as
+    /// stored in [`HistogramSnapshot::buckets`]). The clamped last linear
+    /// bucket nominally extends to infinity; it reports `lo` here and the
+    /// snapshot's observed `max` bounds it in practice.
+    pub fn bucket_hi_of_lo(self, lo: u64) -> u64 {
+        match self {
+            HistogramKind::Log2 => {
+                if lo == 0 {
+                    1
+                } else {
+                    lo.saturating_mul(2).saturating_sub(1)
+                }
+            }
+            HistogramKind::Linear { .. } => lo,
+        }
+    }
 }
 
 /// A thread-safe histogram with count/sum/min/max plus bucket counts.
@@ -160,6 +177,45 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), 0.0 for an empty histogram.
+    ///
+    /// The containing bucket is found exactly from the bucket counts; the
+    /// position *inside* it is linearly interpolated (values assumed
+    /// uniform within the bucket). The error is therefore bounded by the
+    /// bucket width: **exact** for linear histograms (unit-width buckets,
+    /// except the clamped last bucket), and within the bucket `[lo, 2·lo)`
+    /// for log2 histograms — i.e. a relative error strictly below 2×. The
+    /// result is additionally clamped to the observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        // Fractional rank in [1, count]: p50 of 4 values targets rank 2,
+        // p100 targets rank 4 (the maximum).
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for &(lo, n) in &self.buckets {
+            cum += n;
+            if cum as f64 >= rank {
+                let hi = self.kind.bucket_hi_of_lo(lo) as f64;
+                let lo = lo as f64;
+                let frac = (rank - (cum - n) as f64) / n as f64;
+                let v = lo + frac * (hi - lo);
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// The `(p50, p95, p99)` triple the report sinks print.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
     }
 }
 

@@ -52,15 +52,30 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod export;
 mod hist;
 pub mod json;
+mod manifest;
+mod progress;
 mod registry;
 mod report;
+mod resource;
+mod snapshot;
 mod trace;
 
+pub use export::{
+    emit_event, escape_label_value, event_sink_installed, install_event_sink, render_prometheus,
+    sanitize_metric_name, take_event_sink,
+};
 pub use hist::{Histogram, HistogramKind, HistogramSnapshot};
+pub use manifest::{fnv1a64, Manifest, MANIFEST_KIND, MANIFEST_SCHEMA_VERSION};
+pub use progress::{ProgressMeter, ProgressSnapshot};
 pub use registry::{Counter, Registry, SpanStats};
 pub use report::{render_jsonl, render_table, Report, SpanSnapshot, Value};
+pub use resource::{
+    current_phase, read_proc_sample, set_phase_tracking, ProcSample, ResourceAccountant,
+};
+pub use snapshot::{diff, Gauge, GaugeSnapshot};
 pub use trace::{
     render_chrome_trace, set_trace_enabled, take_trace, trace_enabled, trace_instant, trace_zone,
     TraceCapture, TraceEvent, TracePhase, TraceZone,
@@ -115,6 +130,9 @@ pub struct Span {
     /// Keeps the flight-recorder zone open for the span's lifetime when
     /// event tracing is on (see [`trace_zone`]); `None`-named when off.
     _zone: TraceZone,
+    /// Entry on the resource accountant's phase stack (`Some` only while
+    /// phase tracking is on — see [`set_phase_tracking`]).
+    phase_id: Option<u64>,
 }
 
 impl Span {
@@ -131,6 +149,9 @@ impl Drop for Span {
         if let Some(start) = self.start {
             let ns = start.elapsed().as_nanos() as u64;
             global().span_stats(self.name).record(ns);
+        }
+        if let Some(id) = self.phase_id {
+            resource::phase_pop(id);
         }
     }
 }
@@ -149,6 +170,7 @@ pub fn span(name: &'static str) -> Span {
             None
         },
         _zone: trace_zone(name, 0),
+        phase_id: resource::phase_push(name),
     }
 }
 

@@ -1,0 +1,186 @@
+//! Live progress metering for streaming runs: per-frame updates fold into
+//! an EWMA throughput estimate, a running compression ratio, and an ETA,
+//! rendered as a single carriage-return status line by the CLI's
+//! `--progress` flag.
+//!
+//! The meter is plain single-threaded state — the CLI owns it on the
+//! streaming thread and calls [`ProgressMeter::on_frame`] once per frame,
+//! which is far off any per-element hot path.
+
+use std::time::Instant;
+
+/// Smoothing factor: each new frame contributes 30% to the throughput
+/// estimate, so the line settles within a few frames without jittering on
+/// every scheduler hiccup.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Derived view after one frame, ready to render.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressSnapshot {
+    pub frames: u64,
+    pub raw_bytes: u64,
+    pub compressed_bytes: u64,
+    /// Smoothed raw-input throughput in GB/s (1e9 bytes).
+    pub gbps: f64,
+    /// Running `raw / compressed`; 0 until compressed bytes exist.
+    pub ratio: f64,
+    /// Seconds remaining at the smoothed rate; `None` without a known
+    /// total or before any throughput estimate exists.
+    pub eta_seconds: Option<f64>,
+    /// Fraction complete in `[0, 1]`; `None` without a known total.
+    pub fraction: Option<f64>,
+}
+
+impl ProgressSnapshot {
+    /// One status line, e.g.
+    /// `42.0% | 1.234 GB/s | ratio 8.41 | eta 3.2s | 128 MiB of 305 MiB`.
+    pub fn render_line(&self) -> String {
+        let mut line = String::with_capacity(96);
+        if let Some(f) = self.fraction {
+            line.push_str(&format!("{:5.1}% | ", f * 100.0));
+        }
+        line.push_str(&format!("{:.3} GB/s | ratio {:.2}", self.gbps, self.ratio));
+        if let Some(eta) = self.eta_seconds {
+            line.push_str(&format!(" | eta {eta:.1}s"));
+        }
+        line.push_str(&format!(" | {} processed", fmt_bytes(self.raw_bytes)));
+        line
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    const MIB: f64 = 1024.0 * 1024.0;
+    let b = b as f64;
+    if b >= 1024.0 * MIB {
+        format!("{:.2} GiB", b / (1024.0 * MIB))
+    } else if b >= MIB {
+        format!("{:.1} MiB", b / MIB)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// Folds per-frame `(raw, compressed)` byte counts into smoothed
+/// throughput / ratio / ETA. Clock reads happen once per frame.
+pub struct ProgressMeter {
+    total_raw_bytes: Option<u64>,
+    raw_bytes: u64,
+    compressed_bytes: u64,
+    frames: u64,
+    ewma_gbps: Option<f64>,
+    last_frame_at: Instant,
+}
+
+impl ProgressMeter {
+    /// `total_raw_bytes` enables the percentage and ETA; pass `None` for
+    /// unbounded streams (stdin).
+    pub fn new(total_raw_bytes: Option<u64>) -> ProgressMeter {
+        ProgressMeter {
+            total_raw_bytes,
+            raw_bytes: 0,
+            compressed_bytes: 0,
+            frames: 0,
+            ewma_gbps: None,
+            last_frame_at: Instant::now(),
+        }
+    }
+
+    /// Record one completed frame and return the snapshot to render.
+    pub fn on_frame(&mut self, raw_bytes: u64, compressed_bytes: u64) -> ProgressSnapshot {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last_frame_at).as_secs_f64();
+        self.last_frame_at = now;
+        self.frames += 1;
+        self.raw_bytes += raw_bytes;
+        self.compressed_bytes += compressed_bytes;
+        if dt > 0.0 {
+            let inst = raw_bytes as f64 / 1e9 / dt;
+            self.ewma_gbps = Some(match self.ewma_gbps {
+                None => inst, // first frame seeds the estimate
+                Some(prev) => EWMA_ALPHA * inst + (1.0 - EWMA_ALPHA) * prev,
+            });
+        }
+        self.snapshot()
+    }
+
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let gbps = self.ewma_gbps.unwrap_or(0.0);
+        let ratio = if self.compressed_bytes > 0 {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        } else {
+            0.0
+        };
+        let fraction = self
+            .total_raw_bytes
+            .map(|t| (self.raw_bytes as f64 / t.max(1) as f64).min(1.0));
+        let eta_seconds = match (self.total_raw_bytes, self.ewma_gbps) {
+            (Some(total), Some(g)) if g > 0.0 => {
+                Some(total.saturating_sub(self.raw_bytes) as f64 / 1e9 / g)
+            }
+            _ => None,
+        };
+        ProgressSnapshot {
+            frames: self.frames,
+            raw_bytes: self.raw_bytes,
+            compressed_bytes: self.compressed_bytes,
+            gbps,
+            ratio,
+            eta_seconds,
+            fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_fraction_accumulate() {
+        let mut m = ProgressMeter::new(Some(1000));
+        m.on_frame(400, 100);
+        let s = m.on_frame(100, 25);
+        assert_eq!(s.frames, 2);
+        assert_eq!(s.raw_bytes, 500);
+        assert_eq!(s.compressed_bytes, 125);
+        assert!((s.ratio - 4.0).abs() < 1e-12);
+        assert_eq!(s.fraction, Some(0.5));
+    }
+
+    #[test]
+    fn ewma_smooths_toward_new_rate() {
+        let mut m = ProgressMeter::new(None);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let first = m.on_frame(1_000_000, 100);
+        assert!(first.gbps > 0.0, "first frame seeds the estimate");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let second = m.on_frame(2_000_000, 100);
+        // The estimate moves, but only by the smoothing factor.
+        assert!(second.gbps > 0.0);
+        assert_eq!(second.eta_seconds, None, "no total, no ETA");
+        assert_eq!(second.fraction, None);
+    }
+
+    #[test]
+    fn eta_counts_down_with_progress() {
+        let mut m = ProgressMeter::new(Some(2_000_000));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let s = m.on_frame(1_000_000, 500);
+        let eta = s.eta_seconds.expect("total + estimate => ETA");
+        assert!(eta > 0.0);
+        let line = s.render_line();
+        assert!(line.contains("GB/s"), "{line}");
+        assert!(line.contains("ratio"), "{line}");
+        assert!(line.contains("eta"), "{line}");
+        assert!(line.contains("50.0%"), "{line}");
+    }
+
+    #[test]
+    fn zero_compressed_bytes_is_not_a_division() {
+        let m = ProgressMeter::new(None);
+        let s = m.snapshot();
+        assert_eq!(s.ratio, 0.0);
+        assert_eq!(s.gbps, 0.0);
+        let _ = s.render_line();
+    }
+}

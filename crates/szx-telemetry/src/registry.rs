@@ -11,6 +11,12 @@ use std::sync::{Arc, RwLock};
 
 use crate::hist::{Histogram, HistogramKind};
 use crate::report::{Report, SpanSnapshot};
+use crate::snapshot::{Gauge, GaugeSnapshot};
+
+/// Gauges are keyed by name *plus* label set — `(name, [(k, v), …])` — so
+/// `process.phase_peak_rss_bytes{phase="compress"}` and `{phase="write"}`
+/// are distinct instruments.
+type GaugeKey = (String, Vec<(String, String)>);
 
 const R: Ordering = Ordering::Relaxed;
 
@@ -88,6 +94,7 @@ pub struct Registry {
     counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
     hists: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
     spans: RwLock<BTreeMap<&'static str, Arc<SpanStats>>>,
+    gauges: RwLock<BTreeMap<GaugeKey, Arc<Gauge>>>,
 }
 
 impl Registry {
@@ -96,6 +103,7 @@ impl Registry {
             counters: RwLock::new(BTreeMap::new()),
             hists: RwLock::new(BTreeMap::new()),
             spans: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -134,6 +142,29 @@ impl Registry {
         Self::get_or_insert(&self.spans, name, SpanStats::new)
     }
 
+    /// Unlabeled gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_labeled(name, &[])
+    }
+
+    /// Labeled gauge: `(name, labels)` is the instrument identity. Unlike
+    /// counters/histograms, gauge names are not `&'static` — the label
+    /// values (phase names, field names) are often computed at runtime.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key: GaugeKey = (
+            name.to_string(),
+            labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        );
+        if let Some(g) = self.gauges.read().expect("registry poisoned").get(&key) {
+            return Arc::clone(g);
+        }
+        let mut w = self.gauges.write().expect("registry poisoned");
+        Arc::clone(w.entry(key).or_default())
+    }
+
     /// Point-in-time copy of every instrument.
     pub fn snapshot(&self) -> Report {
         Report {
@@ -158,6 +189,21 @@ impl Registry {
                 .iter()
                 .map(|(&k, v)| (k.to_string(), v.snapshot()))
                 .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry poisoned")
+                .iter()
+                .map(|((name, labels), g)| {
+                    (
+                        name.clone(),
+                        GaugeSnapshot {
+                            labels: labels.clone(),
+                            value: g.get(),
+                        },
+                    )
+                })
+                .collect(),
             extra: Vec::new(),
         }
     }
@@ -172,6 +218,9 @@ impl Registry {
         }
         for s in self.spans.read().expect("registry poisoned").values() {
             s.reset();
+        }
+        for g in self.gauges.read().expect("registry poisoned").values() {
+            g.reset();
         }
     }
 }
@@ -203,11 +252,34 @@ mod tests {
         r.hist_log2("h").record(100);
         r.hist_linear("l", 8).record(3);
         r.span_stats("s").record(500);
+        r.gauge("g").set(1.5);
         let snap = r.snapshot();
         assert_eq!(snap.counter("n"), Some(7));
         assert_eq!(snap.hist("h").unwrap().count, 1);
         assert_eq!(snap.hist("l").unwrap().buckets, vec![(3, 1)]);
         assert_eq!(snap.span("s").unwrap().total_ns, 500);
+        assert_eq!(snap.gauge("g"), Some(1.5));
+    }
+
+    #[test]
+    fn labeled_gauges_are_distinct_instruments() {
+        let r = Registry::new();
+        r.gauge_labeled("phase.rss", &[("phase", "compress")])
+            .set(10.0);
+        r.gauge_labeled("phase.rss", &[("phase", "write")])
+            .set(20.0);
+        r.gauge_labeled("phase.rss", &[("phase", "compress")])
+            .set_max(15.0);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.gauge_labeled("phase.rss", &[("phase", "compress")]),
+            Some(15.0)
+        );
+        assert_eq!(
+            snap.gauge_labeled("phase.rss", &[("phase", "write")]),
+            Some(20.0)
+        );
+        assert_eq!(snap.gauge("phase.rss"), None, "unlabeled variant unset");
     }
 
     #[test]
@@ -215,9 +287,11 @@ mod tests {
         let r = Registry::new();
         r.counter("x").add(9);
         r.span_stats("sp").record(10);
+        r.gauge("g").set(4.0);
         r.reset();
         assert_eq!(r.counter("x").get(), 0);
         assert_eq!(r.snapshot().span("sp").unwrap().count, 0);
+        assert_eq!(r.snapshot().gauge("g"), Some(0.0));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! log scrapers).
 
 use crate::hist::HistogramSnapshot;
+use crate::snapshot::GaugeSnapshot;
 
 /// Aggregated view of one span name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,9 @@ pub struct Report {
     pub counters: Vec<(String, u64)>,
     pub hists: Vec<(String, HistogramSnapshot)>,
     pub spans: Vec<(String, SpanSnapshot)>,
+    /// `(name, snapshot)` pairs; the same name may appear once per label
+    /// set (see [`crate::Registry::gauge_labeled`]).
+    pub gauges: Vec<(String, GaugeSnapshot)>,
     pub extra: Vec<(String, Value)>,
 }
 
@@ -57,9 +61,47 @@ impl Report {
         self.spans.iter().find(|(k, _)| k == name).map(|(_, v)| v)
     }
 
+    /// Value of the *unlabeled* gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauge_labeled(name, &[])
+    }
+
+    /// Value of the gauge with exactly this name and label set.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(k, g)| {
+                k == name
+                    && g.labels.len() == labels.len()
+                    && g.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((gk, gv), &(lk, lv))| gk == lk && gv == lv)
+            })
+            .map(|(_, g)| g.value)
+    }
+
     pub fn push_extra(&mut self, name: impl Into<String>, value: Value) {
         self.extra.push((name.into(), value));
     }
+}
+
+/// `name{k="v",…}` display key for a labeled gauge (bare name when the
+/// label set is empty) — shared by the table and JSON-lines sinks.
+fn gauge_key(name: &str, g: &GaugeSnapshot) -> String {
+    if g.labels.is_empty() {
+        return name.to_string();
+    }
+    let mut k = String::from(name);
+    k.push('{');
+    for (i, (lk, lv)) in g.labels.iter().enumerate() {
+        if i > 0 {
+            k.push(',');
+        }
+        k.push_str(&format!("{lk}=\"{lv}\""));
+    }
+    k.push('}');
+    k
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -97,8 +139,10 @@ pub fn render_table(report: &Report) -> String {
     if !report.hists.is_empty() {
         out.push_str("histograms:\n");
         for (name, h) in &report.hists {
+            let (p50, p95, p99) = h.percentiles();
             out.push_str(&format!(
-                "  {name:<36} count {:>8}  min {}  max {}  mean {:.2}\n",
+                "  {name:<36} count {:>8}  min {}  max {}  mean {:.2}  \
+                 p50 {p50:.1}  p95 {p95:.1}  p99 {p99:.1}\n",
                 h.count,
                 h.min,
                 h.max,
@@ -109,6 +153,12 @@ pub fn render_table(report: &Report) -> String {
                 let bar = "#".repeat(((n * 40).div_ceil(peak.max(1))) as usize);
                 out.push_str(&format!("    {lo:>12} | {n:>10} {bar}\n"));
             }
+        }
+    }
+    if !report.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, g) in &report.gauges {
+            out.push_str(&format!("  {:<36} {:>12.3}\n", gauge_key(name, g), g.value));
         }
     }
     if !report.extra.is_empty() {
@@ -185,10 +235,18 @@ pub fn render_jsonl(report: &Report) -> String {
             o.push(',');
         }
         json_escape(name, &mut o);
+        let (p50, p95, p99) = h.percentiles();
         o.push_str(&format!(
-            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},",
             h.count, h.sum, h.min, h.max
         ));
+        o.push_str("\"p50\":");
+        json_f64(p50, &mut o);
+        o.push_str(",\"p95\":");
+        json_f64(p95, &mut o);
+        o.push_str(",\"p99\":");
+        json_f64(p99, &mut o);
+        o.push_str(",\"buckets\":[");
         for (j, &(lo, n)) in h.buckets.iter().enumerate() {
             if j > 0 {
                 o.push(',');
@@ -196,6 +254,17 @@ pub fn render_jsonl(report: &Report) -> String {
             o.push_str(&format!("[{lo},{n}]"));
         }
         o.push_str("]}");
+    }
+    o.push('}');
+
+    o.push_str(",\"gauges\":{");
+    for (i, (name, g)) in report.gauges.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        json_escape(&gauge_key(name, g), &mut o);
+        o.push(':');
+        json_f64(g.value, &mut o);
     }
     o.push('}');
 
@@ -239,6 +308,22 @@ mod tests {
                     max_ns: 600,
                 },
             )],
+            gauges: vec![
+                (
+                    "g.rss".into(),
+                    GaugeSnapshot {
+                        labels: Vec::new(),
+                        value: 2048.0,
+                    },
+                ),
+                (
+                    "g.rss".into(),
+                    GaugeSnapshot {
+                        labels: vec![("phase".into(), "compress".into())],
+                        value: 1024.0,
+                    },
+                ),
+            ],
             extra: Vec::new(),
         };
         r.push_extra("throughput_gbps", Value::F64(1.25));
@@ -254,6 +339,9 @@ mod tests {
             "c.b",
             "h.req",
             "s.total",
+            "g.rss",
+            "g.rss{phase=\"compress\"}",
+            "p50",
             "throughput_gbps",
             "serial",
         ] {
@@ -270,6 +358,9 @@ mod tests {
         assert!(j.starts_with("{\"event\":\"szx_telemetry\""));
         assert!(j.contains("\"c.a\":3"));
         assert!(j.contains("\"buckets\":[[20,5],[32,1]]"));
+        assert!(j.contains("\"p50\":20"));
+        assert!(j.contains("\"g.rss\":2048"));
+        assert!(j.contains("\"g.rss{phase=\\\"compress\\\"}\":1024"));
         assert!(j.contains("\"throughput_gbps\":1.25"));
         assert!(j.contains("\"mode\":\"serial\""));
     }
@@ -291,5 +382,38 @@ mod tests {
         assert_eq!(r.counter("nope"), None);
         assert_eq!(r.hist("h.req").unwrap().count, 6);
         assert_eq!(r.span("s.total").unwrap().mean_ns(), 500.0);
+        assert_eq!(r.gauge("g.rss"), Some(2048.0));
+        assert_eq!(
+            r.gauge_labeled("g.rss", &[("phase", "compress")]),
+            Some(1024.0)
+        );
+        assert_eq!(r.gauge_labeled("g.rss", &[("phase", "nope")]), None);
+    }
+
+    #[test]
+    fn linear_histogram_quantiles_are_exact() {
+        // 5 observations of 20 and one of 32: p50 -> 20, p99/p100 -> 32.
+        let r = sample_report();
+        let h = r.hist("h.req").unwrap();
+        assert_eq!(h.quantile(0.50), 20.0);
+        assert_eq!(h.quantile(0.99), 32.0);
+        assert_eq!(h.quantile(1.0), 32.0);
+        assert_eq!(h.quantile(0.0), 20.0, "q=0 lands in the first bucket");
+    }
+
+    #[test]
+    fn log2_histogram_quantiles_interpolate_within_bucket() {
+        let h = Histogram::new(HistogramKind::Log2);
+        // 100 values in bucket [64, 127].
+        h.record_n(100, 100);
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        assert!(
+            (64.0..=127.0).contains(&p50),
+            "p50 {p50} must stay inside its bucket"
+        );
+        // Clamped to observed extrema: all values were exactly 100.
+        assert!(s.quantile(0.999) <= s.max as f64 + 1e-9);
+        assert!(s.quantile(0.001) >= s.min as f64 - 1e-9);
     }
 }

@@ -1,0 +1,255 @@
+//! Gauges and the snapshot **diff** algebra.
+//!
+//! The registry's counters/histograms/spans are cumulative for the process
+//! lifetime; a long-lived embedder (or the future `szx-serve` daemon) wants
+//! *per-interval* numbers instead. [`diff`] subtracts one [`Report`] from a
+//! later one under per-instrument semantics:
+//!
+//! * **counters** are monotonic — the diff is `current − baseline`,
+//!   saturating at zero so a registry reset between snapshots can never
+//!   produce an underflowed garbage value;
+//! * **gauges** are instantaneous, last-wins — the diff *is* the current
+//!   value;
+//! * **histograms** subtract bucket-wise (count/sum likewise saturating);
+//!   min/max are not recoverable from aggregates, so the interval keeps the
+//!   current snapshot's extrema (documented approximation);
+//! * **spans** subtract count/total; min/max keep the current extrema for
+//!   the same reason.
+//!
+//! [`Gauge`] itself is the one instrument the original registry lacked: an
+//! instantaneous `f64` with optional labels (e.g. `phase="compress"`), set
+//! by the resource accountant (peak RSS, CPU time) and the scratch-arena
+//! plumbing in `szx-core`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::report::{Report, SpanSnapshot};
+
+const R: Ordering = Ordering::Relaxed;
+
+/// A last-wins instantaneous value (peak RSS, arena bytes, queue depth).
+/// Stored as `f64` bits in one atomic: `set` is a plain store, so concurrent
+/// setters race benignly — the last writer wins and values are never torn.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Set the gauge (last writer wins).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), R);
+    }
+
+    /// Convenience for byte/element counts published as gauges.
+    #[inline]
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    /// Raise the gauge to `v` if `v` is larger — peak tracking. NaN inputs
+    /// are ignored (the comparison is false).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(R);
+        while v > f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(cur, v.to_bits(), R, R) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(R))
+    }
+
+    pub fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Point-in-time view of one gauge, with its label set (possibly empty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// `(key, value)` label pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// What happened *between* two snapshots of the same registry — see the
+/// module docs for the per-instrument semantics. Instruments that exist
+/// only in `baseline` (possible after a reset) are dropped; instruments
+/// only in `current` diff against zero.
+pub fn diff(baseline: &Report, current: &Report) -> Report {
+    let counters = current
+        .counters
+        .iter()
+        .map(|(name, cur)| {
+            let base = baseline.counter(name).unwrap_or(0);
+            (name.clone(), cur.saturating_sub(base))
+        })
+        .collect();
+
+    let spans = current
+        .spans
+        .iter()
+        .map(|(name, cur)| {
+            let base = baseline.span(name).copied().unwrap_or(SpanSnapshot {
+                count: 0,
+                total_ns: 0,
+                min_ns: 0,
+                max_ns: 0,
+            });
+            (
+                name.clone(),
+                SpanSnapshot {
+                    count: cur.count.saturating_sub(base.count),
+                    total_ns: cur.total_ns.saturating_sub(base.total_ns),
+                    // Interval extrema are not recoverable from aggregates;
+                    // keep the lifetime extrema of the current snapshot.
+                    min_ns: cur.min_ns,
+                    max_ns: cur.max_ns,
+                },
+            )
+        })
+        .collect();
+
+    let hists = current
+        .hists
+        .iter()
+        .map(|(name, cur)| {
+            let mut h = cur.clone();
+            if let Some(base) = baseline.hist(name) {
+                h.count = h.count.saturating_sub(base.count);
+                h.sum = h.sum.saturating_sub(base.sum);
+                let base_of = |lo: u64| {
+                    base.buckets
+                        .iter()
+                        .find(|&&(l, _)| l == lo)
+                        .map_or(0, |&(_, n)| n)
+                };
+                h.buckets = h
+                    .buckets
+                    .iter()
+                    .filter_map(|&(lo, n)| {
+                        let d = n.saturating_sub(base_of(lo));
+                        (d > 0).then_some((lo, d))
+                    })
+                    .collect();
+            }
+            (name.clone(), h)
+        })
+        .collect();
+
+    Report {
+        counters,
+        hists,
+        spans,
+        // Gauges are instantaneous: the interval value IS the current one.
+        gauges: current.gauges.clone(),
+        extra: current.extra.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::{Histogram, HistogramKind};
+    use crate::Registry;
+
+    #[test]
+    fn gauge_is_last_wins_and_peak_tracks() {
+        let g = Gauge::default();
+        assert_eq!(g.get(), 0.0);
+        g.set(5.0);
+        g.set(3.0);
+        assert_eq!(g.get(), 3.0, "plain set is last-wins");
+        g.set_max(2.0);
+        assert_eq!(g.get(), 3.0, "set_max never lowers");
+        g.set_max(9.5);
+        assert_eq!(g.get(), 9.5);
+        g.set_max(f64::NAN);
+        assert_eq!(g.get(), 9.5, "NaN ignored");
+    }
+
+    #[test]
+    fn counter_diff_is_monotonic_and_saturating() {
+        let r = Registry::new();
+        r.counter("c").add(10);
+        let base = r.snapshot();
+        r.counter("c").add(7);
+        r.counter("new").add(2);
+        let d = diff(&base, &r.snapshot());
+        assert_eq!(d.counter("c"), Some(7));
+        assert_eq!(d.counter("new"), Some(2), "new counters diff against 0");
+
+        // A reset between snapshots must saturate to 0, not wrap.
+        r.reset();
+        r.counter("c").add(3);
+        let d = diff(&base, &r.snapshot());
+        assert_eq!(d.counter("c"), Some(0));
+    }
+
+    #[test]
+    fn gauge_diff_is_last_wins() {
+        let r = Registry::new();
+        r.gauge("g").set(100.0);
+        let base = r.snapshot();
+        r.gauge("g").set(42.0);
+        let d = diff(&base, &r.snapshot());
+        assert_eq!(d.gauge("g"), Some(42.0), "diff reports the current value");
+    }
+
+    #[test]
+    fn span_and_hist_diff_subtract() {
+        let r = Registry::new();
+        r.span_stats("s").record(100);
+        r.hist_log2("h").record(4);
+        r.hist_log2("h").record(5);
+        let base = r.snapshot();
+        r.span_stats("s").record(300);
+        r.hist_log2("h").record(5);
+        r.hist_log2("h").record(1000);
+        let d = diff(&base, &r.snapshot());
+        let s = d.span("s").unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_ns, 300);
+        let h = d.hist("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1005);
+        // Bucket lo 4 held {4,5} in the baseline and gained one more 5.
+        assert_eq!(h.buckets, vec![(4, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn identical_snapshots_diff_to_zero() {
+        let r = Registry::new();
+        r.counter("c").add(4);
+        r.span_stats("s").record(9);
+        r.hist_linear("h", 8).record(2);
+        let a = r.snapshot();
+        let b = r.snapshot();
+        let d = diff(&a, &b);
+        assert_eq!(d.counter("c"), Some(0));
+        assert_eq!(d.span("s").unwrap().count, 0);
+        assert_eq!(d.hist("h").unwrap().count, 0);
+        assert!(d.hist("h").unwrap().buckets.is_empty());
+    }
+
+    #[test]
+    fn diff_preserves_histogram_kind() {
+        let a = Histogram::new(HistogramKind::Linear { max: 8 });
+        a.record(3);
+        let r = Registry::new();
+        r.hist_linear("h", 8).record(3);
+        let base = r.snapshot();
+        r.hist_linear("h", 8).record(7);
+        let d = diff(&base, &r.snapshot());
+        assert_eq!(d.hist("h").unwrap().kind, a.snapshot().kind);
+    }
+}

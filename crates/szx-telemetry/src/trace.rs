@@ -149,6 +149,9 @@ impl ThreadBuf {
         let n = self.len.load(Ordering::Relaxed);
         if n == self.slots.len() {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            // Mirror the loss into the registry so `--stats`-only runs
+            // (which never render the Chrome trace) still see it.
+            crate::global().counter("trace.dropped_events").incr();
             return;
         }
         let ev = TraceEvent {

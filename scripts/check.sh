@@ -30,6 +30,30 @@ run_audit() {
     cargo run -q --release -p szx-audit -- --json results/AUDIT.json
 }
 
+# Metrics-exposition smoke: one tiny compress with every observability
+# artifact requested must yield a Prometheus exposition, a JSON-lines event
+# log, and a run manifest the observatory comparator accepts (compared
+# against itself: zero regressions, exit 0).
+run_obs_smoke() {
+    echo "==> szx metrics-exposition smoke"
+    local dir
+    dir="$(mktemp -d)"
+    cargo run -q --release -p szx-cli -- gen cesm "$dir/fields" --scale tiny >/dev/null
+    local field
+    field="$(find "$dir/fields" -name '*.f32' | sort | head -1)"
+    cargo run -q --release -p szx-cli -- compress "$field" "$dir/out.szx" \
+        --abs 1e-3 --metrics "$dir/m.prom" --events "$dir/e.jsonl" \
+        --manifest "$dir/run.json" >/dev/null 2>&1
+    grep -q '^# TYPE szx_compress_bytes_raw_total counter$' "$dir/m.prom"
+    grep -q '^# TYPE szx_process_peak_rss_bytes gauge$' "$dir/m.prom"
+    grep -q '"event":"run.start"' "$dir/e.jsonl"
+    cargo run -q --release -p bench --bin observatory -- \
+        validate "$dir/run.json" >/dev/null
+    cargo run -q --release -p bench --bin observatory -- \
+        compare "$dir/run.json" "$dir/run.json" 2>/dev/null
+    rm -rf "$dir"
+}
+
 if [[ "${1:-}" == "--audit" ]]; then
     run_audit
     echo "==> OK (audit only)"
@@ -78,6 +102,7 @@ if [[ "${1:-}" == "--fast" || "${1:-}" == "--quick" ]]; then
     cargo test -q --release -p szx-core dekernels
     cargo test -q --release -p szx-integration-tests --test roundtrip_properties
     run_audit
+    run_obs_smoke
     echo "==> OK (quick: skipped full release suites, fmt, clippy)"
     exit 0
 fi
@@ -117,5 +142,7 @@ obs run --scale tiny --samples 1 --fields 1 --bounds 1e-3 \
 obs validate "$obs_dir/BENCH_0.json"
 obs run --scale tiny --samples 1 --fields 1 --bounds 1e-3 \
     --out-dir "$obs_dir" --quiet --ignore-throughput
+
+run_obs_smoke
 
 echo "==> OK"
