@@ -31,6 +31,7 @@ pub const FORBID_UNSAFE_ROOTS: &[&str] = &[
     "crates/szx-io-sim/src/lib.rs",
     "crates/bench/src/lib.rs",
     "crates/szx-audit/src/lib.rs",
+    "crates/szx-fuzz/src/lib.rs",
     "tests/src/lib.rs",
 ];
 
@@ -46,6 +47,7 @@ pub const DECODE_PATH: &[&str] = &[
     "crates/szx-core/src/bitio.rs",
     "crates/szx-core/src/archive.rs",
     "crates/szx-core/src/stream.rs",
+    "crates/szx-core/src/streaming.rs",
 ];
 
 /// Kernel modules whose offset arithmetic must annotate narrowing casts.

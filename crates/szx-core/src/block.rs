@@ -8,9 +8,14 @@ pub struct BlockStats<F: SzxFloat> {
     /// Mean of min and max — `μ_k`, the single value stored for constant
     /// blocks and the normalization offset for non-constant blocks.
     pub mu: F,
-    /// Variation radius `r_k = max - μ`. NaN if the block contains a NaN,
-    /// which classifies the block as non-constant and (via the saturated
-    /// exponent) forces bit-exact storage.
+    /// Variation radius `r_k = max(max − μ, μ − min)`: the farthest any
+    /// block value sits from the stored μ. μ is the *rounded* midpoint, so
+    /// the two sides can differ — when min and max are a single ULP apart
+    /// the midpoint can round onto one endpoint exactly, and taking only
+    /// `max − μ` would report a zero radius for a block that is not
+    /// constant. NaN if the block contains a NaN, which classifies the
+    /// block as non-constant and (via the saturated exponent) forces
+    /// bit-exact storage.
     pub radius: F,
 }
 
@@ -43,17 +48,20 @@ impl<F: SzxFloat> BlockStats<F> {
             };
         }
         let mu = F::half_sum(min, max);
-        let radius = max - mu;
-        BlockStats { mu, radius }
+        BlockStats {
+            mu,
+            radius: radius_about(mu, min, max),
+        }
     }
 
     /// Constant-block test (Algorithm 1, line 4): every value in the block
     /// is within `e` of `μ` iff the radius is within `e`.
     ///
-    /// A valid radius is non-negative; NaN (block carries a NaN) and `-inf`
-    /// (the `min+max` sum overflowed, e.g. a block of values near
-    /// `f32::MAX`) both fail the `r >= 0` half and classify the block as
-    /// non-constant, where the saturated radius exponent then selects
+    /// A valid radius is non-negative; NaN (block carries a NaN) fails the
+    /// `r >= 0` half and `+inf` (the `min+max` sum overflowed, e.g. a block
+    /// of values near `f32::MAX`, making μ = ±inf and one deviation
+    /// infinite) fails the `r <= e` half — either way the block classifies
+    /// as non-constant, where the saturated radius exponent then selects
     /// bit-exact storage.
     #[inline]
     pub fn is_constant(&self, eb: f64) -> bool {
@@ -78,6 +86,20 @@ impl<F: SzxFloat> BlockStats<F> {
             return block.iter().all(|d| d.to_word() == first);
         }
         true
+    }
+}
+
+/// Distance from the rounded midpoint `mu` to the farther of the two block
+/// extremes. Shared by the scalar and kernel stat scans so their radii stay
+/// bit-identical.
+#[inline]
+pub(crate) fn radius_about<F: SzxFloat>(mu: F, min: F, max: F) -> F {
+    let lo = mu - min;
+    let hi = max - mu;
+    if lo > hi {
+        lo
+    } else {
+        hi
     }
 }
 
@@ -175,6 +197,24 @@ mod tests {
         );
         let s = BlockStats::compute(&[3e38f32, 3.2e38]);
         assert!(!s.is_constant(f64::MAX));
+    }
+
+    #[test]
+    fn one_ulp_spread_is_not_constant_below_ulp_bound() {
+        // Regression (found by fuzzing): min and max one ULP apart. The
+        // midpoint is exactly halfway, so `half_sum` ties-to-even onto one
+        // endpoint — here max itself — and the old `radius = max - mu`
+        // reported 0.0, classifying the block as constant for ANY bound and
+        // decoding min a full ULP off. The radius must cover the farther
+        // endpoint.
+        let max = 1001.0f32;
+        let min = f32::from_bits(max.to_bits() - 1);
+        let s = BlockStats::compute(&[max, max, min, min]);
+        assert_eq!(s.mu, max, "midpoint rounds onto the even endpoint");
+        let ulp = f64::from(max) - f64::from(min);
+        assert_eq!(s.radius.to_f64(), ulp, "radius covers the far endpoint");
+        assert!(!s.is_constant(ulp / 16.0));
+        assert!(s.is_constant(ulp), "a bound of one ULP still collapses it");
     }
 
     #[test]

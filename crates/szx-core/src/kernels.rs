@@ -152,7 +152,7 @@ pub fn block_stats<F: SzxFloat>(block: &[F]) -> BlockStats<F> {
     let mu = F::half_sum(min, max);
     BlockStats {
         mu,
-        radius: max - mu,
+        radius: crate::block::radius_about(mu, min, max),
     }
 }
 

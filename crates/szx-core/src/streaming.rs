@@ -176,6 +176,7 @@ pub struct FrameReader<'a> {
 impl<'a> FrameReader<'a> {
     /// Parse the container's frame index (headers only).
     pub fn new(bytes: &'a [u8]) -> Result<Self> {
+        // PANIC-OK: the `len() < 4` check short-circuits before the index.
         if bytes.len() < 4 || bytes[0..4] != MAGIC {
             return Err(SzxError::CorruptStream(
                 "bad streaming container magic".into(),
@@ -187,14 +188,19 @@ impl<'a> FrameReader<'a> {
             if pos + 8 > bytes.len() {
                 return Err(SzxError::CorruptStream("truncated frame length".into()));
             }
-            let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+            // PANIC-OK: the `pos + 8 > len` guard above proves the range.
+            let len64 = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
             pos += 8;
-            if pos + len > bytes.len() {
+            // Compare in u64: a hostile length near u64::MAX would make
+            // `pos + len` wrap on 64-bit targets (overflow panic in debug,
+            // silent false pass in release).
+            if len64 > (bytes.len() - pos) as u64 {
                 return Err(SzxError::CorruptStream(format!(
-                    "frame at {pos} claims {len} bytes, container has {}",
+                    "frame at {pos} claims {len64} bytes, container has {}",
                     bytes.len() - pos
                 )));
             }
+            let len = len64 as usize;
             index.push((pos, len));
             pos += len;
         }
@@ -222,6 +228,8 @@ impl<'a> FrameReader<'a> {
             .index
             .get(i)
             .ok_or_else(|| SzxError::InvalidConfig(format!("frame {i} out of range")))?;
+        // PANIC-OK: every index entry was validated against the container
+        // length when `new` built it.
         let stream = &self.bytes[off..off + len];
         // Clock read only when somebody is listening on the event sink.
         let started = szx_telemetry::event_sink_installed().then(std::time::Instant::now);
@@ -256,6 +264,7 @@ impl<'a> FrameReader<'a> {
     pub fn frame_bytes(&self, i: usize) -> Option<&'a [u8]> {
         self.index
             .get(i)
+            // PANIC-OK: index entries were bounds-checked by `new`.
             .map(|&(off, len)| &self.bytes[off..off + len])
     }
 
@@ -335,6 +344,22 @@ mod tests {
         assert!(FrameReader::new(&bytes[..7]).is_err(), "truncated length");
         // Empty container is fine — zero frames.
         assert_eq!(FrameReader::new(&MAGIC).unwrap().num_frames(), 0);
+    }
+
+    #[test]
+    fn hostile_frame_length_is_rejected_not_overflowed() {
+        // Regression (found by corpus replay in a debug build): a frame
+        // length near u64::MAX made the old `pos + len` bounds check
+        // overflow — panic in debug, silently wrapped-and-passed in
+        // release. Must be a clean CorruptStream error.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let err = match FrameReader::new(&bytes) {
+            Err(e) => e,
+            Ok(_) => panic!("hostile frame length accepted"),
+        };
+        assert!(err.to_string().contains("claims"), "{err}");
     }
 
     #[test]

@@ -94,6 +94,21 @@ impl Application {
         ds.name = self.short_name().to_string();
         ds
     }
+
+    /// A small deterministic value sample for fuzz-corpus seeding: the
+    /// first `n` values of the application's first tiny-scale field (fixed
+    /// seed 1), padded by cycling when the field is shorter than `n`. The
+    /// fuzzing harness (`crates/szx-fuzz`) compresses these into its seed
+    /// corpus so mutation starts from each application's real value
+    /// statistics instead of white noise.
+    pub fn fuzz_seed_values(self, n: usize) -> Vec<f32> {
+        let ds = self.generate_limited(Scale::Tiny, 1, 1);
+        let data: &[f32] = match ds.fields.first() {
+            Some(field) if !field.data.is_empty() => &field.data,
+            _ => &[0.0],
+        };
+        (0..n).map(|i| data[i % data.len()]).collect()
+    }
 }
 
 /// Spatial scale of the generated grids. The full Table 2 dimensions are

@@ -1,0 +1,188 @@
+//! Corpus lifecycle: load committed inputs, write findings, keep the
+//! manifest fresh, and shrink failing inputs before they are committed.
+//!
+//! The corpus lives in-tree (`tests/corpus/`) and is replayed by
+//! `tests/tests/fuzz_regressions.rs` on every test run, so a finding fixed
+//! once stays fixed. File names are load-bearing: the prefix selects the
+//! replay target (`decode_` / `stream_` / `round_`), and `MANIFEST.txt`
+//! pins name + length + FNV-1a digest of every entry so CI can detect a
+//! stale or hand-edited corpus with one `git diff --exit-code`.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// FNV-1a 64-bit hash — the workspace's standing zero-dep digest (the run
+/// manifests use the same function for dataset digests).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The manifest file name inside a corpus directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.txt";
+
+/// Load every corpus entry (sorted by name for determinism), skipping the
+/// manifest itself. Returns `(file_name, bytes)` pairs.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(String, Vec<u8>)>> {
+    let mut entries = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == MANIFEST_NAME || name.starts_with('.') {
+            continue;
+        }
+        entries.push((name, fs::read(entry.path())?));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(entries)
+}
+
+/// Render the manifest for a set of corpus entries: one line per file,
+/// `name<TAB>length<TAB>fnv1a64-hex`, sorted by name.
+pub fn manifest_string(entries: &[(String, Vec<u8>)]) -> String {
+    let mut out = String::from("# corpus manifest: name\tbytes\tfnv1a64\n");
+    for (name, bytes) in entries {
+        out.push_str(&format!(
+            "{name}\t{}\t{:016x}\n",
+            bytes.len(),
+            fnv1a64(bytes)
+        ));
+    }
+    out
+}
+
+/// Rewrite `MANIFEST.txt` from the directory contents. Returns the number
+/// of entries listed.
+pub fn write_manifest(dir: &Path) -> io::Result<usize> {
+    let entries = load_dir(dir)?;
+    fs::write(dir.join(MANIFEST_NAME), manifest_string(&entries))?;
+    Ok(entries.len())
+}
+
+/// Deterministic file name for a minimized finding, e.g.
+/// `decode_finding_3fa9c1d2e4b5.bin` — the prefix routes it back to the
+/// target that found it when the regression suite replays the directory.
+pub fn finding_name(prefix: &str, input: &[u8]) -> String {
+    format!(
+        "{prefix}_finding_{:012x}.bin",
+        fnv1a64(input) & 0xffff_ffff_ffff
+    )
+}
+
+/// Greedy delta-debugging: shrink `input` while `still_fails` holds,
+/// spending at most `budget` predicate calls. Three passes repeated to a
+/// fixed point: tail truncation, chunk deletion at shrinking granularity,
+/// and byte zeroing. Fully deterministic.
+pub fn minimize(
+    input: &[u8],
+    mut budget: usize,
+    mut still_fails: impl FnMut(&[u8]) -> bool,
+) -> Vec<u8> {
+    let mut cur = input.to_vec();
+    let mut check = |cand: &[u8], budget: &mut usize| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        still_fails(cand)
+    };
+
+    loop {
+        let before = cur.clone();
+
+        // Pass 1: cut the tail in half while the failure survives.
+        while cur.len() > 1 {
+            let cand = &cur[..cur.len() / 2];
+            if check(cand, &mut budget) {
+                cur = cand.to_vec();
+            } else {
+                break;
+            }
+        }
+
+        // Pass 2: delete chunks, halving the chunk size down to one byte.
+        let mut size = (cur.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < cur.len() && cur.len() > 1 {
+                let end = (i + size).min(cur.len());
+                let mut cand = Vec::with_capacity(cur.len() - (end - i));
+                cand.extend_from_slice(&cur[..i]);
+                cand.extend_from_slice(&cur[end..]);
+                if check(&cand, &mut budget) {
+                    cur = cand;
+                } else {
+                    i = end;
+                }
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+
+        // Pass 3: zero out bytes (smaller constants read better in a
+        // committed regression input).
+        for i in 0..cur.len() {
+            if cur[i] == 0 {
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand[i] = 0;
+            if check(&cand, &mut budget) {
+                cur = cand;
+            }
+        }
+
+        if cur == before || budget == 0 {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn minimize_shrinks_to_the_essential_byte() {
+        // Failure: input contains the byte 0x42 anywhere.
+        let input: Vec<u8> = (0..200u8).collect();
+        let min = minimize(&input, 10_000, |cand| cand.contains(&0x42));
+        assert_eq!(min, vec![0x42]);
+    }
+
+    #[test]
+    fn minimize_preserves_multi_byte_predicates() {
+        let mut input = vec![0u8; 300];
+        input[120] = 7;
+        input[250] = 9;
+        let min = minimize(&input, 10_000, |c| c.contains(&7) && c.contains(&9));
+        assert_eq!(min, vec![7, 9]);
+    }
+
+    #[test]
+    fn manifest_is_deterministic() {
+        let entries = vec![
+            ("b.bin".to_string(), vec![1, 2, 3]),
+            ("a.bin".to_string(), vec![]),
+        ];
+        let m = manifest_string(&entries);
+        assert!(m.contains("a.bin\t0\t"));
+        assert!(m.contains("b.bin\t3\t"));
+    }
+}

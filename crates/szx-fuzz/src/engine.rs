@@ -1,0 +1,224 @@
+//! The deterministic fuzzing loop.
+//!
+//! No fork server, no coverage instrumentation — the engine runs in-process
+//! (targets are panic-guarded) and approximates coverage feedback with
+//! *outcome novelty*: each execution folds its decode outcomes into a
+//! 64-bit signature, and inputs that produce a signature never seen before
+//! join the live corpus. That is enough guidance to walk mutated archives
+//! through distinct parser rejection points and decode shapes, while
+//! keeping the whole campaign reproducible from one seed.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::corpus::minimize;
+use crate::mutate::mutate;
+use crate::oracle::Failure;
+use crate::rng::XorShift;
+use crate::targets::{run_target_guarded, FuzzTarget};
+
+/// Campaign options.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// RNG seed; the whole campaign is a pure function of seed + corpus.
+    pub seed: u64,
+    /// Iteration budget.
+    pub iters: u64,
+    /// Optional wall-clock cap. Iterations stop early when it is hit, so
+    /// only fixed-iteration runs are bit-reproducible end to end.
+    pub time_budget: Option<Duration>,
+    /// Stop after this many findings (each is minimized, which costs
+    /// thousands of extra executions).
+    pub max_findings: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 1,
+            iters: 1000,
+            time_budget: None,
+            max_findings: 8,
+        }
+    }
+}
+
+/// One confirmed, minimized finding.
+#[derive(Debug)]
+pub struct Finding {
+    pub target: FuzzTarget,
+    pub failure: Failure,
+    /// The minimized reproducer.
+    pub input: Vec<u8>,
+    /// Iteration at which the unminimized input was found (0 = seed replay).
+    pub iteration: u64,
+}
+
+/// Campaign statistics.
+#[derive(Debug, Default)]
+pub struct CampaignStats {
+    pub iterations: u64,
+    pub novel_outcomes: u64,
+    pub live_corpus: usize,
+    pub elapsed: Duration,
+    pub hit_time_budget: bool,
+}
+
+/// Upper bound on the live in-memory corpus.
+const MAX_LIVE_CORPUS: usize = 256;
+/// Predicate-call budget for minimizing one finding.
+const MINIMIZE_BUDGET: usize = 4000;
+
+/// Run one fuzzing campaign over `target`, starting from `seeds`.
+pub fn fuzz_target(
+    target: FuzzTarget,
+    seeds: &[Vec<u8>],
+    opts: &FuzzOptions,
+) -> (CampaignStats, Vec<Finding>) {
+    let started = Instant::now();
+    let mut rng = XorShift::new(opts.seed ^ 0x5A5A ^ (target.name().len() as u64) << 32);
+    let mut stats = CampaignStats::default();
+    let mut findings = Vec::new();
+    let mut seen = HashSet::new();
+    let mut corpus: Vec<Vec<u8>> = Vec::new();
+
+    // Replay the seeds first: they establish the novelty baseline, and a
+    // failing seed is itself a finding (iteration 0).
+    for seed_input in seeds {
+        match run_target_guarded(target, seed_input) {
+            Ok(features) => {
+                if seen.insert(features) {
+                    stats.novel_outcomes += 1;
+                }
+                corpus.push(seed_input.clone());
+            }
+            Err(failure) => {
+                record_finding(target, seed_input, failure, 0, &mut findings);
+            }
+        }
+    }
+    if corpus.is_empty() {
+        corpus.push(Vec::new());
+    }
+
+    for iteration in 1..=opts.iters {
+        if let Some(budget) = opts.time_budget {
+            if started.elapsed() >= budget {
+                stats.hit_time_budget = true;
+                break;
+            }
+        }
+        if findings.len() >= opts.max_findings {
+            break;
+        }
+        stats.iterations = iteration;
+
+        let mut input = corpus[rng.below(corpus.len())].clone();
+        let donor_idx = rng.below(corpus.len());
+        // Clone the donor out so `input` can be mutated against it even
+        // when both picks land on the same entry.
+        let donor = corpus[donor_idx].clone();
+        mutate(&mut input, &mut rng, &donor);
+
+        match run_target_guarded(target, &input) {
+            Ok(features) => {
+                if seen.insert(features) {
+                    stats.novel_outcomes += 1;
+                    if corpus.len() >= MAX_LIVE_CORPUS {
+                        let evict = rng.below(corpus.len());
+                        corpus.swap_remove(evict);
+                    }
+                    corpus.push(input);
+                }
+            }
+            Err(failure) => {
+                record_finding(target, &input, failure, iteration, &mut findings);
+            }
+        }
+    }
+
+    stats.live_corpus = corpus.len();
+    stats.elapsed = started.elapsed();
+    (stats, findings)
+}
+
+/// Minimize a failing input (preserving the failure kind) and record it.
+fn record_finding(
+    target: FuzzTarget,
+    input: &[u8],
+    failure: Failure,
+    iteration: u64,
+    findings: &mut Vec<Finding>,
+) {
+    let kind = failure.kind.clone();
+    let minimized = minimize(
+        input,
+        MINIMIZE_BUDGET,
+        |cand| matches!(run_target_guarded(target, cand), Err(f) if f.kind == kind),
+    );
+    // Deduplicate by (kind, minimized bytes): mutation storms tend to
+    // rediscover the same crash thousands of times.
+    if findings
+        .iter()
+        .any(|f: &Finding| f.failure.kind == kind && f.input == minimized)
+    {
+        return;
+    }
+    findings.push(Finding {
+        target,
+        failure,
+        input: minimized,
+        iteration,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use szx_core::SzxConfig;
+
+    fn seeds() -> Vec<Vec<u8>> {
+        let data: Vec<f32> = (0..600).map(|i| (i as f32 * 0.03).sin()).collect();
+        vec![
+            szx_core::compress(&data, &SzxConfig::absolute(1e-3)).unwrap(),
+            Vec::new(),
+        ]
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let opts = FuzzOptions {
+            seed: 77,
+            iters: 60,
+            time_budget: None,
+            max_findings: 4,
+        };
+        let s = seeds();
+        let (a, fa) = fuzz_target(FuzzTarget::DecodeArbitrary, &s, &opts);
+        let (b, fb) = fuzz_target(FuzzTarget::DecodeArbitrary, &s, &opts);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.novel_outcomes, b.novel_outcomes);
+        assert_eq!(fa.len(), fb.len());
+        for (x, y) in fa.iter().zip(&fb) {
+            assert_eq!(x.input, y.input);
+            assert_eq!(x.failure.kind, y.failure.kind);
+        }
+    }
+
+    #[test]
+    fn hardened_decoder_survives_a_short_campaign() {
+        let opts = FuzzOptions {
+            seed: 3,
+            iters: 120,
+            time_budget: Some(Duration::from_secs(60)),
+            max_findings: 4,
+        };
+        let (stats, findings) = fuzz_target(FuzzTarget::DecodeArbitrary, &seeds(), &opts);
+        assert!(stats.novel_outcomes > 1, "novelty feedback never fired");
+        assert!(
+            findings.is_empty(),
+            "decoder regression found: {}",
+            findings[0].failure
+        );
+    }
+}

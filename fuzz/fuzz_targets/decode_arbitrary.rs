@@ -1,0 +1,12 @@
+//! libFuzzer wrapper for the decode-arbitrary-bytes differential target:
+//! any input must decode identically (bytes or error) across the serial
+//! scalar, serial kernel, parallel, random-access, and streaming paths.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    if let Err(failure) = szx_fuzz::run_target(szx_fuzz::FuzzTarget::DecodeArbitrary, data) {
+        panic!("{failure}");
+    }
+});

@@ -1,0 +1,13 @@
+//! libFuzzer wrapper for the roundtrip-with-arbitrary-config target: the
+//! input bytes decode (totally) into a config + synthetic dataset; the
+//! compressed stream must be identical across encode paths and every
+//! decoded element must honour the header's error bound.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    if let Err(failure) = szx_fuzz::run_target(szx_fuzz::FuzzTarget::RoundtripConfig, data) {
+        panic!("{failure}");
+    }
+});

@@ -1,0 +1,12 @@
+//! libFuzzer wrapper for the streaming-container torture target: arbitrary
+//! bytes through the frame index, header, and TOC parsers — errors allowed,
+//! panics and cross-path divergence are findings.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    if let Err(failure) = szx_fuzz::run_target(szx_fuzz::FuzzTarget::StreamTorture, data) {
+        panic!("{failure}");
+    }
+});

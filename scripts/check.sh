@@ -9,6 +9,10 @@
 #   scripts/check.sh --fast     # alias for --quick (kept for muscle memory)
 #   scripts/check.sh --audit    # just the szx-audit static-analysis pass,
 #                               # refreshing results/AUDIT.json
+#   scripts/check.sh --fuzz     # long differential fuzz campaign (in-tree
+#                               # engine), minimized findings saved to
+#                               # tests/corpus/; FUZZ_SECS / FUZZ_SEED /
+#                               # FUZZ_ITERS tune the budget
 #   scripts/check.sh --sanitize # nightly-only ASan (and TSan when rust-src
 #                               # is installed) over the unsafe surface;
 #                               # skips gracefully when nightly is absent
@@ -34,29 +38,80 @@ run_audit() {
 # artifact requested must yield a Prometheus exposition, a JSON-lines event
 # log, and a run manifest the observatory comparator accepts (compared
 # against itself: zero regressions, exit 0).
+#
+# Every step checks its own exit status instead of leaning on `set -e`:
+# `set -e` is silently disabled inside a function invoked from any guarded
+# context (`if run_obs_smoke`, `run_obs_smoke || ...`), which once let a
+# partially built target dir run a stale szx-cli binary, fail the schema
+# validate, and still report the gate green. The explicit up-front build
+# also guarantees `cargo run -q` below executes today's binaries, not
+# whatever an interrupted earlier build left behind.
 run_obs_smoke() {
     echo "==> szx metrics-exposition smoke"
     local dir
     dir="$(mktemp -d)"
-    cargo run -q --release -p szx-cli -- gen cesm "$dir/fields" --scale tiny >/dev/null
+    obs_fail() {
+        echo "==> FAIL obs smoke: $1" >&2
+        rm -rf "$dir"
+        exit 1
+    }
+    cargo build -q --release -p szx-cli -p bench \
+        || obs_fail "building szx-cli/bench"
+    cargo run -q --release -p szx-cli -- gen cesm "$dir/fields" --scale tiny >/dev/null \
+        || obs_fail "generating tiny CESM fields"
     local field
     field="$(find "$dir/fields" -name '*.f32' | sort | head -1)"
+    [[ -n "$field" ]] || obs_fail "no .f32 field generated"
     cargo run -q --release -p szx-cli -- compress "$field" "$dir/out.szx" \
         --abs 1e-3 --metrics "$dir/m.prom" --events "$dir/e.jsonl" \
-        --manifest "$dir/run.json" >/dev/null 2>&1
-    grep -q '^# TYPE szx_compress_bytes_raw_total counter$' "$dir/m.prom"
-    grep -q '^# TYPE szx_process_peak_rss_bytes gauge$' "$dir/m.prom"
-    grep -q '"event":"run.start"' "$dir/e.jsonl"
+        --manifest "$dir/run.json" >/dev/null \
+        || obs_fail "compress with observability artifacts"
+    grep -q '^# TYPE szx_compress_bytes_raw_total counter$' "$dir/m.prom" \
+        || obs_fail "metrics exposition missing bytes_raw counter"
+    grep -q '^# TYPE szx_process_peak_rss_bytes gauge$' "$dir/m.prom" \
+        || obs_fail "metrics exposition missing peak-RSS gauge"
+    grep -q '"event":"run.start"' "$dir/e.jsonl" \
+        || obs_fail "event log missing run.start"
     cargo run -q --release -p bench --bin observatory -- \
-        validate "$dir/run.json" >/dev/null
+        validate "$dir/run.json" >/dev/null \
+        || obs_fail "observatory schema validate"
     cargo run -q --release -p bench --bin observatory -- \
-        compare "$dir/run.json" "$dir/run.json" 2>/dev/null
+        compare "$dir/run.json" "$dir/run.json" \
+        || obs_fail "observatory self-compare"
     rm -rf "$dir"
+}
+
+# Bounded differential fuzz smoke (fixed seed, deterministic): replay the
+# committed corpus, then a short mutation campaign per target. Any finding
+# — panic, five-path divergence, or bound violation — exits nonzero.
+run_fuzz_smoke() {
+    echo "==> szx-fuzz differential smoke (fixed seed, bounded)"
+    cargo run -q --release -p szx-fuzz -- smoke --corpus tests/corpus \
+        --seed 12648430 --iters 400 --time-secs 30 \
+        || { echo "==> FAIL fuzz smoke" >&2; exit 1; }
 }
 
 if [[ "${1:-}" == "--audit" ]]; then
     run_audit
     echo "==> OK (audit only)"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--fuzz" ]]; then
+    # Long campaign: all three targets, minimized findings written straight
+    # into tests/corpus/ (commit them — fuzz_regressions.rs replays them
+    # forever after). Deterministic for a given FUZZ_SEED.
+    secs="${FUZZ_SECS:-600}"
+    seed="${FUZZ_SEED:-1}"
+    iters="${FUZZ_ITERS:-2000000}"
+    echo "==> szx-fuzz long campaign (seed=$seed, ${secs}s/target budget)"
+    cargo build -q --release -p szx-fuzz
+    cargo run -q --release -p szx-fuzz -- run all --corpus tests/corpus \
+        --seed "$seed" --iters "$iters" --time-secs "$secs" \
+        --save-dir tests/corpus \
+        || { echo "==> findings saved to tests/corpus/ — minimize done," \
+                  "commit them and fix the bug" >&2; exit 1; }
+    echo "==> OK (fuzz campaign clean)"
     exit 0
 fi
 
@@ -100,9 +155,11 @@ if [[ "${1:-}" == "--fast" || "${1:-}" == "--quick" ]]; then
     # scalar-vs-kernel decode equivalence subset in release mode.
     echo "==> cargo test --release (decode kernel equivalence subset)"
     cargo test -q --release -p szx-core dekernels
-    cargo test -q --release -p szx-integration-tests --test roundtrip_properties
+    cargo test -q --release -p szx-integration-tests \
+        --test roundtrip_properties --test fuzz_regressions
     run_audit
     run_obs_smoke
+    run_fuzz_smoke
     echo "==> OK (quick: skipped full release suites, fmt, clippy)"
     exit 0
 fi
@@ -115,7 +172,8 @@ cargo test -q --release -p szx-core kernels
 cargo test -q --release -p szx-core dekernels
 cargo test -q --release -p szx-integration-tests \
     --test roundtrip_properties --test edge_cases \
-    --test corrupt_archive --test scratch_allocation
+    --test corrupt_archive --test scratch_allocation \
+    --test fuzz_regressions
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -126,6 +184,7 @@ echo "==> cargo clippy -D warnings"
 cargo clippy --release \
     -p szx-telemetry -p szx-core -p szx-cli -p szx-data \
     -p szx-integration-tests -p szx-examples -p bench -p szx-audit \
+    -p szx-fuzz \
     --all-targets -- -D warnings
 
 run_audit
@@ -144,5 +203,7 @@ obs run --scale tiny --samples 1 --fields 1 --bounds 1e-3 \
     --out-dir "$obs_dir" --quiet --ignore-throughput
 
 run_obs_smoke
+
+run_fuzz_smoke
 
 echo "==> OK"

@@ -168,6 +168,72 @@ fn single_byte_flips_never_panic() {
 }
 
 #[test]
+fn multi_byte_corruption_windows_keep_path_parity() {
+    // Contiguous 2–4 byte corruption windows — wide enough to straddle a
+    // zsize entry, a payload R_k byte plus its leading codes, or a header
+    // field boundary, which single-byte flips never exercise. Every window
+    // runs through the szx-fuzz differential oracle, so all five decode
+    // paths (serial scalar, serial kernel, parallel, random access,
+    // streaming) are held to the agreement contract at once, not just the
+    // scalar/kernel pair.
+    let data: Vec<f32> = (0..640).map(|i| (i as f32 * 0.1).sin() * 3.0).collect();
+    let bytes = szx_core::compress(&data, &SzxConfig::absolute(1e-3)).unwrap();
+    let patterns: [&[u8]; 3] = [
+        &[0x00, 0x00, 0x00, 0x00],
+        &[0xff, 0xff, 0xff, 0xff],
+        &[0xa5, 0x5a, 0xa5, 0x5a],
+    ];
+    for width in [2usize, 3, 4] {
+        // Stride keeps the sweep ~O(n) per (width, pattern) while still
+        // hitting every section; offset by width so successive widths land
+        // on different byte positions.
+        for start in (0..bytes.len().saturating_sub(width)).step_by(5) {
+            for pattern in patterns {
+                let mut bad = bytes.clone();
+                bad[start..start + width].copy_from_slice(&pattern[..width]);
+                if bad == bytes {
+                    continue;
+                }
+                if let Err(failure) =
+                    szx_fuzz::run_target_guarded(szx_fuzz::FuzzTarget::DecodeArbitrary, &bad)
+                {
+                    panic!(
+                        "window [{start}..{}] {pattern:02x?}: {failure}",
+                        start + width
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_windows_across_frame_boundaries() {
+    // Same idea against the streaming container: windows that straddle a
+    // frame-length word and the next frame's header are only reachable
+    // through the framed parser.
+    let mut w = szx_core::FrameWriter::new(SzxConfig::absolute(1e-3)).unwrap();
+    let data: Vec<f32> = (0..900).map(|i| (i as f32 * 0.05).cos() * 2.0).collect();
+    for chunk in data.chunks(300) {
+        w.push(chunk).unwrap();
+    }
+    let container = w.into_bytes();
+    for width in [2usize, 4] {
+        for start in (0..container.len().saturating_sub(width)).step_by(7) {
+            let mut bad = container.clone();
+            for b in &mut bad[start..start + width] {
+                *b ^= 0xff;
+            }
+            if let Err(failure) =
+                szx_fuzz::run_target_guarded(szx_fuzz::FuzzTarget::StreamTorture, &bad)
+            {
+                panic!("frame window [{start}..{}]: {failure}", start + width);
+            }
+        }
+    }
+}
+
+#[test]
 fn random_access_and_inspect_survive_corruption() {
     let (_, bytes) = sample_stream();
     // Truncations through the header and index sections.

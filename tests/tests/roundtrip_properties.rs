@@ -151,6 +151,59 @@ fn roundtrip_error_bound_and_path_equivalence_f64() {
     }
 }
 
+/// Corpus-replay arm: the committed fuzz corpus (`tests/corpus/`) replays
+/// through the *same* differential oracle the fuzzing engine uses, so this
+/// property suite and `szx-fuzz` cannot drift apart on what "correct"
+/// means. `round_*.spec` entries re-assert the error-bound property here
+/// with this file's own check on top of the shared target; `decode_*.szx`
+/// seeds must actually decode through all five paths (the fuzz target only
+/// requires agreement, not success — seeds are known-good archives).
+#[test]
+fn corpus_replays_through_the_shared_oracle() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let entries = szx_fuzz::corpus::load_dir(&dir).expect("tests/corpus readable");
+
+    let mut specs = 0usize;
+    let mut archives = 0usize;
+    for (name, bytes) in &entries {
+        if name.starts_with("round_") {
+            szx_fuzz::run_target(szx_fuzz::FuzzTarget::RoundtripConfig, bytes)
+                .unwrap_or_else(|f| panic!("{name}: shared roundtrip oracle: {f}"));
+            // Independent re-check of the bound property, through this
+            // suite's own loop rather than the oracle's.
+            let spec = szx_fuzz::Spec::from_bytes(bytes);
+            let data: Vec<f64> = spec.generate();
+            if let Ok(stream) = szx_core::compress(&data, &spec.config()) {
+                let eb = szx_core::inspect(&stream).unwrap().eb;
+                let back: Vec<f64> = szx_core::decompress(&stream).unwrap();
+                for (i, (x, y)) in data.iter().zip(&back).enumerate() {
+                    if x.is_finite() {
+                        assert!(
+                            (x - y).abs() <= eb,
+                            "{name}: element {i}: |{x} - {y}| > eb={eb}"
+                        );
+                    }
+                }
+            }
+            specs += 1;
+        } else if name.starts_with("decode_") && !name.starts_with("decode_zz_") {
+            let report = if name.contains("_f64") {
+                szx_fuzz::differential_decode_typed::<f64>(bytes)
+            } else {
+                szx_fuzz::differential_decode_typed::<f32>(bytes)
+            }
+            .unwrap_or_else(|f| panic!("{name}: shared decode oracle: {f}"));
+            assert!(
+                report.decoded_ok,
+                "{name}: known-good seed failed to decode"
+            );
+            archives += 1;
+        }
+    }
+    assert!(specs >= 8, "only {specs} round specs replayed");
+    assert!(archives >= 8, "only {archives} decode seeds replayed");
+}
+
 #[test]
 fn lossless_when_bound_is_zero() {
     const N: usize = if cfg!(miri) { 300 } else { 5_000 };
