@@ -1,5 +1,8 @@
-//! Interleaved A/B check of telemetry overhead on a 64 MB field, reported
-//! as min-of-N (robust to background load): the acceptance bar is <2%.
+//! Interleaved A/B/C check of telemetry overhead on a 64 MB field,
+//! reported as min-of-N (robust to background load): the acceptance bar
+//! is <2% for telemetry enabled and for the zone-stack sampler running at
+//! its default rate. Interleaving the arms within each round cancels the
+//! container-load drift that makes sequential benches lie.
 use szx_core::SzxConfig;
 
 fn field() -> Vec<f32> {
@@ -25,23 +28,31 @@ fn main() {
     for _ in 0..2 {
         szx_core::compress(&data, &cfg).unwrap();
     }
-    let mut best = [f64::INFINITY; 2];
+    const ARMS: [&str; 3] = ["disabled", "enabled", "enabled+sampler"];
+    let mut best = [f64::INFINITY; 3];
     for round in 0..rounds {
-        for (k, enabled) in [false, true].into_iter().enumerate() {
-            szx_telemetry::set_enabled(enabled);
+        for (k, arm) in ARMS.into_iter().enumerate() {
+            szx_telemetry::set_enabled(k >= 1);
+            // The profiler start/stop (thread spawn/join) sits outside the
+            // timed region, as it does in real runs.
+            let profiler =
+                (k == 2).then(|| szx_profile::Profiler::start(szx_profile::default_hz()));
             let t = std::time::Instant::now();
             let b = szx_core::compress(&data, &cfg).unwrap();
             let ms = t.elapsed().as_secs_f64() * 1e3;
+            if let Some(p) = profiler {
+                p.stop();
+            }
             best[k] = best[k].min(ms);
-            println!(
-                "round {round} enabled={enabled:<5} {ms:8.2} ms  ({} bytes)",
-                b.len()
-            );
+            println!("round {round} {arm:<15} {ms:8.2} ms  ({} bytes)", b.len());
         }
     }
-    let overhead = (best[1] - best[0]) / best[0] * 100.0;
-    println!(
-        "min disabled {:.2} ms, min enabled {:.2} ms, overhead {overhead:+.2}%",
-        best[0], best[1]
-    );
+    szx_telemetry::set_enabled(false);
+    for k in 1..3 {
+        let overhead = (best[k] - best[0]) / best[0] * 100.0;
+        println!(
+            "min {}: {:.2} ms vs disabled {:.2} ms, overhead {overhead:+.2}%",
+            ARMS[k], best[k], best[0]
+        );
+    }
 }

@@ -60,6 +60,11 @@ pub struct BenchRecord {
     /// Worst per-field `max|error| / error_bound`; > 1 means the bound was
     /// violated — always a regression regardless of thresholds.
     pub max_err_over_bound: f64,
+    /// Top zones by self samples from an untimed profiled pass over the
+    /// cell (schema-additive in v1: absent in older documents parses as
+    /// empty, and [`compare`] never gates on it — attribution is context,
+    /// not a metric).
+    pub hotspots: Vec<szx_profile::Hotspot>,
 }
 
 impl BenchRecord {
@@ -86,6 +91,21 @@ impl BenchRecord {
                 "max_err_over_bound".into(),
                 Json::Num(self.max_err_over_bound),
             ),
+            (
+                "hotspots".into(),
+                Json::Arr(
+                    self.hotspots
+                        .iter()
+                        .map(|h| {
+                            Json::Obj(vec![
+                                ("zone".into(), Json::Str(h.name.clone())),
+                                ("self_samples".into(), Json::Num(h.self_samples as f64)),
+                                ("total_samples".into(), Json::Num(h.total_samples as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -101,6 +121,33 @@ impl BenchRecord {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("record missing numeric field {k:?}"))
         };
+        // Schema-additive (absent in pre-profiler documents → empty); a
+        // present-but-malformed entry is still an error, not silence.
+        let hotspots = match v.get("hotspots").and_then(Json::as_arr) {
+            None => Vec::new(),
+            Some(items) => items
+                .iter()
+                .map(|h| {
+                    Ok(szx_profile::Hotspot {
+                        name: h
+                            .get("zone")
+                            .and_then(Json::as_str)
+                            .ok_or("hotspot missing zone name")?
+                            .to_string(),
+                        self_samples: h
+                            .get("self_samples")
+                            .and_then(Json::as_f64)
+                            .ok_or("hotspot missing self_samples")?
+                            as u64,
+                        total_samples: h
+                            .get("total_samples")
+                            .and_then(Json::as_f64)
+                            .ok_or("hotspot missing total_samples")?
+                            as u64,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
         Ok(BenchRecord {
             suite: str_field("suite")?,
             rel_bound: num_field("rel_bound")?,
@@ -112,6 +159,7 @@ impl BenchRecord {
             ratio: num_field("ratio")?,
             psnr_db: num_field("psnr_db")?,
             max_err_over_bound: num_field("max_err_over_bound")?,
+            hotspots,
         })
     }
 }
@@ -255,6 +303,7 @@ pub fn report_from_manifest(text: &str) -> Result<BenchReport, String> {
         ratio: qual("ratio").unwrap_or(0.0),
         psnr_db: qual("psnr_db").unwrap_or(PSNR_CAP_DB).min(PSNR_CAP_DB),
         max_err_over_bound,
+        hotspots: Vec::new(),
     };
     Ok(BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -467,6 +516,53 @@ fn scale_name(scale: Scale) -> &'static str {
     }
 }
 
+/// Hotspots recorded per cell.
+const HOTSPOT_TOP_N: usize = 10;
+/// Sampling rate for the hotspot pass: well above the 997 Hz default so
+/// even a tiny-scale cell (microseconds of work per iteration) accumulates
+/// enough ticks over [`HOTSPOT_MIN_SECS`] to attribute something.
+const HOTSPOT_HZ: u32 = 4_000;
+/// Minimum wall time the profiled pass loops the cell's workload for.
+const HOTSPOT_MIN_SECS: f64 = 0.05;
+
+/// One *untimed* profiled pass over the cell's workload: start the zone
+/// sampler, loop compress+decompress until enough wall time has elapsed to
+/// accumulate samples, and keep the top zones by self time. Runs strictly
+/// outside the timed regions, so attribution costs the throughput numbers
+/// nothing.
+fn collect_hotspots(
+    dataset: &szx_data::Dataset,
+    cfg: &SzxConfig,
+    kernel: KernelSelect,
+    mode: &str,
+) -> Vec<szx_profile::Hotspot> {
+    let profiler = szx_profile::Profiler::start(HOTSPOT_HZ);
+    let start = Instant::now();
+    let mut scratch = szx_core::DecodeScratch::default();
+    loop {
+        for field in &dataset.fields {
+            let data = &field.data;
+            let stream = if mode == "parallel" {
+                szx_core::parallel::compress(data, cfg)
+            } else {
+                szx_core::compress(data, cfg)
+            }
+            .expect("hotspot-pass compression failed");
+            let mut recon = vec![0f32; data.len()];
+            if mode == "parallel" {
+                szx_core::parallel::decompress_into_with(&stream, &mut recon, kernel)
+            } else {
+                szx_core::decompress_into_scratch(&stream, &mut recon, kernel, &mut scratch)
+            }
+            .expect("hotspot-pass decompression failed");
+        }
+        if start.elapsed().as_secs_f64() >= HOTSPOT_MIN_SECS {
+            break;
+        }
+    }
+    profiler.stop().hotspots(HOTSPOT_TOP_N)
+}
+
 /// Fastest wall time of `samples` invocations, in seconds.
 fn best_time<R>(samples: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
@@ -541,6 +637,9 @@ pub fn run(opts: &RunOptions) -> BenchReport {
                                 worst_err_over_bound.max(d.max_abs_error / header.eb);
                         }
                     }
+                    // Attribution pass *after* the timed loops: the sampler
+                    // never runs while throughput is being measured.
+                    let hotspots = collect_hotspots(&dataset, &cfg, kernel, mode);
                     let record = BenchRecord {
                         suite: app.short_name().to_string(),
                         rel_bound: rel,
@@ -552,6 +651,7 @@ pub fn run(opts: &RunOptions) -> BenchReport {
                         ratio: raw_bytes as f64 / comp_bytes.max(1) as f64,
                         psnr_db: worst_psnr.min(PSNR_CAP_DB),
                         max_err_over_bound: worst_err_over_bound,
+                        hotspots,
                     };
                     if !opts.quiet {
                         eprintln!(
@@ -607,6 +707,18 @@ mod tests {
                 ratio: 6.25,
                 psnr_db: 64.5,
                 max_err_over_bound: 0.93,
+                hotspots: vec![
+                    szx_profile::Hotspot {
+                        name: "compress.encode_blocks".into(),
+                        self_samples: 120,
+                        total_samples: 130,
+                    },
+                    szx_profile::Hotspot {
+                        name: "compress.range_scan".into(),
+                        self_samples: 45,
+                        total_samples: 45,
+                    },
+                ],
             }],
         }
     }
@@ -629,6 +741,30 @@ mod tests {
             .to_json()
             .replacen("{", "{\"from_the_future\":[1,2],", 1);
         assert!(BenchReport::from_json(&doc).is_ok());
+    }
+
+    #[test]
+    fn hotspots_are_schema_additive() {
+        // Pre-profiler documents carry no "hotspots" key — they must parse
+        // with an empty attribution table, not an error.
+        let mut r = sample_report();
+        let without = r
+            .to_json()
+            .split(",\"hotspots\"")
+            .next()
+            .unwrap()
+            .to_string()
+            + "}]}";
+        let parsed = BenchReport::from_json(&without).unwrap();
+        assert!(parsed.records[0].hotspots.is_empty());
+        // A present-but-malformed hotspot entry is an error, not silence.
+        let broken = r.to_json().replace("\"zone\"", "\"zome\"");
+        assert!(BenchReport::from_json(&broken).is_err());
+        // The comparator never gates on attribution: dropping every
+        // hotspot between runs is not a regression.
+        let base = r.clone();
+        r.records[0].hotspots.clear();
+        assert!(compare(&base, &r, &CompareConfig::default()).is_empty());
     }
 
     fn sample_manifest() -> String {

@@ -8,7 +8,7 @@
 //! | `forbid-unsafe`       | safe crates declare `#![forbid(unsafe_code)]` at the crate root  |
 //! | `deny-unsafe-op`      | the unsafe-bearing crate denies `unsafe_op_in_unsafe_fn`         |
 //! | `panic-path`          | decode-side modules are panic-free (or carry `// PANIC-OK:`)     |
-//! | `atomics-protocol`    | the trace publish field follows the release/acquire protocol     |
+//! | `atomics-protocol`    | publish fields in the lock-free modules follow release/acquire   |
 //! | `cast-note`           | narrowing `as` casts in the kernels carry a `// CAST:` note      |
 
 use crate::report::{Counts, Finding};
@@ -32,6 +32,7 @@ pub const FORBID_UNSAFE_ROOTS: &[&str] = &[
     "crates/bench/src/lib.rs",
     "crates/szx-audit/src/lib.rs",
     "crates/szx-fuzz/src/lib.rs",
+    "crates/szx-profile/src/lib.rs",
     "tests/src/lib.rs",
 ];
 
@@ -56,11 +57,17 @@ pub const CAST_FILES: &[&str] = &[
     "crates/szx-core/src/dekernels.rs",
 ];
 
-/// The lock-free trace module and the atomic fields in it whose stores
-/// publish `UnsafeCell` buffer contents (and therefore must pair release
-/// stores with acquire loads).
-pub const TRACE_MODULE: &str = "crates/szx-telemetry/src/trace.rs";
-pub const PUBLISH_FIELDS: &[&str] = &["len"];
+/// Lock-free modules and the atomic fields in them that publish other
+/// state: the trace buffer's `len` guards `UnsafeCell` slot contents, the
+/// zone slot's `gen` is the seqlock generation guarding the profiler's
+/// stack frames. Each must pair a release store with an acquire load; any
+/// relaxed operation on them needs an `// ORDERING:` justification (and,
+/// for relaxed *stores*, a release `fence` in the module — the seqlock
+/// write-entry pattern, where the fence does the publishing).
+pub const ATOMIC_PROTOCOL_MODULES: &[(&str, &[&str])] = &[
+    ("crates/szx-telemetry/src/trace.rs", &["len"]),
+    ("crates/szx-telemetry/src/zones.rs", &["gen"]),
+];
 
 /// Run every per-file rule on `file`.
 pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut Counts) {
@@ -71,8 +78,11 @@ pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut C
     if CAST_FILES.contains(&file.rel_path.as_str()) {
         cast_notes(file, findings, counts);
     }
-    if file.rel_path == TRACE_MODULE {
-        atomics_protocol(file, findings, counts);
+    if let Some(&(_, fields)) = ATOMIC_PROTOCOL_MODULES
+        .iter()
+        .find(|(m, _)| *m == file.rel_path)
+    {
+        atomics_protocol(file, fields, findings, counts);
     }
 }
 
@@ -252,12 +262,26 @@ struct AtomicOp {
     line: usize,
 }
 
-/// The trace module's publish protocol: the fields guarding `UnsafeCell`
-/// slot publication must release-store and acquire-load; a relaxed store
-/// would let readers observe torn events, and a relaxed cross-thread load
-/// would read slots before their writes are visible. Owner-thread relaxed
-/// loads are legal but must carry an `// ORDERING:` note.
-fn atomics_protocol(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut Counts) {
+/// The lock-free publish protocol: `fields` guard other state (trace slot
+/// contents, profiler stack frames) and must release-store and
+/// acquire-load; a relaxed store would let readers observe torn data, and
+/// a relaxed cross-thread load would read state before its writes are
+/// visible. Two justified exceptions, both requiring an `// ORDERING:`
+/// note: owner-thread relaxed *loads* (a thread always sees its own
+/// stores), and relaxed *stores* in a module carrying a release `fence`
+/// (the seqlock write-entry pattern — the fence, not the store, does the
+/// publishing, as in the zone slot's odd-generation store).
+fn atomics_protocol(
+    file: &SourceFile,
+    fields: &[&str],
+    findings: &mut Vec<Finding>,
+    counts: &mut Counts,
+) {
+    let has_release_fence = file
+        .lines
+        .iter()
+        .enumerate()
+        .any(|(i, l)| !file.in_test[i] && l.code.contains("fence(Ordering::Release)"));
     let mut ops: Vec<AtomicOp> = Vec::new();
     const METHODS: &[(&str, OpKind)] = &[
         (".load(", OpKind::Load),
@@ -310,7 +334,7 @@ fn atomics_protocol(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut
         }
     }
 
-    for field in PUBLISH_FIELDS {
+    for field in fields {
         let field_ops: Vec<&AtomicOp> = ops.iter().filter(|o| &o.field == field).collect();
         if field_ops.is_empty() {
             continue;
@@ -318,15 +342,21 @@ fn atomics_protocol(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut
         for op in &field_ops {
             match op.kind {
                 OpKind::Store | OpKind::Rmw if op.ordering == "Relaxed" => {
-                    findings.push(Finding::new(
-                        "atomics-protocol",
-                        &file.rel_path,
-                        op.line,
-                        &format!(
-                            "relaxed store to publish field `{field}` — buffer contents \
-                             published without release ordering"
-                        ),
-                    ));
+                    if has_release_fence && file.annotated(op.line - 1, "ORDERING:") {
+                        counts.ordering_notes += 1;
+                    } else {
+                        findings.push(Finding::new(
+                            "atomics-protocol",
+                            &file.rel_path,
+                            op.line,
+                            &format!(
+                                "relaxed store to publish field `{field}` — contents \
+                                 published without release ordering (a seqlock-style \
+                                 store needs both a release fence in the module and an \
+                                 `// ORDERING:` note)"
+                            ),
+                        ));
+                    }
                 }
                 OpKind::Load if op.ordering == "Relaxed" => {
                     if file.annotated(op.line - 1, "ORDERING:") {
@@ -639,6 +669,60 @@ mod tests {
         let (f, c) = run_on("crates/szx-telemetry/src/trace.rs", src);
         assert!(f.is_empty(), "{f:?}");
         assert_eq!(c.ordering_notes, 1);
+    }
+
+    #[test]
+    fn seqlock_gen_protocol_passes_with_fence_and_notes() {
+        // The zone-slot pattern: relaxed odd store justified by a release
+        // fence + note, even store Release, reader Acquire + fenced
+        // relaxed re-read. Zero findings, every relaxed op counted.
+        let src = "fn publish(&self) {\n\
+                   // ORDERING: owner-thread read of its own last value.\n\
+                   let g = self.gen.load(Ordering::Relaxed);\n\
+                   // ORDERING: odd store published by the fence below.\n\
+                   self.gen.store(g + 1, Ordering::Relaxed);\n\
+                   fence(Ordering::Release);\n\
+                   self.gen.store(g + 2, Ordering::Release);\n\
+                   }\n\
+                   fn snapshot(&self) {\n\
+                   let g1 = self.gen.load(Ordering::Acquire);\n\
+                   fence(Ordering::Acquire);\n\
+                   // ORDERING: re-read ordered by the fence above.\n\
+                   let _ = self.gen.load(Ordering::Relaxed);\n\
+                   }\n";
+        let (f, c) = run_on("crates/szx-telemetry/src/zones.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(c.ordering_notes, 3);
+    }
+
+    #[test]
+    fn seqlock_relaxed_store_needs_both_fence_and_note() {
+        // A note without any release fence in the module: the store is
+        // not actually published by anything — flagged.
+        let noteless_fence = "fn f(&self) {\n\
+                              self.gen.store(1, Ordering::Relaxed);\n\
+                              fence(Ordering::Release);\n\
+                              self.gen.store(2, Ordering::Release);\n\
+                              let _ = self.gen.load(Ordering::Acquire);\n\
+                              }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/zones.rs", noteless_fence);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "atomics-protocol" && x.line == 2),
+            "{f:?}"
+        );
+        let fenceless_note = "fn f(&self) {\n\
+                              // ORDERING: claims a fence that is not there.\n\
+                              self.gen.store(1, Ordering::Relaxed);\n\
+                              self.gen.store(2, Ordering::Release);\n\
+                              let _ = self.gen.load(Ordering::Acquire);\n\
+                              }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/zones.rs", fenceless_note);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "atomics-protocol" && x.line == 3),
+            "{f:?}"
+        );
     }
 
     #[test]

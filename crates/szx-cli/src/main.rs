@@ -43,15 +43,19 @@ USAGE:
                  [--kernel auto|scalar|kernel] [--stats [--json]]
                  [--trace <out.trace.json>] [--metrics <out.prom>]
                  [--events <out.jsonl>] [--manifest <run.json>]
+                 [--profile <out.folded> [--profile-svg <out.svg>]]
   szx decompress <in.szx> <out.f32> [--parallel]
                  [--kernel auto|scalar|kernel] [--stats [--json]]
                  [--trace <out.trace.json>] [--metrics <out.prom>]
                  [--events <out.jsonl>] [--manifest <run.json>]
+                 [--profile <out.folded> [--profile-svg <out.svg>]]
   szx stream     <in.f32> <out.szxs> --abs <e> | --rel <r>
                  [--f64] [--frame <elems>] [--progress] [--stats [--json]]
                  [--metrics <out.prom>] [--events <out.jsonl>]
                  [--manifest <run.json>]
+                 [--profile <out.folded> [--profile-svg <out.svg>]]
   szx assess     <orig.f32|orig.f64> <in.szx> [--stats [--json]]
+                 [--profile <out.folded> [--profile-svg <out.svg>]]
   szx info       <in.szx> [--stats]
   szx gen        <cesm|hurricane|miranda|nyx|qmcpack|scale> <out-dir>
                  [--scale tiny|small|medium|large|full]
@@ -81,7 +85,13 @@ USAGE:
 
   stream compresses the input one frame at a time through the streaming
   container (SZXS); --progress renders a live line with EWMA GB/s, the
-  running ratio, and an ETA.
+  running ratio, and an ETA (on stderr, so piped stdout stays clean).
+
+  --profile runs the zone-stack sampling profiler (~997 Hz; SZX_PROFILE_HZ
+  overrides) across the command and writes collapsed stacks
+  (inferno/speedscope format); --profile-svg additionally renders an
+  in-tree SVG flamegraph. Self/total time per zone also lands in the
+  registry as profile.* entries, riding --stats/--metrics/--manifest.
 ";
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -130,6 +140,74 @@ fn emit_stats(json: bool, extra: Vec<(&str, szx_telemetry::Value)>) {
             );
         }
     }
+    // Sampler health: a high torn-read rate means very short zones kept
+    // beating the seqlock and the profile under-represents them.
+    if let (Some(samples), Some(torn)) = (
+        report.counter("profile.samples_total"),
+        report.counter("profile.torn_retries"),
+    ) {
+        let attempts = samples + torn;
+        if torn > 0 && attempts > 0 && torn as f64 / attempts as f64 > 0.01 {
+            eprintln!(
+                "warning: {torn} of {attempts} profile stack reads were torn (>1%) — \
+                 lower SZX_PROFILE_HZ or expect short zones to be under-sampled"
+            );
+        }
+    }
+}
+
+/// A running `--profile` session: sampler started before the timed work,
+/// output paths remembered for [`profile_finish`].
+struct ProfileRun {
+    folded: PathBuf,
+    svg: Option<PathBuf>,
+    profiler: szx_profile::Profiler,
+}
+
+/// Honor `--profile <out.folded>` (and `--profile-svg <out.svg>`): starts
+/// the sampler thread and enables zone-stack publication so every thread —
+/// including rayon workers, which self-register on first zone entry — is
+/// sampled for the rest of the command.
+fn profile_begin(args: &[String]) -> Result<Option<ProfileRun>, String> {
+    let Some(folded) = flag_value(args, "--profile").map(PathBuf::from) else {
+        if has_flag(args, "--profile-svg") {
+            return Err("--profile-svg requires --profile <out.folded>".into());
+        }
+        return Ok(None);
+    };
+    let svg = flag_value(args, "--profile-svg").map(PathBuf::from);
+    let profiler = szx_profile::Profiler::start(szx_profile::default_hz());
+    Ok(Some(ProfileRun {
+        folded,
+        svg,
+        profiler,
+    }))
+}
+
+/// Stop the sampler, write the folded stacks (and the SVG flamegraph when
+/// asked), and publish `profile.*` registry entries. Must run before
+/// [`Obs::finish`] / [`emit_stats`] so the metrics snapshot those take
+/// includes the profile.
+fn profile_finish(run: Option<ProfileRun>) -> Result<(), String> {
+    let Some(run) = run else { return Ok(()) };
+    let hz = run.profiler.hz();
+    let profile = run.profiler.stop();
+    profile.publish();
+    std::fs::write(&run.folded, profile.folded())
+        .map_err(|e| format!("{}: {e}", run.folded.display()))?;
+    eprintln!(
+        "profile: {} samples over {} stacks at {} Hz -> {}",
+        profile.samples,
+        profile.stacks.len(),
+        hz,
+        run.folded.display()
+    );
+    if let Some(svg) = &run.svg {
+        std::fs::write(svg, szx_profile::render_flamegraph_svg(&profile))
+            .map_err(|e| format!("{}: {e}", svg.display()))?;
+        eprintln!("flamegraph: {}", svg.display());
+    }
+    Ok(())
 }
 
 /// Observability outputs requested on the command line (tentpole flags).
@@ -310,6 +388,8 @@ fn io_pair(args: &[String]) -> Result<(PathBuf, PathBuf), String> {
                     | "--events"
                     | "--manifest"
                     | "--frame"
+                    | "--profile"
+                    | "--profile-svg"
             ) {
                 skip = true;
             }
@@ -369,6 +449,7 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     let stats = stats_requested(args);
     let trace = trace_requested(args);
     let obs = obs_begin(args)?;
+    let prof = profile_begin(args)?;
     let json = has_flag(args, "--json");
     let parallel = has_flag(args, "--parallel");
     let want_quality = obs.manifest.is_some();
@@ -450,6 +531,7 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         m.set_quality(&q);
         m
     });
+    profile_finish(prof)?;
     obs.finish(manifest)?;
     if stats {
         emit_stats(
@@ -536,6 +618,7 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     let stats = stats_requested(args);
     let trace = trace_requested(args);
     let obs = obs_begin(args)?;
+    let prof = profile_begin(args)?;
     let json = has_flag(args, "--json");
     let start = std::time::Instant::now();
     let out: Vec<u8> = if header.dtype == 0 {
@@ -599,6 +682,7 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
         ]);
         m
     });
+    profile_finish(prof)?;
     obs.finish(manifest)?;
     if stats {
         let mut extras = pass_extras(mode, out.len(), bytes.len(), elapsed);
@@ -683,6 +767,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let stats_on = stats_requested(args);
     let trace = trace_requested(args);
     let obs = obs_begin(args)?;
+    let prof = profile_begin(args)?;
     let json = has_flag(args, "--json");
     let want_quality = obs.manifest.is_some();
 
@@ -777,6 +862,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         );
         m
     });
+    profile_finish(prof)?;
     obs.finish(manifest)?;
     if stats_on {
         use szx_telemetry::Value;
@@ -798,6 +884,7 @@ fn cmd_assess(args: &[String]) -> Result<(), String> {
     let bytes = std::fs::read(&comp_path).map_err(|e| format!("{}: {e}", comp_path.display()))?;
     let header = szx_core::inspect(&bytes).map_err(|e| e.to_string())?;
     let stats_on = stats_requested(args);
+    let prof = profile_begin(args)?;
     // The stream header knows its element type; read the original in the
     // matching raw layout and share one metric path for both widths.
     let start = std::time::Instant::now();
@@ -811,6 +898,7 @@ fn cmd_assess(args: &[String]) -> Result<(), String> {
                 recon.len()
             ));
         }
+        let _z = szx_telemetry::span("assess.distortion");
         (szx_metrics::distortion(&orig, &recon), orig.len() * 4)
     } else {
         let orig = szx_data::io::read_f64_raw(&orig_path)
@@ -823,9 +911,11 @@ fn cmd_assess(args: &[String]) -> Result<(), String> {
                 recon.len()
             ));
         }
+        let _z = szx_telemetry::span("assess.distortion");
         (szx_metrics::distortion_f64(&orig, &recon), orig.len() * 8)
     };
     let elapsed = start.elapsed();
+    profile_finish(prof)?;
     println!(
         "element type: {}",
         if header.dtype == 0 { "f32" } else { "f64" }

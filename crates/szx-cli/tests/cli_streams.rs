@@ -1,0 +1,146 @@
+//! CLI stream-hygiene regression tests: stdout must stay byte-clean for
+//! pipelines. The live `--progress` line, `--stats` tables, and the
+//! profiler's status notes all belong on stderr; stdout carries exactly
+//! the one summary line (or the one JSON line under `--stats --json`).
+
+use std::path::Path;
+use std::process::Command;
+
+fn szx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_szx"))
+}
+
+/// A small raw f32 field with enough structure to cross several frames.
+fn write_field(path: &Path, n: usize) {
+    let mut bytes = Vec::with_capacity(n * 4);
+    for i in 0..n {
+        let v = (i as f32 * 0.01).sin() * 100.0;
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn stream_progress_keeps_stdout_byte_clean() {
+    let dir = std::env::temp_dir().join(format!("szx-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.f32");
+    let output = dir.join("out.szxs");
+    write_field(&input, 64 * 1024);
+
+    let out = szx()
+        .args([
+            "stream",
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--abs",
+            "1e-3",
+            "--frame",
+            "4096",
+            "--progress",
+        ])
+        .output()
+        .expect("run szx stream");
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+
+    // stdout is exactly the one summary line: no carriage returns, no
+    // partial progress frames, valid UTF-8, one trailing newline.
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    assert!(
+        !stdout.contains('\r'),
+        "progress line leaked into stdout: {stdout:?}"
+    );
+    assert!(
+        !stdout.contains("GB/s"),
+        "progress rendering leaked into stdout: {stdout:?}"
+    );
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1, "exactly one summary line: {stdout:?}");
+    assert!(
+        lines[0].contains("frames") && lines[0].contains("CR"),
+        "summary line shape: {stdout:?}"
+    );
+
+    // The progress narration itself went to stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("GB/s"),
+        "expected live progress on stderr: {stderr:?}"
+    );
+    assert!(
+        !stderr.contains("inf") && !stderr.contains("NaN"),
+        "progress math must stay finite: {stderr:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_flags_write_folded_and_svg_off_stdout() {
+    let dir = std::env::temp_dir().join(format!("szx-cli-prof-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.f32");
+    write_field(&input, 256 * 1024);
+    let output = dir.join("out.szx");
+    let folded = dir.join("p.folded");
+    let svg = dir.join("p.svg");
+
+    let out = szx()
+        .env("SZX_PROFILE_HZ", "8000")
+        .args([
+            "compress",
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--abs",
+            "1e-3",
+            "--profile",
+            folded.to_str().unwrap(),
+            "--profile-svg",
+            svg.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run szx compress --profile");
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+
+    // Profiler narration stays on stderr; stdout is the summary only.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.lines().count(), 1, "{stdout:?}");
+    assert!(!stdout.contains("profile:"), "{stdout:?}");
+
+    // Both artifacts exist; the folded file parses in the collapsed-stack
+    // format and the SVG is well-formed enough to end with </svg>.
+    let folded_text = std::fs::read_to_string(&folded).unwrap();
+    for line in folded_text.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("frame list + count");
+        assert!(count.parse::<u64>().is_ok(), "bad count in {line:?}");
+        assert!(!stack.is_empty());
+        assert!(
+            !stack.contains("??"),
+            "unresolved frame id in {line:?} — zone-slot protocol bug"
+        );
+    }
+    let svg_text = std::fs::read_to_string(&svg).unwrap();
+    assert!(svg_text.starts_with("<svg "));
+    assert!(svg_text.trim_end().ends_with("</svg>"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_svg_without_profile_is_an_error() {
+    let out = szx()
+        .args([
+            "compress",
+            "a",
+            "b",
+            "--abs",
+            "1e-3",
+            "--profile-svg",
+            "x.svg",
+        ])
+        .output()
+        .expect("run szx");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--profile-svg requires"), "{stderr:?}");
+}

@@ -284,6 +284,17 @@ pub(crate) fn decompress_with_index<F: SzxFloat>(
     }
     let result = {
         let _s = szx_telemetry::span("decompress.blocks");
+        // Zone-only kernel-vs-scalar attribution for the profiler (the
+        // per-block dispatch below also depends on the stream's strategy;
+        // this names the path that was *requested* for the sweep).
+        let _z = szx_telemetry::trace_zone(
+            if use_kernel {
+                "decompress.path.kernel"
+            } else {
+                "decompress.path.scalar"
+            },
+            0,
+        );
         let bs = index.header.block_size;
         let strategy = index.header.strategy;
         let mut nc = 0usize;

@@ -214,9 +214,14 @@ pub(crate) fn encode_blocks<F: SzxFloat>(
     out: &mut ChunkOutput<F>,
     scratch: &mut EncodeScratch,
 ) {
+    // Zone-only attribution of which hot-loop path ran: the profiler and
+    // flight recorder see kernel vs scalar time separately, at the cost of
+    // one zone per chunk (never per block).
     if use_kernel {
+        let _z = szx_telemetry::trace_zone("compress.encode.kernel", 0);
         encode_blocks_impl::<F, true>(data, block_size, eb, strategy, out, scratch);
     } else {
+        let _z = szx_telemetry::trace_zone("compress.encode.scalar", 0);
         encode_blocks_impl::<F, false>(data, block_size, eb, strategy, out, scratch);
     }
     // Surface the scratch arena's growth events through the chunk stats so

@@ -62,6 +62,7 @@ mod report;
 mod resource;
 mod snapshot;
 mod trace;
+pub mod zones;
 
 pub use export::{
     emit_event, escape_label_value, event_sink_installed, install_event_sink, render_prometheus,
@@ -79,6 +80,10 @@ pub use snapshot::{diff, Gauge, GaugeSnapshot};
 pub use trace::{
     render_chrome_trace, set_trace_enabled, take_trace, trace_enabled, trace_instant, trace_zone,
     TraceCapture, TraceEvent, TracePhase, TraceZone,
+};
+pub use zones::{
+    profiling_enabled, sample_stacks, set_profiling_enabled, zone_name, SampleSweep,
+    MAX_STACK_DEPTH,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};

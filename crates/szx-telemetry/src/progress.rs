@@ -14,6 +14,12 @@ use std::time::Instant;
 /// every scheduler hiccup.
 const EWMA_ALPHA: f64 = 0.3;
 
+/// Frames completing faster than this (coarse clocks can report ~0 elapsed
+/// for a cache-hot first frame) clamp to it instead of dividing by ~0 —
+/// `raw/1e9/ε` otherwise seeds the EWMA with an absurd or infinite GB/s
+/// that pollutes the line and the ETA for many frames.
+const MIN_FRAME_SECONDS: f64 = 1e-6;
+
 /// Derived view after one frame, ready to render.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProgressSnapshot {
@@ -93,13 +99,11 @@ impl ProgressMeter {
         self.frames += 1;
         self.raw_bytes += raw_bytes;
         self.compressed_bytes += compressed_bytes;
-        if dt > 0.0 {
-            let inst = raw_bytes as f64 / 1e9 / dt;
-            self.ewma_gbps = Some(match self.ewma_gbps {
-                None => inst, // first frame seeds the estimate
-                Some(prev) => EWMA_ALPHA * inst + (1.0 - EWMA_ALPHA) * prev,
-            });
-        }
+        let inst = raw_bytes as f64 / 1e9 / dt.max(MIN_FRAME_SECONDS);
+        self.ewma_gbps = Some(match self.ewma_gbps {
+            None => inst, // first frame seeds the estimate
+            Some(prev) => EWMA_ALPHA * inst + (1.0 - EWMA_ALPHA) * prev,
+        });
         self.snapshot()
     }
 
@@ -173,6 +177,24 @@ mod tests {
         assert!(line.contains("ratio"), "{line}");
         assert!(line.contains("eta"), "{line}");
         assert!(line.contains("50.0%"), "{line}");
+    }
+
+    #[test]
+    fn zero_elapsed_frames_stay_finite() {
+        // Back-to-back frames with no measurable elapsed time: the clamp
+        // must keep throughput and ETA finite (no `inf GB/s` in the line).
+        let mut m = ProgressMeter::new(Some(1 << 30));
+        for _ in 0..4 {
+            let s = m.on_frame(8 << 20, 1 << 20);
+            assert!(s.gbps.is_finite(), "gbps {}", s.gbps);
+            assert!(s.gbps >= 0.0);
+            if let Some(eta) = s.eta_seconds {
+                assert!(eta.is_finite() && eta >= 0.0, "eta {eta}");
+            }
+            let line = s.render_line();
+            assert!(!line.contains("inf"), "{line}");
+            assert!(!line.contains("NaN"), "{line}");
+        }
     }
 
     #[test]

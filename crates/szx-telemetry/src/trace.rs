@@ -227,6 +227,12 @@ pub fn trace_instant(name: &'static str, arg: u64) {
 #[must_use = "a zone records its end on drop; binding it to `_` drops immediately"]
 pub struct TraceZone {
     name: Option<&'static str>,
+    /// Did this zone push onto the profiler's zone stack? Remembered so a
+    /// guard created before [`crate::zones::set_profiling_enabled`] flipped
+    /// never pops (and one created while on always pops, even if profiling
+    /// is disabled before the drop) — the stack stays balanced across
+    /// runtime toggles.
+    pop_zone: bool,
 }
 
 impl Drop for TraceZone {
@@ -234,18 +240,30 @@ impl Drop for TraceZone {
         if let Some(name) = self.name {
             record(name, TracePhase::End, 0);
         }
+        if self.pop_zone {
+            crate::zones::zone_pop();
+        }
     }
 }
 
 /// Open a duration zone under `name` with a site-chosen `arg` (chunk index,
-/// frame number, …) attached to the begin event.
+/// frame number, …) attached to the begin event. Also the single hook point
+/// for the sampling profiler's zone stack (see [`crate::zones`]): every
+/// zone entry publishes its name while profiling is on.
 #[inline]
 pub fn trace_zone(name: &'static str, arg: u64) -> TraceZone {
+    let pop_zone = crate::zones::zone_push(name);
     if trace_enabled() {
         record(name, TracePhase::Begin, arg);
-        TraceZone { name: Some(name) }
+        TraceZone {
+            name: Some(name),
+            pop_zone,
+        }
     } else {
-        TraceZone { name: None }
+        TraceZone {
+            name: None,
+            pop_zone,
+        }
     }
 }
 

@@ -1,0 +1,395 @@
+//! Zone-stack publication for the sampling profiler (`szx-profile`).
+//!
+//! Every [`crate::trace_zone`] / [`crate::Span`] entry pushes the zone's
+//! interned name id onto a per-thread stack and mirrors it into a
+//! lock-free, fixed-depth [`ZoneSlot`]; the profiler's sampler thread
+//! snapshots every registered slot at its tick rate. No new instrumentation
+//! is required — the existing RAII guards are the only write sites.
+//!
+//! ## Memory-ordering protocol (seqlock, safe code only)
+//!
+//! The slot is a classic sequence lock, except the protected data is itself
+//! atomic (`AtomicU32` frames and depth), so no `unsafe` is needed and a
+//! torn read can never be undefined behavior — only an inconsistent
+//! *combination* of frames, which the generation check rejects:
+//!
+//! * **Writer** (owning thread only): bump `gen` to odd with a relaxed
+//!   store, issue a release fence, store the changed frame/depth words
+//!   relaxed, then release-store `gen` back to even (+2). The release fence
+//!   makes the data stores carry the odd `gen` with them: a reader that
+//!   observes any new data and then acquire-reads `gen` sees the write in
+//!   progress (odd) or finished (advanced), never the old even value.
+//! * **Reader** (sampler thread): acquire-load `gen`; retry if odd; load
+//!   the frames relaxed; issue an acquire fence; re-load `gen` relaxed and
+//!   retry if it moved. A stable even `gen` across the reads proves no
+//!   writer overlapped, so the copied stack is a consistent snapshot.
+//!
+//! Because every frame word is always a previously-interned name id (slots
+//! start at depth 0 and ids are only ever stored after interning), even a
+//! *rejected* torn read only ever observes registered ids — asserted by the
+//! `zone_interleave` concurrency suite under Miri and TSan.
+//!
+//! ## Overhead
+//!
+//! With profiling disabled, [`zone_push`] is one relaxed bool load. Enabled,
+//! a push costs a thread-local lookup, one hash-map probe (per-site interned
+//! id cache), and four atomic stores; zones sit at phase/chunk granularity
+//! (never per element), so this stays far below noise — see DESIGN.md §13
+//! for the measured budget.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Frames beyond this depth are tracked on the thread's local stack but not
+/// published; a deeper-than-cap sample keeps the rootmost frames and drops
+/// the leaves. Current zone nesting in szx-core tops out around 5.
+pub const MAX_STACK_DEPTH: usize = 16;
+
+/// How many times a sampler retries one slot before skipping the thread for
+/// this tick (counted as torn so the health telemetry sees starvation).
+pub const TORN_RETRY_LIMIT: usize = 8;
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Is zone-stack publication on? One relaxed load; called from every
+/// [`crate::trace_zone`], so it must stay branch-plus-load cheap.
+#[inline]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Turn zone-stack publication on/off. The profiler flips this around its
+/// sampler lifetime; zones already open keep their balanced pop (the RAII
+/// guard remembers whether its push happened).
+pub fn set_profiling_enabled(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Interned zone names: id = index into `names`. Zone names are `&'static
+/// str` literals, so the table only ever grows and ids stay valid for the
+/// process lifetime.
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERN: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERN.get_or_init(|| {
+        Mutex::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+fn intern(name: &'static str) -> u32 {
+    let mut i = interner().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&id) = i.by_name.get(name) {
+        return id;
+    }
+    let id = u32::try_from(i.names.len()).expect("fewer than 2^32 zone names");
+    i.names.push(name);
+    i.by_name.insert(name, id);
+    id
+}
+
+/// Resolve an interned id back to its zone name (`None` for ids never
+/// handed out — a sampler that sees one has found a protocol bug).
+pub fn zone_name(id: u32) -> Option<&'static str> {
+    let i = interner().lock().unwrap_or_else(|e| e.into_inner());
+    i.names.get(id as usize).copied()
+}
+
+/// One thread's published zone stack. All fields are atomics, so the
+/// seqlock only guards *consistency*, never memory safety.
+struct ZoneSlot {
+    /// Sequence counter: even = stable, odd = write in progress.
+    gen: AtomicU64,
+    /// Published depth, clamped to [`MAX_STACK_DEPTH`].
+    depth: AtomicU32,
+    /// Interned name ids, rootmost first; only `..depth` are meaningful.
+    frames: [AtomicU32; MAX_STACK_DEPTH],
+}
+
+impl ZoneSlot {
+    fn new() -> Self {
+        ZoneSlot {
+            gen: AtomicU64::new(0),
+            depth: AtomicU32::new(0),
+            frames: std::array::from_fn(|_| AtomicU32::new(0)),
+        }
+    }
+
+    /// Seqlock write (owning thread only): publish the stack top after a
+    /// push (`new_frame = Some`) or pop (`None`).
+    fn publish(&self, depth: usize, new_frame: Option<(usize, u32)>) {
+        // ORDERING: relaxed — this thread is the only writer of `gen`, so
+        // it always reads its own last value back.
+        let g = self.gen.load(Ordering::Relaxed);
+        // ORDERING: relaxed odd store (seqlock write entry) — the Release
+        // fence below is what publishes the odd value to readers together
+        // with the data stores.
+        self.gen.store(g.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        if let Some((i, id)) = new_frame {
+            if i < MAX_STACK_DEPTH {
+                // ORDERING: relaxed — consistency is guarded by `gen`, and
+                // the value itself is always a valid interned id.
+                self.frames[i].store(id, Ordering::Relaxed);
+            }
+        }
+        self.depth
+            .store(depth.min(MAX_STACK_DEPTH) as u32, Ordering::Relaxed);
+        self.gen.store(g.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Seqlock read (sampler): copy a consistent stack into `out`, or
+    /// return the number of torn attempts burned without success.
+    fn snapshot(&self, out: &mut Vec<u32>) -> Result<(), u64> {
+        let mut torn = 0u64;
+        while (torn as usize) < TORN_RETRY_LIMIT {
+            let g1 = self.gen.load(Ordering::Acquire);
+            if g1 & 1 == 1 {
+                torn += 1;
+                continue;
+            }
+            out.clear();
+            let depth = (self.depth.load(Ordering::Relaxed) as usize).min(MAX_STACK_DEPTH);
+            for frame in &self.frames[..depth] {
+                // ORDERING: relaxed — the acquire fence below pairs with
+                // the writer's release fence; a changed `gen` re-read
+                // rejects any mix of old and new frames.
+                out.push(frame.load(Ordering::Relaxed));
+            }
+            fence(Ordering::Acquire);
+            // ORDERING: relaxed re-read — the fence above already orders it
+            // after the frame loads; equality with the even `g1` proves no
+            // write overlapped the copy.
+            if self.gen.load(Ordering::Relaxed) == g1 {
+                return Ok(());
+            }
+            torn += 1;
+        }
+        out.clear();
+        Err(torn)
+    }
+}
+
+/// Registered slots, one per thread that ever entered a zone while
+/// profiling was on. Arcs are shared with the owning threads' thread-locals
+/// and garbage-collected once the owner exits (see [`sample_stacks`]).
+fn slots() -> &'static Mutex<Vec<Arc<ZoneSlot>>> {
+    static SLOTS: OnceLock<Mutex<Vec<Arc<ZoneSlot>>>> = OnceLock::new();
+    SLOTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Thread-local writer state: the full (unclamped) zone stack plus the
+/// published slot and a per-pointer cache of interned ids so steady-state
+/// pushes never touch the interner lock.
+struct LocalZones {
+    slot: Arc<ZoneSlot>,
+    stack: Vec<u32>,
+    /// Keyed by the `&'static str`'s address: one entry per call site.
+    /// Distinct literals with equal text still intern to one id.
+    id_cache: HashMap<*const u8, u32>,
+}
+
+thread_local! {
+    static ZLOCAL: RefCell<Option<LocalZones>> = const { RefCell::new(None) };
+}
+
+/// Push `name` onto this thread's published zone stack. Returns `true` when
+/// the push happened (profiling on) so the RAII guard knows to pop — a
+/// guard created before profiling was enabled never pops, keeping the stack
+/// balanced across runtime toggles.
+#[inline]
+pub fn zone_push(name: &'static str) -> bool {
+    if !profiling_enabled() {
+        return false;
+    }
+    zone_push_slow(name);
+    true
+}
+
+#[cold]
+fn zone_push_slow(name: &'static str) {
+    ZLOCAL.with(|cell| {
+        let mut local = cell.borrow_mut();
+        let local = local.get_or_insert_with(|| {
+            let slot = Arc::new(ZoneSlot::new());
+            slots()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::clone(&slot));
+            LocalZones {
+                slot,
+                stack: Vec::with_capacity(MAX_STACK_DEPTH),
+                id_cache: HashMap::new(),
+            }
+        });
+        let id = *local
+            .id_cache
+            .entry(name.as_ptr())
+            .or_insert_with(|| intern(name));
+        let i = local.stack.len();
+        local.stack.push(id);
+        local.slot.publish(local.stack.len(), Some((i, id)));
+    });
+}
+
+/// Pop this thread's zone stack (called from the RAII guard's drop when the
+/// matching push happened). Runs even if profiling was disabled meanwhile,
+/// so the published stack stays balanced.
+pub fn zone_pop() {
+    ZLOCAL.with(|cell| {
+        let mut local = cell.borrow_mut();
+        if let Some(local) = local.as_mut() {
+            if local.stack.pop().is_some() {
+                local.slot.publish(local.stack.len(), None);
+            }
+        }
+    });
+}
+
+/// Statistics from one [`sample_stacks`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleSweep {
+    /// Slots registered at sweep time (threads that ever entered a zone
+    /// while profiling was on, alive or parked).
+    pub threads_seen: u64,
+    /// Torn or in-progress reads retried (or given up) across all slots.
+    pub torn_retries: u64,
+    /// Non-empty stacks delivered to the callback.
+    pub stacks: u64,
+}
+
+/// Snapshot every registered thread's zone stack, invoking `f` once per
+/// non-empty consistent stack (rootmost frame first). Empty stacks (idle
+/// threads) are skipped; slots whose owning thread has exited are drained
+/// from the registry. Called from the sampler thread at its tick rate.
+pub fn sample_stacks(mut f: impl FnMut(&[u32])) -> SampleSweep {
+    let mut sweep = SampleSweep::default();
+    let mut stack = Vec::with_capacity(MAX_STACK_DEPTH);
+    let mut slots = slots().lock().unwrap_or_else(|e| e.into_inner());
+    slots.retain(|slot| {
+        sweep.threads_seen += 1;
+        match slot.snapshot(&mut stack) {
+            Ok(()) => {
+                if !stack.is_empty() {
+                    sweep.stacks += 1;
+                    f(&stack);
+                }
+            }
+            Err(torn) => sweep.torn_retries += torn,
+        }
+        // strong_count == 1 means the owning thread is gone; an exited
+        // thread's stack is necessarily empty, so dropping the slot loses
+        // no samples.
+        Arc::strong_count(slot) > 1
+    });
+    sweep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Profiling state is process-global; serialize on the registry lock.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        let guard = crate::tests::lock_global();
+        set_profiling_enabled(false);
+        guard
+    }
+
+    #[test]
+    fn disabled_push_is_a_no_op() {
+        let _g = lock();
+        assert!(!zone_push("test.zones.off"));
+        let sweep = sample_stacks(|_| panic!("no stack should be published"));
+        assert_eq!(sweep.stacks, 0);
+    }
+
+    #[test]
+    fn push_pop_publishes_and_unpublishes() {
+        let _g = lock();
+        set_profiling_enabled(true);
+        assert!(zone_push("test.zones.outer"));
+        assert!(zone_push("test.zones.inner"));
+        let mut seen = Vec::new();
+        sample_stacks(|s| seen.push(s.to_vec()));
+        assert_eq!(seen.len(), 1, "one thread published");
+        let names: Vec<_> = seen[0].iter().map(|&id| zone_name(id).unwrap()).collect();
+        assert_eq!(names, ["test.zones.outer", "test.zones.inner"]);
+        zone_pop();
+        zone_pop();
+        set_profiling_enabled(false);
+        let sweep = sample_stacks(|_| panic!("stack should be empty after pops"));
+        assert_eq!(sweep.stacks, 0);
+        assert_eq!(sweep.torn_retries, 0);
+    }
+
+    #[test]
+    fn interning_is_stable_and_content_keyed() {
+        let _g = lock();
+        let a = intern("test.zones.same");
+        let b = intern("test.zones.same");
+        assert_eq!(a, b);
+        assert_eq!(zone_name(a), Some("test.zones.same"));
+        assert_eq!(zone_name(u32::MAX), None);
+    }
+
+    #[test]
+    fn deeper_than_cap_keeps_rootmost_frames() {
+        let _g = lock();
+        set_profiling_enabled(true);
+        for _ in 0..MAX_STACK_DEPTH + 4 {
+            assert!(zone_push("test.zones.deep"));
+        }
+        let mut depths = Vec::new();
+        sample_stacks(|s| depths.push(s.len()));
+        assert_eq!(depths, [MAX_STACK_DEPTH]);
+        for _ in 0..MAX_STACK_DEPTH + 4 {
+            zone_pop();
+        }
+        set_profiling_enabled(false);
+        let sweep = sample_stacks(|_| panic!("unbalanced after deep pops"));
+        assert_eq!(sweep.stacks, 0);
+    }
+
+    #[test]
+    fn guard_integration_via_trace_zone() {
+        let _g = lock();
+        set_profiling_enabled(true);
+        {
+            let _z = crate::trace_zone("test.zones.guard", 0);
+            let mut seen = 0;
+            sample_stacks(|s| {
+                seen += 1;
+                assert_eq!(zone_name(s[s.len() - 1]), Some("test.zones.guard"));
+            });
+            assert_eq!(seen, 1);
+        }
+        set_profiling_enabled(false);
+        let sweep = sample_stacks(|_| panic!("guard drop must pop"));
+        assert_eq!(sweep.stacks, 0);
+    }
+
+    #[test]
+    fn toggle_mid_zone_keeps_stack_balanced() {
+        let _g = lock();
+        // Zone opened before profiling: its drop must not underflow.
+        let outer = crate::trace_zone("test.zones.pre", 0);
+        set_profiling_enabled(true);
+        {
+            let _inner = crate::trace_zone("test.zones.mid", 0);
+        }
+        drop(outer);
+        let mut count = 0;
+        sample_stacks(|_| count += 1);
+        assert_eq!(count, 0, "all pushes popped, pre-toggle zone never pushed");
+        set_profiling_enabled(false);
+    }
+}

