@@ -1,7 +1,8 @@
 //! Decode-side acceptance bench: the two-pass branch-free decode kernel
 //! (`KernelSelect::Kernel`) vs. the scalar reference decoder
-//! (`KernelSelect::Scalar`) on 64 MB f32 streams from the CESM-ATM and Nyx
-//! generators. Both paths reconstruct bit-identical outputs (asserted at
+//! (`KernelSelect::Scalar`) — plus, on capable hosts, the fused SIMD
+//! decoder (`KernelSelect::Simd`) — on 64 MB f32 streams from the CESM-ATM
+//! and Nyx generators. All paths reconstruct bit-identical outputs (asserted at
 //! setup), so any delta is pure decode-loop throughput. Timed calls reuse a
 //! preallocated output buffer and a persistent `DecodeScratch`, so no
 //! allocation is inside the measured region.
@@ -46,16 +47,28 @@ fn bench_decode(c: &mut Criterion) {
                 "{name}: decode paths diverge at {i}"
             );
         }
+        let mut arms = vec![
+            ("scalar", KernelSelect::Scalar),
+            ("kernel", KernelSelect::Kernel),
+        ];
+        if szx_core::simd::available() {
+            let simd: Vec<f32> = szx_core::decompress_with(&stream, KernelSelect::Simd).unwrap();
+            for (i, (a, b)) in scalar.iter().zip(&simd).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name}: simd decode diverges at {i}"
+                );
+            }
+            arms.push(("simd", KernelSelect::Simd));
+        }
         drop((scalar, kernel));
 
         let mut out = vec![0f32; data.len()];
         let mut g = c.benchmark_group("decode-throughput");
         g.throughput(Throughput::Bytes(bytes));
         g.sample_size(10);
-        for (kname, sel) in [
-            ("scalar", KernelSelect::Scalar),
-            ("kernel", KernelSelect::Kernel),
-        ] {
+        for &(kname, sel) in &arms {
             let mut scratch = DecodeScratch::default();
             g.bench_function(BenchmarkId::new(kname, name), |b| {
                 b.iter(|| {

@@ -1,8 +1,9 @@
 //! Tentpole acceptance bench: the branch-free kernel path
 //! (`KernelSelect::Kernel`) vs. the scalar reference path
-//! (`KernelSelect::Scalar`) on 64 MB f32 inputs drawn from the CESM-ATM and
-//! Nyx generators. Both paths produce byte-identical archives (asserted at
-//! setup), so any delta is pure hot-loop throughput.
+//! (`KernelSelect::Scalar`) — plus, on capable hosts, the explicit SIMD
+//! path (`KernelSelect::Simd`) — on 64 MB f32 inputs drawn from the
+//! CESM-ATM and Nyx generators. All paths produce byte-identical archives
+//! (asserted at setup), so any delta is pure hot-loop throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use szx_core::config::KernelSelect;
@@ -37,15 +38,21 @@ fn bench_kernels(c: &mut Criterion) {
         let scalar = szx_core::compress(&data, &cfg.with_kernel(KernelSelect::Scalar)).unwrap();
         let kernel = szx_core::compress(&data, &cfg.with_kernel(KernelSelect::Kernel)).unwrap();
         assert_eq!(scalar, kernel, "{name}: paths must be byte-identical");
+        let mut arms = vec![
+            ("scalar", KernelSelect::Scalar),
+            ("kernel", KernelSelect::Kernel),
+        ];
+        if szx_core::simd::available() {
+            let simd = szx_core::compress(&data, &cfg.with_kernel(KernelSelect::Simd)).unwrap();
+            assert_eq!(scalar, simd, "{name}: simd path must be byte-identical");
+            arms.push(("simd", KernelSelect::Simd));
+        }
         drop((scalar, kernel));
 
         let mut g = c.benchmark_group("kernel-throughput-compress");
         g.throughput(Throughput::Bytes(bytes));
         g.sample_size(10);
-        for (kname, sel) in [
-            ("scalar", KernelSelect::Scalar),
-            ("kernel", KernelSelect::Kernel),
-        ] {
+        for &(kname, sel) in &arms {
             let cfg = cfg.with_kernel(sel);
             g.bench_function(BenchmarkId::new(kname, name), |b| {
                 b.iter(|| szx_core::compress(&data, &cfg).unwrap());
@@ -75,6 +82,11 @@ fn bench_kernels(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("minmax-kernel", name), |b| {
             b.iter(|| szx_core::kernels::minmax(&data));
         });
+        if szx_core::simd::available() {
+            g.bench_function(BenchmarkId::new("minmax-simd", name), |b| {
+                b.iter(|| szx_core::simd::minmax(&data));
+            });
+        }
         g.finish();
     }
 }

@@ -151,8 +151,13 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let baseline = latest_bench(&out_dir);
     let (id, out_path) = next_bench_path(&out_dir);
     if !opts.quiet {
+        let simd = if szx_core::simd::available() {
+            "/simd"
+        } else {
+            ""
+        };
         eprintln!(
-            "observatory: sweeping {} suites x {} bounds x scalar/kernel x serial/parallel",
+            "observatory: sweeping {} suites x {} bounds x scalar/kernel{simd} x serial/parallel",
             bench::observatory::SUITES.len(),
             opts.bounds.len()
         );

@@ -3,9 +3,13 @@
 //! regression gate.
 //!
 //! Every run sweeps the synthetic suites (CESM, Nyx, Hurricane) across
-//! relative error bounds × {scalar, kernel} hot loops × {serial, parallel}
-//! drivers, and records throughput, compression ratio, and distortion
-//! (PSNR, max-error/bound) per cell. Reports accumulate as
+//! relative error bounds × {scalar, kernel, simd} hot loops × {serial,
+//! parallel} drivers (the simd column only on hosts whose CPU supports the
+//! explicit ISA path — absent cells are growth headroom, never a baseline,
+//! so the gate stays portable), and records throughput, compression ratio,
+//! distortion (PSNR, max-error/bound), and a per-cell memcpy roofline so
+//! throughput can be read relative to what a pure copy of the same bytes
+//! achieves on the same machine. Reports accumulate as
 //! `BENCH_0.json`, `BENCH_1.json`, … so the repository carries its own
 //! performance history; [`compare`] diffs a run against its predecessor
 //! and flags regressions under configurable thresholds.
@@ -43,7 +47,7 @@ pub struct BenchRecord {
     pub suite: String,
     /// Relative error bound the cell ran at.
     pub rel_bound: f64,
-    /// Hot-loop selection: `scalar` or `kernel`.
+    /// Hot-loop selection: `scalar`, `kernel`, or `simd`.
     pub kernel: String,
     /// Driver: `serial` or `parallel`.
     pub mode: String,
@@ -60,6 +64,13 @@ pub struct BenchRecord {
     /// Worst per-field `max|error| / error_bound`; > 1 means the bound was
     /// violated — always a regression regardless of thresholds.
     pub max_err_over_bound: f64,
+    /// Memcpy roofline for this cell's bytes, raw GB/s: the best-of-samples
+    /// speed of a plain `copy_from_slice` over the same fields, measured
+    /// outside every timed region. Context for reading `compress_gbps` /
+    /// `decompress_gbps` as a fraction of memory bandwidth (schema-additive
+    /// in v1: absent in older documents parses as 0.0, and [`compare`]
+    /// never gates on it — the roofline describes the machine, not szx).
+    pub roofline_gbps: f64,
     /// Top zones by self samples from an untimed profiled pass over the
     /// cell (schema-additive in v1: absent in older documents parses as
     /// empty, and [`compare`] never gates on it — attribution is context,
@@ -91,6 +102,7 @@ impl BenchRecord {
                 "max_err_over_bound".into(),
                 Json::Num(self.max_err_over_bound),
             ),
+            ("roofline_gbps".into(), Json::Num(self.roofline_gbps)),
             (
                 "hotspots".into(),
                 Json::Arr(
@@ -159,6 +171,9 @@ impl BenchRecord {
             ratio: num_field("ratio")?,
             psnr_db: num_field("psnr_db")?,
             max_err_over_bound: num_field("max_err_over_bound")?,
+            // Schema-additive: pre-roofline documents carry no such field;
+            // 0.0 reads as "unmeasured" and is never compared against.
+            roofline_gbps: v.get("roofline_gbps").and_then(Json::as_f64).unwrap_or(0.0),
             hotspots,
         })
     }
@@ -303,6 +318,7 @@ pub fn report_from_manifest(text: &str) -> Result<BenchReport, String> {
         ratio: qual("ratio").unwrap_or(0.0),
         psnr_db: qual("psnr_db").unwrap_or(PSNR_CAP_DB).min(PSNR_CAP_DB),
         max_err_over_bound,
+        roofline_gbps: 0.0,
         hotspots: Vec::new(),
     };
     Ok(BenchReport {
@@ -581,13 +597,21 @@ fn best_time<R>(samples: usize, mut f: impl FnMut() -> R) -> (f64, R) {
 /// machine.
 pub fn run(opts: &RunOptions) -> BenchReport {
     let mut records = Vec::new();
+    // The simd column exists only where the explicit ISA path can run (and
+    // `SZX_DISABLE_SIMD` is unset): the grid grows on capable hosts and the
+    // gate treats current-only cells as growth, so BENCH history stays
+    // comparable across machines.
+    let mut kernels = vec![
+        ("scalar", KernelSelect::Scalar),
+        ("kernel", KernelSelect::Kernel),
+    ];
+    if szx_core::simd::available() {
+        kernels.push(("simd", KernelSelect::Simd));
+    }
     for app in SUITES {
         let dataset = app.generate_limited(opts.scale, crate::seed_for(app), opts.max_fields);
         for &rel in &opts.bounds {
-            for (kernel_name, kernel) in [
-                ("scalar", KernelSelect::Scalar),
-                ("kernel", KernelSelect::Kernel),
-            ] {
+            for &(kernel_name, kernel) in &kernels {
                 for mode in ["serial", "parallel"] {
                     let cfg = SzxConfig::relative(rel).with_kernel(kernel);
                     let mut raw_bytes = 0u64;
@@ -637,6 +661,20 @@ pub fn run(opts: &RunOptions) -> BenchReport {
                                 worst_err_over_bound.max(d.max_abs_error / header.eb);
                         }
                     }
+                    // Memcpy roofline over the same bytes, measured after
+                    // the timed loops so it costs the throughput numbers
+                    // nothing: the best-of-samples speed of a plain copy is
+                    // the bandwidth ceiling the compressor's GB/s should be
+                    // read against.
+                    let mut roofline_secs = 0.0;
+                    for field in &dataset.fields {
+                        let mut sink = vec![0f32; field.data.len()];
+                        let (t, ()) = best_time(opts.samples, || {
+                            sink.copy_from_slice(&field.data);
+                            std::hint::black_box(&mut sink);
+                        });
+                        roofline_secs += t;
+                    }
                     // Attribution pass *after* the timed loops: the sampler
                     // never runs while throughput is being measured.
                     let hotspots = collect_hotspots(&dataset, &cfg, kernel, mode);
@@ -651,6 +689,7 @@ pub fn run(opts: &RunOptions) -> BenchReport {
                         ratio: raw_bytes as f64 / comp_bytes.max(1) as f64,
                         psnr_db: worst_psnr.min(PSNR_CAP_DB),
                         max_err_over_bound: worst_err_over_bound,
+                        roofline_gbps: raw_bytes as f64 / roofline_secs.max(1e-12) / 1e9,
                         hotspots,
                     };
                     if !opts.quiet {
@@ -707,6 +746,7 @@ mod tests {
                 ratio: 6.25,
                 psnr_db: 64.5,
                 max_err_over_bound: 0.93,
+                roofline_gbps: 11.5,
                 hotspots: vec![
                     szx_profile::Hotspot {
                         name: "compress.encode_blocks".into(),
@@ -765,6 +805,22 @@ mod tests {
         let base = r.clone();
         r.records[0].hotspots.clear();
         assert!(compare(&base, &r, &CompareConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn roofline_is_schema_additive_and_never_gated() {
+        // Pre-roofline documents carry no "roofline_gbps" key — they must
+        // parse as 0.0 ("unmeasured"), not error.
+        let r = sample_report();
+        let without = r.to_json().replace(",\"roofline_gbps\":11.5", "");
+        assert_ne!(without, r.to_json(), "field must exist to be stripped");
+        let parsed = BenchReport::from_json(&without).unwrap();
+        assert_eq!(parsed.records[0].roofline_gbps, 0.0);
+        // The comparator never gates on the roofline: it describes the
+        // machine, so collapsing it between runs is not a regression.
+        let mut cur = r.clone();
+        cur.records[0].roofline_gbps = 0.0;
+        assert!(compare(&r, &cur, &CompareConfig::default()).is_empty());
     }
 
     fn sample_manifest() -> String {

@@ -17,6 +17,7 @@ fn record(suite: &str, mode: &str) -> BenchRecord {
         ratio: 5.0,
         psnr_db: 60.0,
         max_err_over_bound: 0.9,
+        roofline_gbps: 10.0,
         hotspots: Vec::new(),
     }
 }

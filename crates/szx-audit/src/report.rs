@@ -42,6 +42,9 @@ pub struct Counts {
     pub panic_ok: usize,
     pub cast_notes: usize,
     pub ordering_notes: usize,
+    /// `#[target_feature]` call sites verified to carry a SAFETY note
+    /// naming the runtime detection guard.
+    pub feature_guards: usize,
 }
 
 /// A full audit run: findings (sorted) plus the counters.
@@ -72,8 +75,14 @@ impl Report {
         );
         let _ = writeln!(
             out,
-            "  unsafe sites: {} ({} with SAFETY), PANIC-OK: {}, CAST: {}, ORDERING: {}",
-            c.unsafe_sites, c.safety_comments, c.panic_ok, c.cast_notes, c.ordering_notes
+            "  unsafe sites: {} ({} with SAFETY), PANIC-OK: {}, CAST: {}, ORDERING: {}, \
+             feature guards: {}",
+            c.unsafe_sites,
+            c.safety_comments,
+            c.panic_ok,
+            c.cast_notes,
+            c.ordering_notes,
+            c.feature_guards
         );
         out
     }
@@ -87,14 +96,15 @@ impl Report {
             out,
             "  \"counts\": {{\n    \"files_scanned\": {},\n    \"lines_scanned\": {},\n    \
              \"unsafe_sites\": {},\n    \"safety_comments\": {},\n    \"panic_ok\": {},\n    \
-             \"cast_notes\": {},\n    \"ordering_notes\": {}\n  }},\n",
+             \"cast_notes\": {},\n    \"ordering_notes\": {},\n    \"feature_guards\": {}\n  }},\n",
             c.files_scanned,
             c.lines_scanned,
             c.unsafe_sites,
             c.safety_comments,
             c.panic_ok,
             c.cast_notes,
-            c.ordering_notes
+            c.ordering_notes,
+            c.feature_guards
         );
         let _ = writeln!(out, "  \"finding_count\": {},", self.findings.len());
         out.push_str("  \"findings\": [");

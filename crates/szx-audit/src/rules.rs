@@ -1,15 +1,18 @@
 //! The audit rules: project-specific invariants phrased over the lexical
 //! source model of [`crate::source`].
 //!
-//! | rule id               | invariant                                                        |
-//! |-----------------------|------------------------------------------------------------------|
-//! | `unsafe-allowlist`    | `unsafe` appears only in the allowlisted telemetry modules       |
-//! | `unsafe-safety`       | every allowlisted `unsafe` site carries a `// SAFETY:` comment   |
-//! | `forbid-unsafe`       | safe crates declare `#![forbid(unsafe_code)]` at the crate root  |
-//! | `deny-unsafe-op`      | the unsafe-bearing crate denies `unsafe_op_in_unsafe_fn`         |
-//! | `panic-path`          | decode-side modules are panic-free (or carry `// PANIC-OK:`)     |
-//! | `atomics-protocol`    | publish fields in the lock-free modules follow release/acquire   |
-//! | `cast-note`           | narrowing `as` casts in the kernels carry a `// CAST:` note      |
+//! | rule id                | invariant                                                        |
+//! |------------------------|------------------------------------------------------------------|
+//! | `unsafe-allowlist`     | `unsafe` appears only in the allowlisted unsafe surfaces         |
+//! | `unsafe-safety`        | every allowlisted `unsafe` site carries a `// SAFETY:` comment   |
+//! | `forbid-unsafe`        | safe crates declare `#![forbid(unsafe_code)]` at the crate root  |
+//! | `deny-unsafe-op`       | unsafe-bearing crates deny `unsafe_op_in_unsafe_fn`              |
+//! | `deny-unsafe-code`     | opt-in crates deny `unsafe_code` at the root (files re-allow)    |
+//! | `target-feature-guard` | `#[target_feature]` backends are only called behind a `SAFETY:`  |
+//! |                        | note naming the runtime feature-detection guard                  |
+//! | `panic-path`           | decode-side modules are panic-free (or carry `// PANIC-OK:`)     |
+//! | `atomics-protocol`     | publish fields in the lock-free modules follow release/acquire   |
+//! | `cast-note`            | narrowing `as` casts in the kernels carry a `// CAST:` note      |
 
 use crate::report::{Counts, Finding};
 use crate::source::SourceFile;
@@ -20,9 +23,18 @@ pub const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/szx-telemetry/src/json.rs",
 ];
 
-/// Crate roots that must carry `#![forbid(unsafe_code)]`.
+/// Directory prefixes allowed to contain `unsafe` (same `// SAFETY:`
+/// obligation as [`UNSAFE_ALLOWLIST`]). The explicit SIMD backends live
+/// here: the szx-core crate root carries `#![deny(unsafe_code)]` and only
+/// these files opt back in with an inner `#![allow(unsafe_code)]`, so the
+/// crate's entire unsafe surface is this directory.
+pub const UNSAFE_ALLOWLIST_PREFIXES: &[&str] = &["crates/szx-core/src/simd/"];
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`. (szx-core moved
+/// to [`DENY_UNSAFE_OP_ROOTS`] when the SIMD backends landed: `forbid`
+/// cannot be overridden by a module, `deny` can — see
+/// [`UNSAFE_ALLOWLIST_PREFIXES`].)
 pub const FORBID_UNSAFE_ROOTS: &[&str] = &[
-    "crates/szx-core/src/lib.rs",
     "crates/szx-data/src/lib.rs",
     "crates/szx-cli/src/main.rs",
     "crates/szx-metrics/src/lib.rs",
@@ -36,9 +48,17 @@ pub const FORBID_UNSAFE_ROOTS: &[&str] = &[
     "tests/src/lib.rs",
 ];
 
-/// The crate root that must carry `#![deny(unsafe_op_in_unsafe_fn)]`
-/// (the only crate allowed to hold unsafe code at all).
-pub const DENY_UNSAFE_OP_ROOT: &str = "crates/szx-telemetry/src/lib.rs";
+/// Crate roots that must carry `#![deny(unsafe_op_in_unsafe_fn)]` — the
+/// crates allowed to hold unsafe code at all.
+pub const DENY_UNSAFE_OP_ROOTS: &[&str] = &[
+    "crates/szx-telemetry/src/lib.rs",
+    "crates/szx-core/src/lib.rs",
+];
+
+/// Crate roots that must carry `#![deny(unsafe_code)]`: crates whose unsafe
+/// surface is confined to allowlisted files via per-file
+/// `#![allow(unsafe_code)]` opt-ins.
+pub const DENY_UNSAFE_CODE_ROOTS: &[&str] = &["crates/szx-core/src/lib.rs"];
 
 /// Decode-side modules that parse attacker-controllable bytes: no panics
 /// without a `// PANIC-OK:` justification.
@@ -49,12 +69,21 @@ pub const DECODE_PATH: &[&str] = &[
     "crates/szx-core/src/archive.rs",
     "crates/szx-core/src/stream.rs",
     "crates/szx-core/src/streaming.rs",
+    // The SIMD dispatch layer parses non-constant payload headers before
+    // handing validated slices to the backends (which sit below the
+    // validation boundary, like kernels.rs).
+    "crates/szx-core/src/simd/mod.rs",
 ];
 
 /// Kernel modules whose offset arithmetic must annotate narrowing casts.
+/// The SIMD dispatch layer and the x86 backend join the portable kernels:
+/// their shift/byte-count arithmetic narrows just the same.
 pub const CAST_FILES: &[&str] = &[
     "crates/szx-core/src/kernels.rs",
     "crates/szx-core/src/dekernels.rs",
+    "crates/szx-core/src/simd/mod.rs",
+    "crates/szx-core/src/simd/x86.rs",
+    "crates/szx-core/src/simd/neon.rs",
 ];
 
 /// Lock-free modules and the atomic fields in them that publish other
@@ -95,44 +124,154 @@ pub fn check_crate_attrs(files: &[SourceFile], findings: &mut Vec<Finding>) {
             .iter()
             .any(|l| l.code.replace(' ', "").contains(attr))
     };
-    for &root in FORBID_UNSAFE_ROOTS {
-        match find(root) {
-            Some(f) if declares(f, "#![forbid(unsafe_code)]") => {}
-            Some(_) => findings.push(Finding::new(
-                "forbid-unsafe",
-                root,
-                1,
-                "crate root is missing #![forbid(unsafe_code)]",
-            )),
+    let mut require =
+        |root: &'static str, rule: &'static str, attr: &str, missing: &str| match find(root) {
+            Some(f) if declares(f, attr) => {}
+            Some(_) => findings.push(Finding::new(rule, root, 1, missing)),
             None => findings.push(Finding::new(
-                "forbid-unsafe",
+                rule,
                 root,
                 1,
                 "expected crate root not found under the audit root",
             )),
+        };
+    for &root in FORBID_UNSAFE_ROOTS {
+        require(
+            root,
+            "forbid-unsafe",
+            "#![forbid(unsafe_code)]",
+            "crate root is missing #![forbid(unsafe_code)]",
+        );
+    }
+    for &root in DENY_UNSAFE_OP_ROOTS {
+        require(
+            root,
+            "deny-unsafe-op",
+            "#![deny(unsafe_op_in_unsafe_fn)]",
+            "crate root is missing #![deny(unsafe_op_in_unsafe_fn)]",
+        );
+    }
+    for &root in DENY_UNSAFE_CODE_ROOTS {
+        require(
+            root,
+            "deny-unsafe-code",
+            "#![deny(unsafe_code)]",
+            "crate root is missing #![deny(unsafe_code)]",
+        );
+    }
+}
+
+/// Cross-file rule: every call of a `#[target_feature]` backend sits behind
+/// a `// SAFETY:` note that names the runtime feature-detection guard.
+///
+/// Definitions are collected from the files under
+/// [`UNSAFE_ALLOWLIST_PREFIXES`]; call sites are matched as
+/// `<backend-module>::<fn>(` in the *other* prefix files (the dispatch
+/// layer). Calls inside a defining file are exempt — there they occur
+/// inside functions carrying the same `#[target_feature]` set, where the
+/// compiler itself proves the features present. The note must contain the
+/// word "detect" (as in `is_x86_feature_detected!` / "runtime detection")
+/// so a generic justification cannot satisfy the rule.
+pub fn check_target_feature_guards(
+    files: &[SourceFile],
+    findings: &mut Vec<Finding>,
+    counts: &mut Counts,
+) {
+    let in_prefix = |f: &SourceFile| {
+        UNSAFE_ALLOWLIST_PREFIXES
+            .iter()
+            .any(|p| f.rel_path.starts_with(p))
+    };
+    // (qualified call pattern, fn name) for every target-feature fn.
+    let mut backends: Vec<(String, String)> = Vec::new();
+    let mut defining: Vec<&str> = Vec::new();
+    for file in files.iter().filter(|f| in_prefix(f)) {
+        let stem = file
+            .rel_path
+            .rsplit('/')
+            .next()
+            .unwrap_or_default()
+            .trim_end_matches(".rs");
+        let mut defines = false;
+        for (i, line) in file.lines.iter().enumerate() {
+            if !line.code.contains("#[target_feature(") {
+                continue;
+            }
+            defines = true;
+            // The fn item follows the attribute (possibly after more
+            // attributes); take the first `fn <name>` within reach.
+            for j in i + 1..file.lines.len().min(i + 4) {
+                if let Some(at) = file.lines[j].code.find("fn ") {
+                    let name = leading_ident(&file.lines[j].code[at + 3..]);
+                    if !name.is_empty() {
+                        backends.push((format!("{stem}::{name}"), name));
+                    }
+                    break;
+                }
+            }
+        }
+        if defines {
+            defining.push(&file.rel_path);
         }
     }
-    match find(DENY_UNSAFE_OP_ROOT) {
-        Some(f) if declares(f, "#![deny(unsafe_op_in_unsafe_fn)]") => {}
-        Some(_) => findings.push(Finding::new(
-            "deny-unsafe-op",
-            DENY_UNSAFE_OP_ROOT,
-            1,
-            "crate root is missing #![deny(unsafe_op_in_unsafe_fn)]",
-        )),
-        None => findings.push(Finding::new(
-            "deny-unsafe-op",
-            DENY_UNSAFE_OP_ROOT,
-            1,
-            "expected crate root not found under the audit root",
-        )),
+    for file in files.iter().filter(|f| in_prefix(f)) {
+        if defining.contains(&file.rel_path.as_str()) {
+            continue;
+        }
+        for (i, line) in file.lines.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            for (qualified, name) in &backends {
+                let mut from = 0usize;
+                while let Some(at) = line.code[from..].find(qualified.as_str()) {
+                    let abs = from + at;
+                    from = abs + qualified.len();
+                    let before_ok = !line.code[..abs]
+                        .chars()
+                        .next_back()
+                        .is_some_and(is_ident_char);
+                    let called = line.code[from..].trim_start().starts_with('(');
+                    if !before_ok || !called {
+                        continue;
+                    }
+                    if detection_noted(file, i) {
+                        counts.feature_guards += 1;
+                    } else {
+                        findings.push(Finding::new(
+                            "target-feature-guard",
+                            &file.rel_path,
+                            i + 1,
+                            &format!(
+                                "call to `#[target_feature]` backend `{name}` without a \
+                                 `// SAFETY:` note naming the runtime detection guard"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
     }
+}
+
+/// Is there a `// SAFETY:` note mentioning detection on or directly above
+/// line `idx`, or above the enclosing `unsafe {` opener within three lines
+/// (rustfmt puts multi-line unsafe blocks' openers on their own line)?
+fn detection_noted(file: &SourceFile, idx: usize) -> bool {
+    (idx.saturating_sub(3)..=idx).any(|j| {
+        let mut text = file.comment_above(j);
+        text.push_str(&file.lines[j].comment);
+        text.contains("SAFETY:") && text.to_ascii_lowercase().contains("detect")
+    })
 }
 
 /// `unsafe` only in the allowlist, and there only with a `// SAFETY:`
 /// justification on or directly above the site.
 fn unsafe_hygiene(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut Counts) {
-    let allowed = UNSAFE_ALLOWLIST.contains(&file.rel_path.as_str());
+    let allowed = UNSAFE_ALLOWLIST.contains(&file.rel_path.as_str())
+        || UNSAFE_ALLOWLIST_PREFIXES
+            .iter()
+            .any(|p| file.rel_path.starts_with(p));
     for (i, line) in file.lines.iter().enumerate() {
         if !has_word(&line.code, "unsafe") {
             continue;
@@ -143,7 +282,7 @@ fn unsafe_hygiene(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut C
                 "unsafe-allowlist",
                 &file.rel_path,
                 i + 1,
-                "`unsafe` outside the allowlisted telemetry modules",
+                "`unsafe` outside the allowlisted unsafe surfaces",
             ));
         } else if file.annotated(i, "SAFETY:") {
             counts.safety_comments += 1;
@@ -758,13 +897,89 @@ mod tests {
 
     #[test]
     fn crate_attr_rule_reports_missing_roots() {
-        let present = parse_source("crates/szx-core/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        let present = parse_source(
+            "crates/szx-core/src/lib.rs",
+            "#![deny(unsafe_code)]\n#![deny(unsafe_op_in_unsafe_fn)]\n",
+        );
         let mut findings = Vec::new();
         check_crate_attrs(&[present], &mut findings);
-        // szx-core passes; every other root is missing from the set.
+        // szx-core passes both deny checks; every forbid root and the
+        // telemetry deny root are missing from the set.
         assert!(findings
             .iter()
             .all(|f| f.path != "crates/szx-core/src/lib.rs"));
-        assert_eq!(findings.len(), FORBID_UNSAFE_ROOTS.len()); // -1 found +1 deny root
+        assert_eq!(findings.len(), FORBID_UNSAFE_ROOTS.len() + 1);
+    }
+
+    #[test]
+    fn simd_prefix_is_allowlisted_but_still_needs_safety() {
+        let src = "// SAFETY: caller proved the pointer in bounds.\n\
+                   let x = unsafe { load(p) };\n\
+                   let y = unsafe { load(q) };\n";
+        let (f, c) = run_on("crates/szx-core/src/simd/x86.rs", src);
+        assert_eq!(c.unsafe_sites, 2);
+        assert_eq!(c.safety_comments, 1);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unsafe-safety");
+        assert_eq!(f[0].line, 3);
+    }
+
+    fn tf_backend() -> SourceFile {
+        parse_source(
+            "crates/szx-core/src/simd/x86.rs",
+            "#[target_feature(enable = \"avx2\")]\n\
+             pub(super) fn scan8(d: &[f32]) {}\n\
+             fn helper() { scan8(&[]) }\n",
+        )
+    }
+
+    #[test]
+    fn guarded_target_feature_call_passes_and_counts() {
+        let caller = parse_source(
+            "crates/szx-core/src/simd/mod.rs",
+            "// SAFETY: ready() confirmed AVX2 via runtime feature detection.\n\
+             let r = unsafe { x86::scan8(d) };\n",
+        );
+        let mut findings = Vec::new();
+        let mut counts = Counts::default();
+        check_target_feature_guards(&[tf_backend(), caller], &mut findings, &mut counts);
+        // The intra-backend `scan8(&[])` call is exempt (same-feature
+        // context); the dispatch-layer call is counted once.
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(counts.feature_guards, 1);
+    }
+
+    #[test]
+    fn unguarded_target_feature_call_is_flagged() {
+        // A SAFETY note that never names the detection guard does not
+        // satisfy the rule.
+        let caller = parse_source(
+            "crates/szx-core/src/simd/mod.rs",
+            "// SAFETY: trust me.\nlet r = unsafe { x86::scan8(d) };\n",
+        );
+        let mut findings = Vec::new();
+        let mut counts = Counts::default();
+        check_target_feature_guards(&[tf_backend(), caller], &mut findings, &mut counts);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "target-feature-guard");
+        assert_eq!(counts.feature_guards, 0);
+    }
+
+    #[test]
+    fn multiline_unsafe_block_note_is_found_from_the_call_line() {
+        let caller = parse_source(
+            "crates/szx-core/src/simd/mod.rs",
+            "// SAFETY: coder_ready() confirmed AVX2 by runtime detection.\n\
+             unsafe {\n\
+                 x86::scan8(\n\
+                     d,\n\
+                 )\n\
+             };\n",
+        );
+        let mut findings = Vec::new();
+        let mut counts = Counts::default();
+        check_target_feature_guards(&[tf_backend(), caller], &mut findings, &mut counts);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(counts.feature_guards, 1);
     }
 }

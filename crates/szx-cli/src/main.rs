@@ -40,12 +40,12 @@ szx — ultrafast error-bounded lossy compression (SZx, HPDC '22)
 USAGE:
   szx compress   <in.f32> <out.szx> --abs <e> | --rel <r>
                  [--f64] [--block <n>] [--parallel] [--strategy a|b|c]
-                 [--kernel auto|scalar|kernel] [--stats [--json]]
+                 [--kernel auto|scalar|kernel|simd] [--stats [--json]]
                  [--trace <out.trace.json>] [--metrics <out.prom>]
                  [--events <out.jsonl>] [--manifest <run.json>]
                  [--profile <out.folded> [--profile-svg <out.svg>]]
   szx decompress <in.szx> <out.f32> [--parallel]
-                 [--kernel auto|scalar|kernel] [--stats [--json]]
+                 [--kernel auto|scalar|kernel|simd] [--stats [--json]]
                  [--trace <out.trace.json>] [--metrics <out.prom>]
                  [--events <out.jsonl>] [--manifest <run.json>]
                  [--profile <out.folded> [--profile-svg <out.svg>]]
@@ -404,13 +404,15 @@ fn io_pair(args: &[String]) -> Result<(PathBuf, PathBuf), String> {
 }
 
 /// Hot-loop selection shared by compress and decompress: `scalar` is the
-/// reference oracle, `kernel` the branch-free path; outputs are identical
-/// either way.
+/// reference oracle, `kernel` the branch-free portable path, `simd` the
+/// explicit AVX2/NEON path (falls back to `kernel` when the CPU lacks the
+/// ISA or `SZX_DISABLE_SIMD` is set); outputs are identical in all cases.
 fn parse_kernel(args: &[String]) -> Result<szx_core::KernelSelect, String> {
     match flag_value(args, "--kernel").as_deref() {
         Some("auto") | None => Ok(szx_core::KernelSelect::Auto),
         Some("scalar") => Ok(szx_core::KernelSelect::Scalar),
         Some("kernel") => Ok(szx_core::KernelSelect::Kernel),
+        Some("simd") => Ok(szx_core::KernelSelect::Simd),
         Some(other) => Err(format!("unknown kernel selection {other}")),
     }
 }
@@ -652,10 +654,11 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
         println!("{summary}");
     }
     let mode = if parallel { "parallel" } else { "serial" };
-    // The decode kernel covers only the ByteAligned strategy; report
-    // the path the blocks actually took.
-    let decode_path = if kernel.use_kernel() && header.strategy == CommitStrategy::ByteAligned {
-        "kernel"
+    // The kernel and simd decoders cover only the ByteAligned strategy;
+    // report the path the blocks actually took (resolve() folds in runtime
+    // ISA detection and the SZX_DISABLE_SIMD override).
+    let decode_path = if header.strategy == CommitStrategy::ByteAligned {
+        kernel.resolve().name()
     } else {
         "scalar"
     };

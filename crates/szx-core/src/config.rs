@@ -100,13 +100,14 @@ impl CommitStrategy {
     }
 }
 
-/// Which implementation of the hot loops the compressor runs. The two paths
+/// Which implementation of the hot loops the compressor runs. All paths
 /// produce **byte-identical** streams (asserted by the roundtrip property
-/// suite); the choice only affects speed, never the format, so it is not
-/// recorded in the stream header.
+/// suite and the fuzz differential oracle); the choice only affects speed,
+/// never the format, so it is not recorded in the stream header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelSelect {
-    /// Pick the fastest available path (currently the branch-free kernels).
+    /// Pick the fastest available path: explicit SIMD when the CPU supports
+    /// it, otherwise the branch-free portable kernels.
     #[default]
     Auto,
     /// The scalar reference loops — the correctness oracle the kernels are
@@ -114,6 +115,37 @@ pub enum KernelSelect {
     Scalar,
     /// The branch-free lane kernels in [`crate::kernels`], explicitly.
     Kernel,
+    /// The explicit `std::arch` intrinsic kernels in [`crate::simd`].
+    /// Falls back to [`KernelSelect::Kernel`] when the running CPU lacks
+    /// the required ISA extension (or `SZX_DISABLE_SIMD` is set) — output
+    /// is byte-identical either way, so the fallback is silent.
+    Simd,
+}
+
+/// A concrete, resolved hot-loop implementation. Unlike [`KernelSelect`]
+/// (a *request*, which may name an unavailable path), a `KernelPath` is
+/// always runnable on the current machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Scalar reference loops.
+    Scalar,
+    /// Branch-free portable kernels ([`crate::kernels`]/[`crate::dekernels`]).
+    Kernel,
+    /// Explicit SIMD intrinsic kernels ([`crate::simd`]). Only produced by
+    /// [`KernelSelect::resolve`] when runtime feature detection succeeds.
+    Simd,
+}
+
+impl KernelPath {
+    /// Short lowercase name, used by telemetry labels and CLI output.
+    #[inline]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Kernel => "kernel",
+            KernelPath::Simd => "simd",
+        }
+    }
 }
 
 impl KernelSelect {
@@ -121,6 +153,25 @@ impl KernelSelect {
     #[inline]
     pub fn use_kernel(self) -> bool {
         !matches!(self, KernelSelect::Scalar)
+    }
+
+    /// Resolve the request against the running CPU. Resolution order for
+    /// `Auto` is simd → kernel (scalar is never picked implicitly); an
+    /// explicit `Simd` request degrades to `Kernel` when the ISA extension
+    /// is missing, because every path emits byte-identical streams.
+    #[inline]
+    pub fn resolve(self) -> KernelPath {
+        match self {
+            KernelSelect::Scalar => KernelPath::Scalar,
+            KernelSelect::Kernel => KernelPath::Kernel,
+            KernelSelect::Simd | KernelSelect::Auto => {
+                if crate::simd::available() {
+                    KernelPath::Simd
+                } else {
+                    KernelPath::Kernel
+                }
+            }
+        }
     }
 }
 
@@ -269,5 +320,21 @@ mod tests {
             assert_eq!(CommitStrategy::from_code(s.code()).unwrap(), s);
         }
         assert!(CommitStrategy::from_code(7).is_err());
+    }
+
+    #[test]
+    fn kernel_select_resolves_to_runnable_paths() {
+        assert_eq!(KernelSelect::Scalar.resolve(), KernelPath::Scalar);
+        assert_eq!(KernelSelect::Kernel.resolve(), KernelPath::Kernel);
+        // Simd and Auto agree: both land on Simd when the CPU supports it
+        // and on the portable kernel otherwise.
+        assert_eq!(KernelSelect::Simd.resolve(), KernelSelect::Auto.resolve());
+        let resolved = KernelSelect::Auto.resolve();
+        assert!(matches!(resolved, KernelPath::Simd | KernelPath::Kernel));
+        assert_eq!(
+            resolved == KernelPath::Simd,
+            crate::simd::available(),
+            "Auto picks simd exactly when detection reports it available"
+        );
     }
 }

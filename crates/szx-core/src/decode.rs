@@ -3,7 +3,7 @@
 
 use crate::bitio::{BitReader, StateBits};
 use crate::block::{bytes_for, shift_for};
-use crate::config::{CommitStrategy, KernelSelect};
+use crate::config::{CommitStrategy, KernelPath, KernelSelect};
 use crate::dekernels::DecodeScratch;
 use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
@@ -197,7 +197,7 @@ pub fn decompress_with<F: SzxFloat>(bytes: &[u8], kernel: KernelSelect) -> Resul
     };
     let mut out = vec![F::ZERO; index.header.n];
     let mut scratch = DecodeScratch::default();
-    decompress_with_index(&index, &mut out, kernel.use_kernel(), &mut scratch)?;
+    decompress_with_index(&index, &mut out, kernel.resolve(), &mut scratch)?;
     Ok(out)
 }
 
@@ -231,7 +231,7 @@ pub fn decompress_into_scratch<F: SzxFloat>(
         let _s = szx_telemetry::span("decompress.index");
         StreamIndex::build::<F>(bytes)?
     };
-    decompress_with_index(&index, out, kernel.use_kernel(), scratch)
+    decompress_with_index(&index, out, kernel.resolve(), scratch)
 }
 
 /// Publish what a decompression saw — block classes come for free from the
@@ -247,29 +247,34 @@ pub(crate) fn flush_decode_telemetry<F: SzxFloat>(index: &StreamIndex<'_>) {
         .add((index.header.n * F::BYTES) as u64);
 }
 
-/// Route one non-constant block to the kernel or scalar decoder. The kernel
-/// only covers `ByteAligned` (the default strategy and the paper's Solution
-/// C); other strategies always take the scalar loop.
+/// Route one non-constant block to the SIMD, kernel, or scalar decoder.
+/// The kernel and SIMD paths only cover `ByteAligned` (the default strategy
+/// and the paper's Solution C); other strategies always take the scalar
+/// loop.
 #[inline]
 pub(crate) fn decode_block_dispatch<F: SzxFloat>(
     payload: &[u8],
     out: &mut [F],
     mu: F,
     strategy: CommitStrategy,
-    use_kernel: bool,
+    path: KernelPath,
     scratch: &mut DecodeScratch,
 ) -> Result<()> {
-    if use_kernel && strategy == CommitStrategy::ByteAligned {
-        crate::dekernels::decode_nonconstant_block(payload, out, mu, scratch)
-    } else {
-        decode_nonconstant_block(payload, out, mu, strategy)
+    match (path, strategy) {
+        (KernelPath::Simd, CommitStrategy::ByteAligned) => {
+            crate::simd::decode_nonconstant_block(payload, out, mu, scratch)
+        }
+        (KernelPath::Kernel, CommitStrategy::ByteAligned) => {
+            crate::dekernels::decode_nonconstant_block(payload, out, mu, scratch)
+        }
+        _ => decode_nonconstant_block(payload, out, mu, strategy),
     }
 }
 
 pub(crate) fn decompress_with_index<F: SzxFloat>(
     index: &StreamIndex<'_>,
     out: &mut [F],
-    use_kernel: bool,
+    path: KernelPath,
     scratch: &mut DecodeScratch,
 ) -> Result<()> {
     if out.len() != index.header.n {
@@ -284,14 +289,14 @@ pub(crate) fn decompress_with_index<F: SzxFloat>(
     }
     let result = {
         let _s = szx_telemetry::span("decompress.blocks");
-        // Zone-only kernel-vs-scalar attribution for the profiler (the
-        // per-block dispatch below also depends on the stream's strategy;
-        // this names the path that was *requested* for the sweep).
+        // Zone-only path attribution for the profiler (the per-block
+        // dispatch below also depends on the stream's strategy; this names
+        // the path that was *requested* for the sweep).
         let _z = szx_telemetry::trace_zone(
-            if use_kernel {
-                "decompress.path.kernel"
-            } else {
-                "decompress.path.scalar"
+            match path {
+                KernelPath::Simd => "decompress.simd.decode",
+                KernelPath::Kernel => "decompress.path.kernel",
+                KernelPath::Scalar => "decompress.path.scalar",
             },
             0,
         );
@@ -308,9 +313,7 @@ pub(crate) fn decompress_with_index<F: SzxFloat>(
                 let off = index.payload_offsets[nc];
                 let len = index.zsizes[nc] as usize; // PANIC-OK: as above
                 let payload = &index.payloads[off..off + len]; // PANIC-OK: as above
-                if let Err(e) =
-                    decode_block_dispatch(payload, chunk, mu, strategy, use_kernel, scratch)
-                {
+                if let Err(e) = decode_block_dispatch(payload, chunk, mu, strategy, path, scratch) {
                     result = Err(e);
                     break;
                 }

@@ -56,20 +56,22 @@ use crate::float::SzxFloat;
 #[derive(Debug, Default)]
 pub struct DecodeScratch {
     /// Clamped lead code per element (unpacked, one byte each).
-    leads: Vec<u8>,
+    /// Fields are `pub(crate)` so the SIMD decoder can share pass 1 (the
+    /// integer scan below) and run its own gather-based pass 2.
+    pub(crate) leads: Vec<u8>,
     /// Byte offset of each element's mid-bytes inside the pool (prefix sum).
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Provider index per byte position 0/1/2: `prov[p][i]` is the 1-based
     /// index of the word supplying byte `p` of value `i` (0 = the implicit
     /// all-zero word before the block).
-    prov0: Vec<u32>,
-    prov1: Vec<u32>,
-    prov2: Vec<u32>,
+    pub(crate) prov0: Vec<u32>,
+    pub(crate) prov1: Vec<u32>,
+    pub(crate) prov2: Vec<u32>,
     /// Aligned words, one slot of lead (index 0) for the implicit zero word.
-    words: Vec<u64>,
+    pub(crate) words: Vec<u64>,
     /// Mid-byte pool copy with 8 bytes of slack so the unconditional
     /// overlapping 8-byte loads never read out of bounds.
-    pool: Vec<u8>,
+    pub(crate) pool: Vec<u8>,
     /// Arena (re)allocation events, for allocation-regression tests.
     pub(crate) grows: u64,
 }
@@ -78,7 +80,7 @@ impl DecodeScratch {
     /// Grow the arenas to hold a block of `blen` elements. Amortized free:
     /// after the first block of maximal size this never reallocates.
     #[inline]
-    fn ensure(&mut self, blen: usize) {
+    pub(crate) fn ensure(&mut self, blen: usize) {
         if self.leads.len() < blen {
             self.grows += 1;
             self.leads.resize(blen, 0);
@@ -115,9 +117,9 @@ impl DecodeScratch {
 }
 
 /// Mask selecting big-endian byte `p` of a word, zero past the `nb`-byte
-/// significant prefix.
+/// significant prefix. Shared with the SIMD decoder's gather pass.
 #[inline]
-fn byte_mask(p: usize, nb: usize) -> u64 {
+pub(crate) fn byte_mask(p: usize, nb: usize) -> u64 {
     if p < nb {
         0xffu64 << (56 - 8 * p)
     } else {
@@ -125,16 +127,24 @@ fn byte_mask(p: usize, nb: usize) -> u64 {
     }
 }
 
-/// Kernel decode of one non-constant `ByteAligned` block payload into `out`
-/// (of the block's length). Same validation, same outputs, and same errors
-/// as the scalar [`crate::decode::decode_nonconstant_block`].
-pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
+/// Validated view of a non-constant `ByteAligned` block payload: the
+/// required length, the bit-exact flag, and the lead-code/body sections.
+/// Shared by the kernel and SIMD decoders so both reject exactly the
+/// corrupt payloads the scalar loop rejects.
+pub(crate) struct NonconstHeader<'a> {
+    pub(crate) req_len: u32,
+    pub(crate) raw: bool,
+    pub(crate) codes: &'a [u8],
+    pub(crate) body: &'a [u8],
+}
+
+/// Parse and validate the `[R_k: u8][2-bit lead codes]` prefix of a
+/// non-constant block payload. Same checks and error messages as the scalar
+/// [`crate::decode::decode_nonconstant_block`].
+pub(crate) fn parse_nonconstant_header<F: SzxFloat>(
     payload: &[u8],
-    out: &mut [F],
-    mu: F,
-    scratch: &mut DecodeScratch,
-) -> Result<()> {
-    let blen = out.len();
+    blen: usize,
+) -> Result<NonconstHeader<'_>> {
     let lead_bytes = (2 * blen).div_ceil(8);
     if payload.len() < 1 + lead_bytes {
         return Err(SzxError::CorruptStream("block payload truncated".into()));
@@ -148,53 +158,82 @@ pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
             F::NAME
         )));
     }
-    let raw = req_len == F::FULL_BITS;
-    // PANIC-OK: same length check; payload.len() >= 1 + lead_bytes.
-    let codes = &payload[1..1 + lead_bytes];
-    let body = &payload[1 + lead_bytes..]; // PANIC-OK: as above
+    Ok(NonconstHeader {
+        req_len,
+        raw: req_len == F::FULL_BITS,
+        // PANIC-OK: same length check; payload.len() >= 1 + lead_bytes.
+        codes: &payload[1..1 + lead_bytes],
+        body: &payload[1 + lead_bytes..], // PANIC-OK: as above
+    })
+}
+
+/// Pass 1 — one fused integer scan over the lead codes, producing per
+/// value: the clamped lead, the prefix-summed pool offset (the §6.1
+/// zsize prefix sum at value granularity), and the provider index per
+/// inheritable byte position (cuSZx's index propagation: for each of
+/// the at-most-3 positions a lead code can cover, carry forward the
+/// 1-based index of the last value whose own payload supplies that
+/// byte; a lead of 0 — a fully restated word — resets all three scans,
+/// which is what breaks the scalar loop's `prev` recurrence). Selects,
+/// not branches; the clamp is the same `.min(nb)` the scalar loop does.
+/// Returns the total mid-byte pool length the codes demand. The caller
+/// must have run `scratch.ensure(blen)` and `codes` must hold at least
+/// `ceil(2 * blen / 8)` bytes. Shared with the SIMD decoder (the scan is
+/// inherently serial — three coupled prefix recurrences — so the SIMD
+/// path vectorizes pass 2 only).
+pub(crate) fn scan_lead_codes(
+    codes: &[u8],
+    nb8: u8,
+    blen: usize,
+    scratch: &mut DecodeScratch,
+) -> usize {
+    // PANIC-OK: ensure(blen) (caller contract) sized every arena to >= blen.
+    let leads = &mut scratch.leads[..blen];
+    let offsets = &mut scratch.offsets[..blen]; // PANIC-OK: as above
+    let prov0 = &mut scratch.prov0[..blen]; // PANIC-OK: as above
+    let prov1 = &mut scratch.prov1[..blen]; // PANIC-OK: as above
+    let prov2 = &mut scratch.prov2[..blen]; // PANIC-OK: as above
+    let mut acc = 0u32;
+    let (mut a0, mut a1, mut a2) = (0u32, 0u32, 0u32);
+    for i in 0..blen {
+        // PANIC-OK: i < blen bounds every arena slice taken above, and
+        // i >> 2 < ceil(2 * blen / 8) = codes.len().
+        let l = ((codes[i >> 2] >> (6 - 2 * (i & 3))) & 3).min(nb8);
+        leads[i] = l; // PANIC-OK: as above
+        offsets[i] = acc; // PANIC-OK: as above
+                          // CAST: widening u8 -> u32.
+        acc += (nb8 - l) as u32;
+        // CAST: i < blen <= MAX_BLOCK_SIZE, far below 2^32 - 1.
+        let idx = i as u32 + 1;
+        a0 = if l == 0 { idx } else { a0 };
+        a1 = if l <= 1 { idx } else { a1 };
+        a2 = if l <= 2 { idx } else { a2 };
+        prov0[i] = a0; // PANIC-OK: as above
+        prov1[i] = a1; // PANIC-OK: as above
+        prov2[i] = a2; // PANIC-OK: as above
+    }
+    acc as usize
+}
+
+/// Kernel decode of one non-constant `ByteAligned` block payload into `out`
+/// (of the block's length). Same validation, same outputs, and same errors
+/// as the scalar [`crate::decode::decode_nonconstant_block`].
+pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
+    payload: &[u8],
+    out: &mut [F],
+    mu: F,
+    scratch: &mut DecodeScratch,
+) -> Result<()> {
+    let blen = out.len();
+    let h = parse_nonconstant_header::<F>(payload, blen)?;
+    let (req_len, raw, codes, body) = (h.req_len, h.raw, h.codes, h.body);
 
     let s = shift_for(req_len);
     let nb = bytes_for(req_len);
     scratch.ensure(blen);
 
-    // Pass 1 — one fused integer scan over the lead codes, producing per
-    // value: the clamped lead, the prefix-summed pool offset (the §6.1
-    // zsize prefix sum at value granularity), and the provider index per
-    // inheritable byte position (cuSZx's index propagation: for each of
-    // the at-most-3 positions a lead code can cover, carry forward the
-    // 1-based index of the last value whose own payload supplies that
-    // byte; a lead of 0 — a fully restated word — resets all three scans,
-    // which is what breaks the scalar loop's `prev` recurrence). Selects,
-    // not branches; the clamp is the same `.min(nb)` the scalar loop does.
     let nb8 = nb as u8; // CAST: bytes_for() <= 8
-    let total = {
-        // PANIC-OK: ensure(blen) above sized every arena to >= blen.
-        let leads = &mut scratch.leads[..blen];
-        let offsets = &mut scratch.offsets[..blen]; // PANIC-OK: as above
-        let prov0 = &mut scratch.prov0[..blen]; // PANIC-OK: as above
-        let prov1 = &mut scratch.prov1[..blen]; // PANIC-OK: as above
-        let prov2 = &mut scratch.prov2[..blen]; // PANIC-OK: as above
-        let mut acc = 0u32;
-        let (mut a0, mut a1, mut a2) = (0u32, 0u32, 0u32);
-        for i in 0..blen {
-            // PANIC-OK: i < blen bounds every arena slice taken above, and
-            // i >> 2 < ceil(2 * blen / 8) = codes.len().
-            let l = ((codes[i >> 2] >> (6 - 2 * (i & 3))) & 3).min(nb8);
-            leads[i] = l; // PANIC-OK: as above
-            offsets[i] = acc; // PANIC-OK: as above
-                              // CAST: widening u8 -> u32.
-            acc += (nb8 - l) as u32;
-            // CAST: i < blen <= MAX_BLOCK_SIZE, far below 2^32 - 1.
-            let idx = i as u32 + 1;
-            a0 = if l == 0 { idx } else { a0 };
-            a1 = if l <= 1 { idx } else { a1 };
-            a2 = if l <= 2 { idx } else { a2 };
-            prov0[i] = a0; // PANIC-OK: as above
-            prov1[i] = a1; // PANIC-OK: as above
-            prov2[i] = a2; // PANIC-OK: as above
-        }
-        acc as usize
-    };
+    let total = scan_lead_codes(codes, nb8, blen, scratch);
     contract!(
         scratch.offsets.iter().take(blen).is_sorted() && total <= blen * 8,
         "mid-byte offsets must be a monotone prefix sum bounded by 8 per value"

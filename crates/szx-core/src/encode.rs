@@ -2,7 +2,7 @@
 
 use crate::bitio::BitWriter;
 use crate::block::{bytes_for, required_length, shift_for, BlockStats};
-use crate::config::{CommitStrategy, ErrorBound, SzxConfig};
+use crate::config::{CommitStrategy, ErrorBound, KernelPath, SzxConfig};
 use crate::error::{Result, SzxError};
 use crate::float::SzxFloat;
 use crate::kernels::{self, EncodeScratch};
@@ -144,16 +144,16 @@ impl<F: SzxFloat> ChunkOutput<F> {
 }
 
 /// Resolve the configured error bound against the data, using the selected
-/// range-scan implementation (the two produce identical values; see
-/// [`kernels::value_range`]).
+/// range-scan implementation (all paths produce identical values; see
+/// [`kernels::value_range`] and [`crate::simd::value_range`]).
 pub(crate) fn resolve_bound<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> f64 {
     match cfg.error_bound {
         ErrorBound::Absolute(e) => e,
         ErrorBound::Relative(rel) => {
-            let range = if cfg.kernel.use_kernel() {
-                kernels::value_range(data)
-            } else {
-                crate::config::value_range(data)
+            let range = match cfg.kernel.resolve() {
+                KernelPath::Simd => crate::simd::value_range(data),
+                KernelPath::Kernel => kernels::value_range(data),
+                KernelPath::Scalar => crate::config::value_range(data),
             };
             rel * range
         }
@@ -192,7 +192,7 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
             cfg.block_size,
             eb,
             cfg.strategy,
-            cfg.kernel.use_kernel(),
+            cfg.kernel.resolve(),
             &mut chunk,
             &mut scratch,
         );
@@ -202,27 +202,39 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
 }
 
 /// Encode every block of `data` (a whole number of blocks except possibly
-/// the last) into `out`. Shared by the serial and parallel paths;
-/// `use_kernel` selects between the branch-free kernels and the scalar
-/// oracle (byte-identical outputs, see [`crate::kernels`]).
+/// the last) into `out`. Shared by the serial and parallel paths; `path`
+/// selects among the explicit SIMD kernels, the branch-free portable
+/// kernels, and the scalar oracle (byte-identical outputs, see
+/// [`crate::kernels`] and [`crate::simd`]).
 pub(crate) fn encode_blocks<F: SzxFloat>(
     data: &[F],
     block_size: usize,
     eb: f64,
     strategy: CommitStrategy,
-    use_kernel: bool,
+    path: KernelPath,
     out: &mut ChunkOutput<F>,
     scratch: &mut EncodeScratch,
 ) {
     // Zone-only attribution of which hot-loop path ran: the profiler and
-    // flight recorder see kernel vs scalar time separately, at the cost of
-    // one zone per chunk (never per block).
-    if use_kernel {
-        let _z = szx_telemetry::trace_zone("compress.encode.kernel", 0);
-        encode_blocks_impl::<F, true>(data, block_size, eb, strategy, out, scratch);
-    } else {
-        let _z = szx_telemetry::trace_zone("compress.encode.scalar", 0);
-        encode_blocks_impl::<F, false>(data, block_size, eb, strategy, out, scratch);
+    // flight recorder see simd vs kernel vs scalar time separately, at the
+    // cost of one zone per chunk (never per block).
+    match path {
+        KernelPath::Simd => {
+            let _z = szx_telemetry::trace_zone("compress.simd.encode", 0);
+            encode_blocks_impl::<F, { KERNEL_SIMD }>(data, block_size, eb, strategy, out, scratch);
+        }
+        KernelPath::Kernel => {
+            let _z = szx_telemetry::trace_zone("compress.encode.kernel", 0);
+            encode_blocks_impl::<F, { KERNEL_PORTABLE }>(
+                data, block_size, eb, strategy, out, scratch,
+            );
+        }
+        KernelPath::Scalar => {
+            let _z = szx_telemetry::trace_zone("compress.encode.scalar", 0);
+            encode_blocks_impl::<F, { KERNEL_SCALAR }>(
+                data, block_size, eb, strategy, out, scratch,
+            );
+        }
     }
     // Surface the scratch arena's growth events through the chunk stats so
     // the allocation-regression test can observe them; the counter is reset
@@ -231,9 +243,15 @@ pub(crate) fn encode_blocks<F: SzxFloat>(
     out.stats.scratch_arena_bytes = out.stats.scratch_arena_bytes.max(scratch.arena_bytes());
 }
 
-/// The monomorphized block loop. `KERNEL` is a const so each path compiles
+/// Path discriminants for the monomorphized block loop (a const-generic
+/// enum is not expressible, so the three paths are const `u8` values).
+const KERNEL_SCALAR: u8 = 0;
+const KERNEL_PORTABLE: u8 = 1;
+const KERNEL_SIMD: u8 = 2;
+
+/// The monomorphized block loop. `PATH` is a const so each path compiles
 /// to its own fully-inlined loop with zero dispatch inside.
-fn encode_blocks_impl<F: SzxFloat, const KERNEL: bool>(
+fn encode_blocks_impl<F: SzxFloat, const PATH: u8>(
     data: &[F],
     block_size: usize,
     eb: f64,
@@ -247,10 +265,10 @@ fn encode_blocks_impl<F: SzxFloat, const KERNEL: bool>(
     let record = szx_telemetry::enabled();
     for block in data.chunks(block_size) {
         let t0 = record.then(std::time::Instant::now);
-        let stats = if KERNEL {
-            kernels::block_stats(block)
-        } else {
-            BlockStats::compute(block)
+        let stats = match PATH {
+            KERNEL_SIMD => crate::simd::block_stats(block),
+            KERNEL_PORTABLE => kernels::block_stats(block),
+            _ => BlockStats::compute(block),
         };
         let t1 = record.then(std::time::Instant::now);
         if let (Some(t0), Some(t1)) = (t0, t1) {
@@ -265,10 +283,24 @@ fn encode_blocks_impl<F: SzxFloat, const KERNEL: bool>(
         } else {
             out.states.push(true);
             let start = out.payload.len();
-            let (mu, req_len) = if KERNEL {
-                kernels::encode_nonconstant(block, &stats, eb, strategy, &mut out.payload, scratch)
-            } else {
-                encode_nonconstant(block, &stats, eb, strategy, &mut out.payload, scratch)
+            let (mu, req_len) = match PATH {
+                KERNEL_SIMD => crate::simd::encode_nonconstant(
+                    block,
+                    &stats,
+                    eb,
+                    strategy,
+                    &mut out.payload,
+                    scratch,
+                ),
+                KERNEL_PORTABLE => kernels::encode_nonconstant(
+                    block,
+                    &stats,
+                    eb,
+                    strategy,
+                    &mut out.payload,
+                    scratch,
+                ),
+                _ => encode_nonconstant(block, &stats, eb, strategy, &mut out.payload, scratch),
             };
             out.mus.push(mu);
             let zsize = out.payload.len() - start;

@@ -70,6 +70,17 @@ pub trait SzxFloat:
     /// Deserialize one element little-endian from the front of `src`.
     /// Caller guarantees `src.len() >= Self::BYTES`.
     fn read_le(src: &[u8]) -> Self;
+
+    /// View as an `f32` slice when `Self` is `f32` — the zero-unsafe
+    /// downcast the SIMD dispatch layer uses to route generic calls to
+    /// concretely typed intrinsic kernels. `None` for `f64`.
+    fn as_f32s(data: &[Self]) -> Option<&[f32]>;
+    /// Mutable variant of [`as_f32s`](Self::as_f32s).
+    fn as_f32s_mut(data: &mut [Self]) -> Option<&mut [f32]>;
+    /// View as an `f64` slice when `Self` is `f64`. `None` for `f32`.
+    fn as_f64s(data: &[Self]) -> Option<&[f64]>;
+    /// Mutable variant of [`as_f64s`](Self::as_f64s).
+    fn as_f64s_mut(data: &mut [Self]) -> Option<&mut [f64]>;
 }
 
 impl SzxFloat for f32 {
@@ -126,6 +137,26 @@ impl SzxFloat for f32 {
     #[inline]
     fn read_le(src: &[u8]) -> Self {
         f32::from_le_bytes([src[0], src[1], src[2], src[3]])
+    }
+
+    #[inline(always)]
+    fn as_f32s(data: &[Self]) -> Option<&[f32]> {
+        Some(data)
+    }
+
+    #[inline(always)]
+    fn as_f32s_mut(data: &mut [Self]) -> Option<&mut [f32]> {
+        Some(data)
+    }
+
+    #[inline(always)]
+    fn as_f64s(_data: &[Self]) -> Option<&[f64]> {
+        None
+    }
+
+    #[inline(always)]
+    fn as_f64s_mut(_data: &mut [Self]) -> Option<&mut [f64]> {
+        None
     }
 }
 
@@ -185,6 +216,26 @@ impl SzxFloat for f64 {
         f64::from_le_bytes([
             src[0], src[1], src[2], src[3], src[4], src[5], src[6], src[7],
         ])
+    }
+
+    #[inline(always)]
+    fn as_f32s(_data: &[Self]) -> Option<&[f32]> {
+        None
+    }
+
+    #[inline(always)]
+    fn as_f32s_mut(_data: &mut [Self]) -> Option<&mut [f32]> {
+        None
+    }
+
+    #[inline(always)]
+    fn as_f64s(data: &[Self]) -> Option<&[f64]> {
+        Some(data)
+    }
+
+    #[inline(always)]
+    fn as_f64s_mut(data: &mut [Self]) -> Option<&mut [f64]> {
+        Some(data)
     }
 }
 

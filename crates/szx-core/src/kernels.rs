@@ -48,12 +48,14 @@ pub const LANES: usize = 8;
 #[derive(Debug, Default)]
 pub struct EncodeScratch {
     /// High-aligned, normalized, shifted words — one per block element.
-    words: Vec<u64>,
+    /// `pub(crate)`: the SIMD encoder materializes these with intrinsics
+    /// and then shares the pack/commit passes below.
+    pub(crate) words: Vec<u64>,
     /// 2-bit leading-byte code per element (stored unpacked, one byte each).
-    leads: Vec<u8>,
+    pub(crate) leads: Vec<u8>,
     /// Mid-byte arena: worst case 8 bytes per element, plus 8 bytes of slack
     /// so the committer's unconditional 8-byte stores never overrun.
-    mid: Vec<u8>,
+    pub(crate) mid: Vec<u8>,
     /// Whole-byte pool for Solution A/B scalar fallbacks.
     pub(crate) bytes_pool: Vec<u8>,
     /// Bit pool for Solution A/B residuals.
@@ -68,7 +70,7 @@ impl EncodeScratch {
     /// Grow the arenas to hold a block of `blen` elements. Amortized free:
     /// after the first block of maximal size this never reallocates.
     #[inline]
-    fn ensure(&mut self, blen: usize) {
+    pub(crate) fn ensure(&mut self, blen: usize) {
         if self.words.len() < blen {
             self.grows += 1;
             self.words.resize(blen, 0);
@@ -255,42 +257,13 @@ pub(crate) fn encode_nonconstant<F: SzxFloat>(
     }
 
     // Pass 3 — pack four 2-bit codes per byte, MSB-first.
-    let mut quads = leads.chunks_exact(4);
-    for q in &mut quads {
-        payload.push(q[0] << 6 | q[1] << 4 | q[2] << 2 | q[3]);
-    }
-    let rem = quads.remainder();
-    if !rem.is_empty() {
-        let mut b = 0u8;
-        for (j, &l) in rem.iter().enumerate() {
-            b |= l << (6 - 2 * j);
-        }
-        payload.push(b);
-    }
+    pack_lead_codes(leads, payload);
 
     // Pass 4 — commit.
     match strategy {
         CommitStrategy::ByteAligned => {
-            // The Solution C mid-byte committer: value i owes bytes
-            // `lead..nb` of its big-endian word. `w << 8·lead` moves byte
-            // `lead` to the front, so one unconditional 8-byte store writes
-            // them (plus a garbage tail the next store overlaps); the cursor
-            // advances by the true length. The arena carries 8 bytes of
-            // slack, so the slice index below never goes out of bounds.
             let nb = bytes_for(req_len);
-            let mid = &mut scratch.mid[..];
-            let mut pos = 0usize;
-            for (&w, &lead) in words.iter().zip(leads.iter()) {
-                let lead = lead as usize;
-                contract!(
-                    lead <= nb && pos + 8 <= mid.len(),
-                    "committer store at {pos} must stay inside the slack-padded arena"
-                );
-                // CAST: lead <= lead_cap <= 3.
-                mid[pos..pos + 8].copy_from_slice(&(w << (8 * lead as u32)).to_be_bytes());
-                pos += nb - lead;
-            }
-            payload.extend_from_slice(&mid[..pos]);
+            commit_byte_aligned(words, leads, nb, &mut scratch.mid, payload);
         }
         CommitStrategy::BitPack => {
             scratch.bits.clear();
@@ -335,6 +308,55 @@ pub(crate) fn encode_nonconstant<F: SzxFloat>(
         }
     }
     (mu, req_len)
+}
+
+/// Pack four 2-bit lead codes per byte, MSB-first, plus a remainder byte —
+/// the shared pass 3 of the kernel and SIMD encoders. `leads` may be any
+/// length; a non-multiple-of-4 tail packs into one final partial byte, so
+/// the SIMD path may call this on just the tail after packing full groups
+/// with intrinsics (the split point must be a multiple of 4).
+#[inline]
+pub(crate) fn pack_lead_codes(leads: &[u8], payload: &mut Vec<u8>) {
+    let mut quads = leads.chunks_exact(4);
+    for q in &mut quads {
+        payload.push(q[0] << 6 | q[1] << 4 | q[2] << 2 | q[3]);
+    }
+    let rem = quads.remainder();
+    if !rem.is_empty() {
+        let mut b = 0u8;
+        for (j, &l) in rem.iter().enumerate() {
+            b |= l << (6 - 2 * j);
+        }
+        payload.push(b);
+    }
+}
+
+/// The Solution C mid-byte committer — the shared pass 4 of the kernel and
+/// SIMD encoders: value i owes bytes `lead..nb` of its big-endian word.
+/// `w << 8·lead` moves byte `lead` to the front, so one unconditional
+/// 8-byte store writes them (plus a garbage tail the next store overlaps);
+/// the cursor advances by the true length. The arena carries 8 bytes of
+/// slack, so the slice index below never goes out of bounds.
+#[inline]
+pub(crate) fn commit_byte_aligned(
+    words: &[u64],
+    leads: &[u8],
+    nb: usize,
+    mid: &mut [u8],
+    payload: &mut Vec<u8>,
+) {
+    let mut pos = 0usize;
+    for (&w, &lead) in words.iter().zip(leads.iter()) {
+        let lead = lead as usize;
+        contract!(
+            lead <= nb && pos + 8 <= mid.len(),
+            "committer store at {pos} must stay inside the slack-padded arena"
+        );
+        // CAST: lead <= lead_cap <= 3.
+        mid[pos..pos + 8].copy_from_slice(&(w << (8 * lead as u32)).to_be_bytes());
+        pos += nb - lead;
+    }
+    payload.extend_from_slice(&mid[..pos]);
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 
 use rayon::prelude::*;
 
-use crate::config::{KernelSelect, SzxConfig};
+use crate::config::{KernelPath, KernelSelect, SzxConfig};
 use crate::decode::{decode_block_dispatch, StreamIndex};
 use crate::dekernels::DecodeScratch;
 use crate::encode::{assemble, encode_blocks, ChunkOutput};
@@ -24,32 +24,39 @@ use crate::kernels::{self, EncodeScratch};
 /// scheduling, fine enough to balance skewed payloads.
 const DECODE_GROUP: usize = 32;
 
-/// Parallel global value range (max − min), NaN-ignoring. `use_kernel`
-/// selects the per-chunk scan implementation; both produce the identical
-/// value (extrema are selected, never computed), so the resolved bound —
-/// and therefore the stream — is the same for every path.
-fn value_range_par<F: SzxFloat>(data: &[F], use_kernel: bool) -> f64 {
+/// Parallel global value range (max − min), NaN-ignoring. `path` selects
+/// the per-chunk scan implementation; all produce the identical value
+/// (extrema are selected, never computed), so the resolved bound — and
+/// therefore the stream — is the same for every path.
+fn value_range_par<F: SzxFloat>(data: &[F], path: KernelPath) -> f64 {
     let (min, max) = data
         .par_chunks(64 * 1024)
         .enumerate()
         .map(|(ci, chunk)| {
             let _z = szx_telemetry::trace_zone("compress.range_chunk", ci as u64);
-            if use_kernel {
-                let (lo, hi) = kernels::minmax(chunk);
-                (lo.to_f64(), hi.to_f64())
-            } else {
-                let mut lo = f64::INFINITY;
-                let mut hi = f64::NEG_INFINITY;
-                for &d in chunk {
-                    let x = d.to_f64();
-                    if x < lo {
-                        lo = x;
-                    }
-                    if x > hi {
-                        hi = x;
-                    }
+            match path {
+                KernelPath::Simd => {
+                    let (lo, hi) = crate::simd::minmax(chunk);
+                    (lo.to_f64(), hi.to_f64())
                 }
-                (lo, hi)
+                KernelPath::Kernel => {
+                    let (lo, hi) = kernels::minmax(chunk);
+                    (lo.to_f64(), hi.to_f64())
+                }
+                KernelPath::Scalar => {
+                    let mut lo = f64::INFINITY;
+                    let mut hi = f64::NEG_INFINITY;
+                    for &d in chunk {
+                        let x = d.to_f64();
+                        if x < lo {
+                            lo = x;
+                        }
+                        if x > hi {
+                            hi = x;
+                        }
+                    }
+                    (lo, hi)
+                }
             }
         })
         .reduce(
@@ -71,12 +78,12 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
     if data.is_empty() {
         return Err(SzxError::EmptyInput);
     }
-    let use_kernel = cfg.kernel.use_kernel();
+    let path = cfg.kernel.resolve();
     let eb = {
         let _s = szx_telemetry::span("compress.range_scan");
         match cfg.error_bound {
             crate::config::ErrorBound::Absolute(e) => e,
-            crate::config::ErrorBound::Relative(rel) => rel * value_range_par(data, use_kernel),
+            crate::config::ErrorBound::Relative(rel) => rel * value_range_par(data, path),
         }
     };
     if !eb.is_finite() || eb < 0.0 {
@@ -115,7 +122,7 @@ pub fn compress<F: SzxFloat>(data: &[F], cfg: &SzxConfig) -> Result<Vec<u8>> {
                     bs,
                     eb,
                     cfg.strategy,
-                    use_kernel,
+                    path,
                     &mut out,
                     &mut scratch,
                 );
@@ -143,7 +150,7 @@ pub fn decompress_with<F: SzxFloat>(bytes: &[u8], kernel: KernelSelect) -> Resul
         StreamIndex::build::<F>(bytes)?
     };
     let mut out = vec![F::ZERO; index.header.n];
-    decompress_with_index(&index, &mut out, kernel.use_kernel())?;
+    decompress_with_index(&index, &mut out, kernel.resolve())?;
     Ok(out)
 }
 
@@ -163,13 +170,13 @@ pub fn decompress_into_with<F: SzxFloat>(
         let _s = szx_telemetry::span("decompress.index");
         StreamIndex::build::<F>(bytes)?
     };
-    decompress_with_index(&index, out, kernel.use_kernel())
+    decompress_with_index(&index, out, kernel.resolve())
 }
 
 fn decompress_with_index<F: SzxFloat>(
     index: &StreamIndex<'_>,
     out: &mut [F],
-    use_kernel: bool,
+    path: KernelPath,
 ) -> Result<()> {
     if out.len() != index.header.n {
         return Err(SzxError::InvalidConfig(format!(
@@ -212,14 +219,7 @@ fn decompress_with_index<F: SzxFloat>(
                     let off = index.payload_offsets[nc];
                     let len = index.zsizes[nc] as usize;
                     let payload = &index.payloads[off..off + len];
-                    decode_block_dispatch(
-                        payload,
-                        block_out,
-                        mu,
-                        strategy,
-                        use_kernel,
-                        &mut scratch,
-                    )?;
+                    decode_block_dispatch(payload, block_out, mu, strategy, path, &mut scratch)?;
                 } else {
                     block_out.fill(mu);
                 }

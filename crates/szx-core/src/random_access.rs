@@ -10,7 +10,7 @@
 
 use core::cell::RefCell;
 
-use crate::config::{CommitStrategy, KernelSelect};
+use crate::config::{CommitStrategy, KernelPath, KernelSelect};
 use crate::decode::{decode_block_dispatch, ParsedStream};
 use crate::dekernels::DecodeScratch;
 use crate::error::{Result, SzxError};
@@ -22,7 +22,7 @@ pub struct RandomAccess<'a, F: SzxFloat> {
     strategy: CommitStrategy,
     block_size: usize,
     n: usize,
-    use_kernel: bool,
+    path: KernelPath,
     /// Kernel arenas reused across `decode_block` calls. A `RefCell` keeps
     /// the decode methods `&self` (the reader is a view, not a mutator);
     /// the borrow never escapes a single block decode.
@@ -41,15 +41,15 @@ impl<'a, F: SzxFloat> RandomAccess<'a, F> {
             strategy: header.strategy,
             block_size: header.block_size,
             n: header.n,
-            use_kernel: KernelSelect::Auto.use_kernel(),
+            path: KernelSelect::Auto.resolve(),
             scratch: RefCell::new(DecodeScratch::default()),
             _marker: core::marker::PhantomData,
         })
     }
 
-    /// Select the decode path (kernel vs scalar — identical outputs).
+    /// Select the decode path (simd vs kernel vs scalar — identical outputs).
     pub fn with_kernel(mut self, kernel: KernelSelect) -> Self {
-        self.use_kernel = kernel.use_kernel();
+        self.path = kernel.resolve();
         self
     }
 
@@ -91,7 +91,7 @@ impl<'a, F: SzxFloat> RandomAccess<'a, F> {
                 out,
                 mu,
                 self.strategy,
-                self.use_kernel,
+                self.path,
                 &mut self.scratch.borrow_mut(),
             )
         } else {

@@ -1,0 +1,451 @@
+//! Explicit SIMD kernels for the encode/decode hot paths, behind runtime
+//! multi-ISA dispatch.
+//!
+//! The portable kernels in [`crate::kernels`] / [`crate::dekernels`] are
+//! written so the autovectorizer *can* emit vector code, but nothing forces
+//! it to — a register-allocation hiccup or a cost-model miss silently
+//! degrades them to scalar. This module pins the three hot loops to explicit
+//! `std::arch` intrinsics:
+//!
+//! 1. **Range scan** ([`block_stats`] / [`minmax`]): 8-lane min/max stripes
+//!    with NaN presence folded in via unordered compares — one AVX2 register
+//!    of `f32`, two of `f64`.
+//! 2. **Encode coder** ([`encode_nonconstant`]): normalize → shift into the
+//!    high-aligned word (Formulas 4–5), XOR-against-predecessor leading-byte
+//!    counting with branch-free nested byte-prefix compares, and a
+//!    `maddubs`/`madd` 2-bit code packer (32 codes per vector).
+//! 3. **Decode pass 2** ([`decode_nonconstant_block`]): the fused
+//!    reconstruction sweep — gather each value's overlapping big-endian
+//!    8-byte load from the mid-byte pool, byte-swap in-register, then gather
+//!    the cuSZx-style provider words and mask-merge (pass 1's coupled prefix
+//!    recurrences stay in the shared serial scan,
+//!    [`crate::dekernels::scan_lead_codes`]).
+//!
+//! **Dispatch.** Callers never invoke the backends directly: every entry
+//! point here re-checks [`ready`] (a cached `is_x86_feature_detected!`) and
+//! silently falls back to the portable kernel, so a `KernelPath::Simd`
+//! resolved on one machine is still *safe* — just not reachable — if the
+//! state ever migrates. [`available`] additionally honors the
+//! `SZX_DISABLE_SIMD` environment override (checked once per top-level
+//! compress/decompress call, not per block) so operators can force the
+//! portable path without rebuilding.
+//!
+//! **Equivalence.** Every backend is byte-for-byte equivalent to the
+//! portable kernels — same select semantics (NaN never replaces an
+//! incumbent, ties keep the earlier element), same clamps, same overlapping
+//! store/load trick — which the roundtrip property suite, the fuzz
+//! differential oracle, and the corrupt-archive suite assert. The scalar
+//! loops remain the oracle of record.
+//!
+//! This module is the crate's one sanctioned unsafe surface: the crate root
+//! carries `#![deny(unsafe_code)]` and each backend file opts back in with
+//! an inner `#![allow(unsafe_code)]`; szx-audit allowlists exactly this
+//! directory and additionally requires every `#[target_feature]` call site
+//! to carry a `SAFETY:` comment naming the runtime detection guard.
+
+// The only unsafe in this file is *calling* the `#[target_feature]`
+// backends after the runtime detection guard.
+#![allow(unsafe_code)]
+
+use crate::block::{bytes_for, required_length, shift_for, BlockStats};
+use crate::config::CommitStrategy;
+use crate::dekernels::{self, DecodeScratch};
+use crate::error::Result;
+use crate::float::SzxFloat;
+use crate::kernels::{self, EncodeScratch};
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+/// Cached runtime ISA detection: AVX2 on x86-64, NEON (an architectural
+/// baseline, so unconditionally true) on aarch64, absent elsewhere. This is
+/// the cheap per-call guard the dispatch wrappers use; the env override
+/// lives in [`available`] so it is consulted once per top-level call.
+#[inline]
+pub(crate) fn ready() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// Is the SIMD path available for dispatch? True when the running CPU has
+/// the required ISA extension **and** the `SZX_DISABLE_SIMD` environment
+/// variable is unset (or set to the empty string). This is what
+/// [`KernelSelect::resolve`](crate::config::KernelSelect::resolve) consults:
+/// with the override set, `Auto` and explicit `Simd` requests silently land
+/// on the portable kernel and produce identical output.
+pub fn available() -> bool {
+    ready() && std::env::var_os("SZX_DISABLE_SIMD").is_none_or(|v| v.is_empty())
+}
+
+/// Do the coder backends (encode passes 1–3, decode pass 2) exist for this
+/// target? The NEON backend currently covers only the range scan, so on
+/// aarch64 the coder paths delegate to the portable kernels while the scan
+/// runs vectorized.
+#[inline]
+fn coder_ready() -> bool {
+    cfg!(target_arch = "x86_64") && ready()
+}
+
+/// Reinterpret stats computed in the concrete backend type back into `F`.
+/// Only reached when `F` *is* that concrete type (the `as_f32s`/`as_f64s`
+/// downcast gates it), so the word roundtrip is the identity on bits.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+#[inline]
+fn convert_stats<G: SzxFloat, F: SzxFloat>(s: BlockStats<G>) -> BlockStats<F> {
+    debug_assert_eq!(F::FULL_BITS, G::FULL_BITS);
+    BlockStats {
+        mu: F::from_word(s.mu.to_word()),
+        radius: F::from_word(s.radius.to_word()),
+    }
+}
+
+/// SIMD block statistics: bit-identical to [`crate::kernels::block_stats`]
+/// (and therefore to the scalar [`BlockStats::compute`]). Falls back to the
+/// portable kernel for short blocks and unsupported targets.
+#[inline]
+pub fn block_stats<F: SzxFloat>(block: &[F]) -> BlockStats<F> {
+    debug_assert!(!block.is_empty());
+    #[cfg(target_arch = "x86_64")]
+    if ready() && block.len() >= 2 * kernels::LANES {
+        if let Some(b) = F::as_f32s(block) {
+            // SAFETY: `ready()` confirmed AVX2 via cached runtime feature
+            // detection (`is_x86_feature_detected!("avx2")`).
+            return convert_stats(unsafe { x86::block_stats_f32(b) });
+        }
+        if let Some(b) = F::as_f64s(block) {
+            // SAFETY: as above — AVX2 confirmed by runtime detection.
+            return convert_stats(unsafe { x86::block_stats_f64(b) });
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    if ready() && block.len() >= 2 * kernels::LANES {
+        if let Some(b) = F::as_f32s(block) {
+            return convert_stats(neon::block_stats_f32(b));
+        }
+    }
+    kernels::block_stats(block)
+}
+
+/// SIMD global min/max (NaN-ignoring), bit-identical to
+/// [`crate::kernels::minmax`] including the `(+inf, -inf)` all-NaN result.
+#[inline]
+pub fn minmax<F: SzxFloat>(data: &[F]) -> (F, F) {
+    #[cfg(target_arch = "x86_64")]
+    if ready() && data.len() >= kernels::LANES {
+        if let Some(d) = F::as_f32s(data) {
+            // SAFETY: `ready()` confirmed AVX2 via cached runtime feature
+            // detection.
+            let (lo, hi) = unsafe { x86::minmax_f32(d) };
+            return (F::from_word(lo.to_word()), F::from_word(hi.to_word()));
+        }
+        if let Some(d) = F::as_f64s(data) {
+            // SAFETY: as above — AVX2 confirmed by runtime detection.
+            let (lo, hi) = unsafe { x86::minmax_f64(d) };
+            return (F::from_word(lo.to_word()), F::from_word(hi.to_word()));
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    if ready() && data.len() >= kernels::LANES {
+        if let Some(d) = F::as_f32s(data) {
+            let (lo, hi) = neon::minmax_f32(d);
+            return (F::from_word(lo.to_word()), F::from_word(hi.to_word()));
+        }
+    }
+    kernels::minmax(data)
+}
+
+/// Global value range via [`minmax`]; identical result to
+/// [`crate::kernels::value_range`] and the scalar scan.
+#[inline]
+pub fn value_range<F: SzxFloat>(data: &[F]) -> f64 {
+    let (min, max) = minmax(data);
+    let (min, max) = (min.to_f64(), max.to_f64());
+    if max >= min {
+        max - min
+    } else {
+        0.0
+    }
+}
+
+/// SIMD encode of one non-constant block: intrinsic passes 1–3 (normalize/
+/// shift, lead-code derivation, 2-bit packing) feeding the shared
+/// overlapping-store committer. Byte-identical payload to
+/// [`crate::kernels::encode_nonconstant`]; non-`ByteAligned` strategies and
+/// targets without a coder backend delegate to it outright.
+pub(crate) fn encode_nonconstant<F: SzxFloat>(
+    block: &[F],
+    stats: &BlockStats<F>,
+    eb: f64,
+    strategy: CommitStrategy,
+    payload: &mut Vec<u8>,
+    scratch: &mut EncodeScratch,
+) -> (F, u32) {
+    if strategy != CommitStrategy::ByteAligned || !coder_ready() {
+        return kernels::encode_nonconstant(block, stats, eb, strategy, payload, scratch);
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        let req_len = required_length::<F>(stats.radius, eb);
+        let raw = req_len == F::FULL_BITS;
+        let mu = if raw { F::ZERO } else { stats.mu };
+        let blen = block.len();
+        scratch.ensure(blen);
+        payload.push(req_len as u8); // CAST: req_len <= FULL_BITS = 64
+
+        let s = shift_for(req_len);
+        let nb = bytes_for(req_len);
+        let lead_cap = nb.min(3) as u8; // CAST: clamped to at most 3
+
+        // Passes 1 + 2 — materialize the shifted words and the clamped lead
+        // codes with intrinsics.
+        {
+            // PANIC-OK: ensure(blen) above sized both arenas to blen.
+            let words = &mut scratch.words[..blen];
+            let leads = &mut scratch.leads[..blen]; // PANIC-OK: as above
+            if let Some(b) = F::as_f32s(block) {
+                // μ reinterpreted in the block's own type, bit-exactly (the
+                // downcast proves F = f32).
+                let mu32 = f32::from_word(mu.to_word());
+                // SAFETY: `coder_ready()` above confirmed AVX2 via cached
+                // runtime feature detection.
+                unsafe { x86::encode_words_leads_f32(b, raw, mu32, s, lead_cap, words, leads) };
+            } else if let Some(b) = F::as_f64s(block) {
+                let mu64 = f64::from_word(mu.to_word());
+                // SAFETY: as above — AVX2 confirmed by runtime detection.
+                unsafe { x86::encode_words_leads_f64(b, raw, mu64, s, lead_cap, words, leads) };
+            }
+        }
+
+        // Pass 3 — pack the 2-bit codes: full 32-code groups with the
+        // maddubs/madd packer, the tail through the shared scalar packer
+        // (the split point is a multiple of 4, so byte boundaries align).
+        {
+            let leads = &scratch.leads[..blen]; // PANIC-OK: ensure(blen)
+            let n32 = blen & !31;
+            // SAFETY: `coder_ready()` above confirmed AVX2 via cached
+            // runtime feature detection.
+            // PANIC-OK: n32 <= blen = leads.len() by construction.
+            unsafe { x86::pack_lead_codes(&leads[..n32], payload) };
+            kernels::pack_lead_codes(&leads[n32..], payload); // PANIC-OK: as above
+        }
+
+        // Pass 4 — the shared Solution C overlapping-store committer.
+        kernels::commit_byte_aligned(
+            &scratch.words[..blen], // PANIC-OK: ensure(blen)
+            &scratch.leads[..blen], // PANIC-OK: ensure(blen)
+            nb,
+            &mut scratch.mid,
+            payload,
+        );
+        (mu, req_len)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        // coder_ready() is false off x86-64, so this is unreachable; keep
+        // the delegation anyway rather than a panic site.
+        kernels::encode_nonconstant(block, stats, eb, strategy, payload, scratch)
+    }
+}
+
+/// SIMD decode of one non-constant `ByteAligned` block payload: the shared
+/// serial pass-1 scan, then a gather-based intrinsic pass 2. Same
+/// validation, outputs, and errors as
+/// [`crate::dekernels::decode_nonconstant_block`]; targets without a coder
+/// backend delegate to it outright.
+pub(crate) fn decode_nonconstant_block<F: SzxFloat>(
+    payload: &[u8],
+    out: &mut [F],
+    mu: F,
+    scratch: &mut DecodeScratch,
+) -> Result<()> {
+    if !coder_ready() {
+        return dekernels::decode_nonconstant_block(payload, out, mu, scratch);
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        use crate::contracts::contract;
+        use crate::error::SzxError;
+
+        let blen = out.len();
+        let h = dekernels::parse_nonconstant_header::<F>(payload, blen)?;
+        let s = shift_for(h.req_len);
+        let nb = bytes_for(h.req_len);
+        scratch.ensure(blen);
+        let nb8 = nb as u8; // CAST: bytes_for() <= 8
+        let total = dekernels::scan_lead_codes(h.codes, nb8, blen, scratch);
+        contract!(
+            scratch.offsets.iter().take(blen).is_sorted() && total <= blen * 8,
+            "mid-byte offsets must be a monotone prefix sum bounded by 8 per value"
+        );
+        if total > h.body.len() {
+            return Err(SzxError::CorruptStream("mid-byte pool truncated".into()));
+        }
+        // PANIC-OK: total <= body.len() was just checked, and ensure()
+        // sized the pool to blen * 8 + 8 >= total + 8.
+        scratch.pool[..total].copy_from_slice(&h.body[..total]);
+
+        let raw = h.raw;
+        // PANIC-OK: ensure(blen) sized words to blen + 1 and the
+        // per-element arenas to blen (five slices below).
+        let words = &mut scratch.words[..blen + 1];
+        let pool = &scratch.pool[..]; // PANIC-OK: full-range slice
+        let leads = &scratch.leads[..blen]; // PANIC-OK: as above
+        let offsets = &scratch.offsets[..blen]; // PANIC-OK: as above
+        let prov0 = &scratch.prov0[..blen]; // PANIC-OK: as above
+        let prov1 = &scratch.prov1[..blen]; // PANIC-OK: as above
+        let prov2 = &scratch.prov2[..blen]; // PANIC-OK: as above
+        if let Some(o) = F::as_f32s_mut(out) {
+            let mu32 = f32::from_word(mu.to_word());
+            // SAFETY: `coder_ready()` above confirmed AVX2 via cached
+            // runtime feature detection; the slices were sized by ensure()
+            // and validated against the payload just above.
+            unsafe {
+                x86::decode_pass2_f32(
+                    pool, leads, offsets, prov0, prov1, prov2, words, o, nb, s, raw, mu32,
+                )
+            };
+        } else if let Some(o) = F::as_f64s_mut(out) {
+            let mu64 = f64::from_word(mu.to_word());
+            // SAFETY: as above — AVX2 confirmed by runtime detection.
+            unsafe {
+                x86::decode_pass2_f64(
+                    pool, leads, offsets, prov0, prov1, prov2, words, o, nb, s, raw, mu64,
+                )
+            };
+        }
+        Ok(())
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        // coder_ready() is false off x86-64, so this is unreachable; keep
+        // the delegation anyway rather than a panic site.
+        dekernels::decode_nonconstant_block(payload, out, mu, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SzxConfig;
+
+    fn cases_f32() -> Vec<Vec<f32>> {
+        let mut cases = vec![
+            (0..1000).map(|i| (i as f32 * 0.01).sin() * 7.0).collect(),
+            (0..513).map(|i| 100.0 + i as f32 * 1e-4).collect(),
+            vec![1.5f32; 300],
+            (0..97).map(|i| ((i * 37 % 97) as f32) - 48.0).collect(),
+        ];
+        let mut mixed: Vec<f32> = (0..256).map(|i| (i as f32 * 0.3).cos()).collect();
+        mixed[3] = f32::NAN;
+        mixed[77] = f32::INFINITY;
+        mixed[120] = -0.0;
+        cases.push(mixed);
+        cases
+    }
+
+    #[test]
+    fn simd_block_stats_matches_kernel() {
+        for data in cases_f32() {
+            for blen in [16usize, 128, data.len()] {
+                for block in data.chunks(blen) {
+                    let a = kernels::block_stats(block);
+                    let b = block_stats(block);
+                    assert_eq!(a.mu.to_bits(), b.mu.to_bits());
+                    assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+                }
+            }
+        }
+        let data: Vec<f64> = (0..777).map(|i| (i as f64 * 0.013).sin() * 3.0).collect();
+        for block in data.chunks(128) {
+            let a = kernels::block_stats(block);
+            let b = block_stats(block);
+            assert_eq!(a.mu.to_bits(), b.mu.to_bits());
+            assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+        }
+    }
+
+    #[test]
+    fn simd_minmax_matches_kernel() {
+        for data in cases_f32() {
+            let (a0, a1) = kernels::minmax(&data);
+            let (b0, b1) = minmax(&data);
+            assert_eq!(a0.to_bits(), b0.to_bits());
+            assert_eq!(a1.to_bits(), b1.to_bits());
+            assert_eq!(value_range(&data), kernels::value_range(&data));
+        }
+        assert_eq!(value_range::<f32>(&[f32::NAN; 20]), 0.0);
+        assert_eq!(value_range::<f32>(&[]), 0.0);
+        let d64: Vec<f64> = (0..321).map(|i| ((i * 31 % 211) as f64) * 0.37).collect();
+        let (a0, a1) = kernels::minmax(&d64);
+        let (b0, b1) = minmax(&d64);
+        assert_eq!(a0.to_bits(), b0.to_bits());
+        assert_eq!(a1.to_bits(), b1.to_bits());
+    }
+
+    #[test]
+    fn simd_streams_are_byte_identical_to_kernel_streams() {
+        use crate::config::KernelSelect;
+        for data in cases_f32() {
+            for eb in [1e-2, 1e-4, 1e-7, 0.0] {
+                let base = SzxConfig::absolute(eb);
+                let k = crate::compress(&data, &base.with_kernel(KernelSelect::Kernel)).unwrap();
+                let v = crate::compress(&data, &base.with_kernel(KernelSelect::Simd)).unwrap();
+                assert_eq!(k, v, "eb={eb}");
+                let dk: Vec<f32> = crate::decompress_with(&k, KernelSelect::Kernel).unwrap();
+                let dv: Vec<f32> = crate::decompress_with(&k, KernelSelect::Simd).unwrap();
+                assert_eq!(dk.len(), dv.len());
+                for (a, b) in dk.iter().zip(&dv) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "eb={eb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_roundtrips_f64_across_required_lengths() {
+        use crate::config::KernelSelect;
+        let data: Vec<f64> = (0..600).map(|i| (i as f64 * 0.011).sin() * 40.0).collect();
+        for eb in [1e-1, 1e-3, 1e-6, 1e-9, 1e-13, 0.0] {
+            let base = SzxConfig::absolute(eb);
+            let k = crate::compress(&data, &base.with_kernel(KernelSelect::Kernel)).unwrap();
+            let v = crate::compress(&data, &base.with_kernel(KernelSelect::Simd)).unwrap();
+            assert_eq!(k, v, "eb={eb}");
+            let dv: Vec<f64> = crate::decompress_with(&v, KernelSelect::Simd).unwrap();
+            for (a, b) in data.iter().zip(&dv) {
+                assert!((a - b).abs() <= eb, "eb={eb}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_decode_rejects_truncations_like_the_kernel() {
+        use crate::config::KernelSelect;
+        let data: Vec<f32> = (0..256).map(|i| (i as f32 * 0.3).sin() * 9.0).collect();
+        let bytes = crate::compress(&data, &SzxConfig::absolute(1e-4)).unwrap();
+        for cut in 0..bytes.len() {
+            let k = crate::decompress_with::<f32>(&bytes[..cut], KernelSelect::Kernel);
+            let v = crate::decompress_with::<f32>(&bytes[..cut], KernelSelect::Simd);
+            assert_eq!(k.is_err(), v.is_err(), "cut at {cut}");
+            if let (Ok(k), Ok(v)) = (k, v) {
+                assert_eq!(k.len(), v.len());
+                for (a, b) in k.iter().zip(&v) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+}

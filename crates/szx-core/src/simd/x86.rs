@@ -1,0 +1,626 @@
+//! AVX2 backends for the dispatch layer in [`super`].
+//!
+//! Every function here carries `#[target_feature(enable = "avx2")]` and is
+//! therefore unsafe to *call* from non-feature contexts: the dispatch layer
+//! guards every call with the cached `is_x86_feature_detected!("avx2")`
+//! check and documents it with a `SAFETY:` comment (enforced by szx-audit).
+//! Inside the bodies, only the pointer intrinsics (loads, stores, gathers)
+//! are `unsafe`; the arithmetic/shuffle intrinsics are safe once the
+//! feature is statically enabled.
+//!
+//! The kernels mirror [`crate::kernels`] / [`crate::dekernels`] pass for
+//! pass; comments note where an instruction choice is forced by the
+//! byte-identity contract (e.g. compare-and-blend instead of `vminps`,
+//! which would propagate NaN where the scalar select keeps the incumbent).
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+
+use crate::block::{radius_about, BlockStats};
+use crate::float::SzxFloat;
+use crate::kernels::LANES;
+
+/// AVX2 equivalent of [`crate::kernels::block_stats`] for `f32`: one
+/// 8-lane register of min/max stripes, NaN presence OR-accumulated from
+/// unordered self-compares. Caller guarantees `block.len() >= 2 * LANES`.
+#[target_feature(enable = "avx2")]
+pub(super) fn block_stats_f32(block: &[f32]) -> BlockStats<f32> {
+    let n = block.len();
+    debug_assert!(n >= 2 * LANES);
+    let full = n / LANES;
+    let ptr = block.as_ptr();
+    // SAFETY: n >= 2 * LANES (caller contract), so the first 8-lane load
+    // is in bounds.
+    let first = unsafe { _mm256_loadu_ps(ptr) };
+    let mut mins = first;
+    let mut maxs = first;
+    let mut unord = _mm256_cmp_ps::<_CMP_UNORD_Q>(first, first);
+    for k in 1..full {
+        // SAFETY: k < full = n / LANES, so lanes k*8 .. k*8+8 are in bounds.
+        let d = unsafe { _mm256_loadu_ps(ptr.add(k * LANES)) };
+        // Compare-and-blend, not vminps/vmaxps: the scalar select keeps the
+        // incumbent on NaN and on ties, and ordered `<`/`>` against a NaN
+        // incumbent is false, which preserves exactly that.
+        mins = _mm256_blendv_ps(mins, d, _mm256_cmp_ps::<_CMP_LT_OQ>(d, mins));
+        maxs = _mm256_blendv_ps(maxs, d, _mm256_cmp_ps::<_CMP_GT_OQ>(d, maxs));
+        unord = _mm256_or_ps(unord, _mm256_cmp_ps::<_CMP_UNORD_Q>(d, d));
+    }
+    let mut minl = [0f32; LANES];
+    let mut maxl = [0f32; LANES];
+    // SAFETY: each array is exactly 8 f32 = 32 bytes, matching the store.
+    unsafe {
+        _mm256_storeu_ps(minl.as_mut_ptr(), mins);
+        _mm256_storeu_ps(maxl.as_mut_ptr(), maxs);
+    }
+    let mut has_nan = _mm256_movemask_ps(unord) != 0;
+    // Lane reduction in stripe order, then the scalar tail — identical
+    // select semantics to the portable kernel (ties keep the incumbent, so
+    // an all-equal block yields exactly block[0]).
+    let mut min = minl[0];
+    let mut max = maxl[0];
+    for j in 1..LANES {
+        min = if minl[j] < min { minl[j] } else { min };
+        max = if maxl[j] > max { maxl[j] } else { max };
+    }
+    for &d in &block[full * LANES..] {
+        min = if d < min { d } else { min };
+        max = if d > max { d } else { max };
+        has_nan |= d.is_nan();
+    }
+    if has_nan {
+        return BlockStats {
+            mu: 0.0,
+            // Same spelling as the portable kernel's F::from_f64(NAN) so
+            // the quiet-NaN bit pattern matches exactly.
+            radius: f64::NAN as f32,
+        };
+    }
+    let mu = f32::half_sum(min, max);
+    BlockStats {
+        mu,
+        radius: radius_about(mu, min, max),
+    }
+}
+
+/// AVX2 equivalent of [`crate::kernels::block_stats`] for `f64`: the same
+/// 8-wide stripe as the portable kernel, held in two 4-lane registers.
+/// Caller guarantees `block.len() >= 2 * LANES`.
+#[target_feature(enable = "avx2")]
+pub(super) fn block_stats_f64(block: &[f64]) -> BlockStats<f64> {
+    let n = block.len();
+    debug_assert!(n >= 2 * LANES);
+    let full = n / LANES;
+    let ptr = block.as_ptr();
+    // SAFETY: n >= 2 * LANES = 16 (caller contract), so both 4-lane loads
+    // of the first stripe are in bounds.
+    let (first_lo, first_hi) = unsafe { (_mm256_loadu_pd(ptr), _mm256_loadu_pd(ptr.add(4))) };
+    let (mut min_lo, mut min_hi) = (first_lo, first_hi);
+    let (mut max_lo, mut max_hi) = (first_lo, first_hi);
+    let mut unord = _mm256_or_pd(
+        _mm256_cmp_pd::<_CMP_UNORD_Q>(first_lo, first_lo),
+        _mm256_cmp_pd::<_CMP_UNORD_Q>(first_hi, first_hi),
+    );
+    for k in 1..full {
+        // SAFETY: k < full = n / LANES, so lanes k*8 .. k*8+8 are in bounds.
+        let (d_lo, d_hi) = unsafe {
+            (
+                _mm256_loadu_pd(ptr.add(k * LANES)),
+                _mm256_loadu_pd(ptr.add(k * LANES + 4)),
+            )
+        };
+        min_lo = _mm256_blendv_pd(min_lo, d_lo, _mm256_cmp_pd::<_CMP_LT_OQ>(d_lo, min_lo));
+        min_hi = _mm256_blendv_pd(min_hi, d_hi, _mm256_cmp_pd::<_CMP_LT_OQ>(d_hi, min_hi));
+        max_lo = _mm256_blendv_pd(max_lo, d_lo, _mm256_cmp_pd::<_CMP_GT_OQ>(d_lo, max_lo));
+        max_hi = _mm256_blendv_pd(max_hi, d_hi, _mm256_cmp_pd::<_CMP_GT_OQ>(d_hi, max_hi));
+        unord = _mm256_or_pd(unord, _mm256_cmp_pd::<_CMP_UNORD_Q>(d_lo, d_lo));
+        unord = _mm256_or_pd(unord, _mm256_cmp_pd::<_CMP_UNORD_Q>(d_hi, d_hi));
+    }
+    let mut minl = [0f64; LANES];
+    let mut maxl = [0f64; LANES];
+    // SAFETY: each half-store writes 4 f64 into an 8-element array.
+    unsafe {
+        _mm256_storeu_pd(minl.as_mut_ptr(), min_lo);
+        _mm256_storeu_pd(minl.as_mut_ptr().add(4), min_hi);
+        _mm256_storeu_pd(maxl.as_mut_ptr(), max_lo);
+        _mm256_storeu_pd(maxl.as_mut_ptr().add(4), max_hi);
+    }
+    let mut has_nan = _mm256_movemask_pd(unord) != 0;
+    let mut min = minl[0];
+    let mut max = maxl[0];
+    for j in 1..LANES {
+        min = if minl[j] < min { minl[j] } else { min };
+        max = if maxl[j] > max { maxl[j] } else { max };
+    }
+    for &d in &block[full * LANES..] {
+        min = if d < min { d } else { min };
+        max = if d > max { d } else { max };
+        has_nan |= d.is_nan();
+    }
+    if has_nan {
+        return BlockStats {
+            mu: 0.0,
+            radius: f64::NAN,
+        };
+    }
+    let mu = f64::half_sum(min, max);
+    BlockStats {
+        mu,
+        radius: radius_about(mu, min, max),
+    }
+}
+
+/// AVX2 global min/max for `f32`, NaN-ignoring, `(+inf, -inf)` sentinels —
+/// bit-identical to [`crate::kernels::minmax`]. Caller guarantees
+/// `data.len() >= LANES`.
+#[target_feature(enable = "avx2")]
+pub(super) fn minmax_f32(data: &[f32]) -> (f32, f32) {
+    let n = data.len();
+    debug_assert!(n >= LANES);
+    let full = n / LANES;
+    let ptr = data.as_ptr();
+    let mut mins = _mm256_set1_ps(f32::INFINITY);
+    let mut maxs = _mm256_set1_ps(f32::NEG_INFINITY);
+    for k in 0..full {
+        // SAFETY: k < full = n / LANES, so lanes k*8 .. k*8+8 are in bounds.
+        let d = unsafe { _mm256_loadu_ps(ptr.add(k * LANES)) };
+        mins = _mm256_blendv_ps(mins, d, _mm256_cmp_ps::<_CMP_LT_OQ>(d, mins));
+        maxs = _mm256_blendv_ps(maxs, d, _mm256_cmp_ps::<_CMP_GT_OQ>(d, maxs));
+    }
+    let mut minl = [0f32; LANES];
+    let mut maxl = [0f32; LANES];
+    // SAFETY: each array is exactly 8 f32 = 32 bytes, matching the store.
+    unsafe {
+        _mm256_storeu_ps(minl.as_mut_ptr(), mins);
+        _mm256_storeu_ps(maxl.as_mut_ptr(), maxs);
+    }
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for j in 0..LANES {
+        min = if minl[j] < min { minl[j] } else { min };
+        max = if maxl[j] > max { maxl[j] } else { max };
+    }
+    for &d in &data[full * LANES..] {
+        min = if d < min { d } else { min };
+        max = if d > max { d } else { max };
+    }
+    (min, max)
+}
+
+/// AVX2 global min/max for `f64`; see [`minmax_f32`]. Caller guarantees
+/// `data.len() >= LANES`.
+#[target_feature(enable = "avx2")]
+pub(super) fn minmax_f64(data: &[f64]) -> (f64, f64) {
+    let n = data.len();
+    debug_assert!(n >= LANES);
+    let full = n / LANES;
+    let ptr = data.as_ptr();
+    let mut min_lo = _mm256_set1_pd(f64::INFINITY);
+    let mut min_hi = min_lo;
+    let mut max_lo = _mm256_set1_pd(f64::NEG_INFINITY);
+    let mut max_hi = max_lo;
+    for k in 0..full {
+        // SAFETY: k < full = n / LANES, so lanes k*8 .. k*8+8 are in bounds.
+        let (d_lo, d_hi) = unsafe {
+            (
+                _mm256_loadu_pd(ptr.add(k * LANES)),
+                _mm256_loadu_pd(ptr.add(k * LANES + 4)),
+            )
+        };
+        min_lo = _mm256_blendv_pd(min_lo, d_lo, _mm256_cmp_pd::<_CMP_LT_OQ>(d_lo, min_lo));
+        min_hi = _mm256_blendv_pd(min_hi, d_hi, _mm256_cmp_pd::<_CMP_LT_OQ>(d_hi, min_hi));
+        max_lo = _mm256_blendv_pd(max_lo, d_lo, _mm256_cmp_pd::<_CMP_GT_OQ>(d_lo, max_lo));
+        max_hi = _mm256_blendv_pd(max_hi, d_hi, _mm256_cmp_pd::<_CMP_GT_OQ>(d_hi, max_hi));
+    }
+    let mut minl = [0f64; LANES];
+    let mut maxl = [0f64; LANES];
+    // SAFETY: each half-store writes 4 f64 into an 8-element array.
+    unsafe {
+        _mm256_storeu_pd(minl.as_mut_ptr(), min_lo);
+        _mm256_storeu_pd(minl.as_mut_ptr().add(4), min_hi);
+        _mm256_storeu_pd(maxl.as_mut_ptr(), max_lo);
+        _mm256_storeu_pd(maxl.as_mut_ptr().add(4), max_hi);
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for j in 0..LANES {
+        min = if minl[j] < min { minl[j] } else { min };
+        max = if maxl[j] > max { maxl[j] } else { max };
+    }
+    for &d in &data[full * LANES..] {
+        min = if d < min { d } else { min };
+        max = if d > max { d } else { max };
+    }
+    (min, max)
+}
+
+/// Encode passes 1 + 2 for `f32`: materialize the normalized, high-aligned,
+/// right-shifted words (Formulas 4–5) and derive the clamped XOR lead codes.
+/// `words` and `leads` are exactly `block.len()` long.
+#[target_feature(enable = "avx2")]
+pub(super) fn encode_words_leads_f32(
+    block: &[f32],
+    raw: bool,
+    mu: f32,
+    s: u32,
+    lead_cap: u8,
+    words: &mut [u64],
+    leads: &mut [u8],
+) {
+    let blen = block.len();
+    debug_assert_eq!(words.len(), blen);
+    debug_assert_eq!(leads.len(), blen);
+    let full = blen / 8;
+    let ptr = block.as_ptr();
+    let wptr = words.as_mut_ptr();
+    let mu8 = _mm256_set1_ps(mu);
+    // f32's high-aligned word is `bits << 32`, so `to_word() >> s` is one
+    // left shift by 32 - s (s <= 7, so no significant bit is lost).
+    let lshift = _mm_cvtsi32_si128((32 - s) as i32); // CAST: s <= 7
+    for k in 0..full {
+        // SAFETY: k < blen / 8, so lanes k*8 .. k*8+8 are in bounds.
+        let d = unsafe { _mm256_loadu_ps(ptr.add(k * 8)) };
+        // The bit-exact (raw) variant must not touch the value: `d - 0.0`
+        // would quieten signaling-NaN payloads.
+        let v = if raw { d } else { _mm256_sub_ps(d, mu8) };
+        let bits = _mm256_castps_si256(v);
+        let lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(bits));
+        let hi = _mm256_cvtepu32_epi64(_mm256_extracti128_si256::<1>(bits));
+        // SAFETY: words holds blen >= k*8 + 8 u64 slots, so both 4-lane
+        // stores are in bounds.
+        unsafe {
+            _mm256_storeu_si256(
+                wptr.add(k * 8).cast::<__m256i>(),
+                _mm256_sll_epi64(lo, lshift),
+            );
+            _mm256_storeu_si256(
+                wptr.add(k * 8 + 4).cast::<__m256i>(),
+                _mm256_sll_epi64(hi, lshift),
+            );
+        }
+    }
+    for i in full * 8..blen {
+        let d = block[i];
+        let v = if raw { d } else { d - mu };
+        words[i] = v.to_word() >> s;
+    }
+    lead_codes(words, leads, lead_cap);
+}
+
+/// Encode passes 1 + 2 for `f64`; see [`encode_words_leads_f32`].
+#[target_feature(enable = "avx2")]
+pub(super) fn encode_words_leads_f64(
+    block: &[f64],
+    raw: bool,
+    mu: f64,
+    s: u32,
+    lead_cap: u8,
+    words: &mut [u64],
+    leads: &mut [u8],
+) {
+    let blen = block.len();
+    debug_assert_eq!(words.len(), blen);
+    debug_assert_eq!(leads.len(), blen);
+    let full = blen / 4;
+    let ptr = block.as_ptr();
+    let wptr = words.as_mut_ptr();
+    let mu4 = _mm256_set1_pd(mu);
+    let rshift = _mm_cvtsi32_si128(s as i32); // CAST: s <= 7
+    for k in 0..full {
+        // SAFETY: k < blen / 4, so lanes k*4 .. k*4+4 are in bounds.
+        let d = unsafe { _mm256_loadu_pd(ptr.add(k * 4)) };
+        let v = if raw { d } else { _mm256_sub_pd(d, mu4) };
+        let w = _mm256_srl_epi64(_mm256_castpd_si256(v), rshift);
+        // SAFETY: words holds blen >= k*4 + 4 u64 slots.
+        unsafe { _mm256_storeu_si256(wptr.add(k * 4).cast::<__m256i>(), w) };
+    }
+    for i in full * 4..blen {
+        let d = block[i];
+        let v = if raw { d } else { d - mu };
+        words[i] = v.to_word() >> s;
+    }
+    lead_codes(words, leads, lead_cap);
+}
+
+/// Pass 2 — clamped XOR leading-byte codes over the materialized words,
+/// four per iteration. The leading-zero-*byte* count (possible values
+/// 0..=8, needed clamped to <= 3) is computed branch-free as the sum of
+/// three nested byte-prefix zero tests: `[top1 == 0] + [top2 == 0] +
+/// [top3 == 0] = min(clz >> 3, 3)`; clamping that against `lead_cap`
+/// (itself <= 3) matches the portable kernel's `min(clz >> 3, lead_cap)`.
+#[target_feature(enable = "avx2")]
+fn lead_codes(words: &[u64], leads: &mut [u8], lead_cap: u8) {
+    let blen = words.len();
+    if blen == 0 {
+        return;
+    }
+    // CAST: leading_zeros() <= 64, so clz >> 3 <= 8 fits u8.
+    leads[0] = ((words[0].leading_zeros() >> 3) as u8).min(lead_cap);
+    let m1 = _mm256_set1_epi64x(0xff00_0000_0000_0000_u64 as i64);
+    let m2 = _mm256_set1_epi64x(0xffff_0000_0000_0000_u64 as i64);
+    let m3 = _mm256_set1_epi64x(0xffff_ff00_0000_0000_u64 as i64);
+    let cap = _mm256_set1_epi64x(lead_cap as i64);
+    let zero = _mm256_setzero_si256();
+    let ptr = words.as_ptr();
+    let mut i = 1usize;
+    while i + 4 <= blen {
+        // SAFETY: i >= 1 and i + 4 <= blen, so both 4-lane loads (at i - 1
+        // and at i) stay inside `words`.
+        let (cur, prev) = unsafe {
+            (
+                _mm256_loadu_si256(ptr.add(i).cast::<__m256i>()),
+                _mm256_loadu_si256(ptr.add(i - 1).cast::<__m256i>()),
+            )
+        };
+        let x = _mm256_xor_si256(cur, prev);
+        // Each compare yields -1 (all ones) per matching lane; summing the
+        // three and negating gives the 0..=3 count in each u64 lane.
+        let c1 = _mm256_cmpeq_epi64(_mm256_and_si256(x, m1), zero);
+        let c2 = _mm256_cmpeq_epi64(_mm256_and_si256(x, m2), zero);
+        let c3 = _mm256_cmpeq_epi64(_mm256_and_si256(x, m3), zero);
+        let neg = _mm256_add_epi64(_mm256_add_epi64(c1, c2), c3);
+        let cnt = _mm256_sub_epi64(zero, neg);
+        // Counts and cap both fit one byte per u64 lane, so the unsigned
+        // byte-min clamps each lane.
+        let clamped = _mm256_min_epu8(cnt, cap);
+        let mut buf = [0u64; 4];
+        // SAFETY: buf is exactly 4 u64 = 32 bytes, matching the store.
+        unsafe { _mm256_storeu_si256(buf.as_mut_ptr().cast::<__m256i>(), clamped) };
+        leads[i] = buf[0] as u8; // CAST: clamped to <= 3 (four below)
+        leads[i + 1] = buf[1] as u8; // CAST: as above
+        leads[i + 2] = buf[2] as u8; // CAST: as above
+        leads[i + 3] = buf[3] as u8; // CAST: as above
+        i += 4;
+    }
+    while i < blen {
+        let xor = words[i] ^ words[i - 1];
+        // CAST: clz >> 3 <= 8 fits u8.
+        leads[i] = ((xor.leading_zeros() >> 3) as u8).min(lead_cap);
+        i += 1;
+    }
+}
+
+/// Pass 3 — pack 2-bit lead codes, 32 per vector: `maddubs` folds byte
+/// pairs to `l0·4 + l1`, `madd` folds pair-of-pairs to the final
+/// `l0<<6 | l1<<4 | l2<<2 | l3` byte in each u32 lane (values <= 255, so
+/// neither multiply-add can saturate). `leads.len()` must be a multiple of
+/// 32; the caller packs any tail with the shared scalar packer.
+#[target_feature(enable = "avx2")]
+pub(super) fn pack_lead_codes(leads: &[u8], payload: &mut Vec<u8>) {
+    debug_assert_eq!(leads.len() % 32, 0);
+    let coeff_pairs = _mm256_set1_epi16(0x0104);
+    let coeff_quads = _mm256_set1_epi32(0x0001_0010);
+    for chunk in leads.chunks_exact(32) {
+        // SAFETY: chunk is exactly 32 bytes, matching the load.
+        let v = unsafe { _mm256_loadu_si256(chunk.as_ptr().cast::<__m256i>()) };
+        let pairs = _mm256_maddubs_epi16(v, coeff_pairs);
+        let quads = _mm256_madd_epi16(pairs, coeff_quads);
+        let mut buf = [0u32; 8];
+        // SAFETY: buf is exactly 8 u32 = 32 bytes, matching the store.
+        unsafe { _mm256_storeu_si256(buf.as_mut_ptr().cast::<__m256i>(), quads) };
+        for b in buf {
+            payload.push(b as u8); // CAST: each packed code byte <= 255
+        }
+    }
+}
+
+/// In-register `u64::from_be_bytes`: reverse the bytes of each u64 lane.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn bswap64(v: __m256i) -> __m256i {
+    let idx = _mm256_setr_epi8(
+        7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8, //
+        7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8,
+    );
+    _mm256_shuffle_epi8(v, idx)
+}
+
+/// Decode pass 2 for `f32` — the gather-based reconstruction sweep, four
+/// values per iteration:
+///
+/// 1. gather each value's overlapping 8-byte load from the pool at its
+///    prefix-summed offset and byte-swap it in-register (the scalar
+///    `u64::from_be_bytes`), then shift right by `8·lead` to align;
+/// 2. **store the aligned words before the provider gathers** — providers
+///    are indices `<= i + 4`, i.e. possibly values aligned in this very
+///    iteration, so the gather must observe them (the scalar loop has the
+///    same store-before-use ordering, one element at a time);
+/// 3. gather the three provider words, mask-merge per byte position, shift
+///    left by `s`, extract the high 32 bits, and add μ.
+///
+/// Caller contracts (all established by the validated header parse and
+/// `ensure(blen)`): `words.len() == out.len() + 1`; the per-element slices
+/// are `out.len()` long; every `offsets[i] + 8 <= pool.len()` (offsets are
+/// a prefix sum bounded by the checked `total`, and the pool carries 8
+/// bytes of slack); provider indices are `<= i + 1 < words.len()`.
+#[expect(clippy::too_many_arguments, reason = "flat hot-path ABI, no struct")]
+#[target_feature(enable = "avx2")]
+pub(super) fn decode_pass2_f32(
+    pool: &[u8],
+    leads: &[u8],
+    offsets: &[u32],
+    prov0: &[u32],
+    prov1: &[u32],
+    prov2: &[u32],
+    words: &mut [u64],
+    out: &mut [f32],
+    nb: usize,
+    s: u32,
+    raw: bool,
+    mu: f32,
+) {
+    let blen = out.len();
+    debug_assert_eq!(words.len(), blen + 1);
+    debug_assert!(leads.len() == blen && offsets.len() == blen);
+    debug_assert!(prov0.len() == blen && prov1.len() == blen && prov2.len() == blen);
+    words[0] = 0; // the implicit zero word `prev` starts from
+    let m0 = crate::dekernels::byte_mask(0, nb);
+    let m1 = crate::dekernels::byte_mask(1, nb);
+    let m2 = crate::dekernels::byte_mask(2, nb);
+    let top = (!0u64) << (64 - 8 * nb as u32); // CAST: nb <= 8
+    let m_rest = top & !(m0 | m1 | m2);
+    let m0v = _mm256_set1_epi64x(m0 as i64);
+    let m1v = _mm256_set1_epi64x(m1 as i64);
+    let m2v = _mm256_set1_epi64x(m2 as i64);
+    let mrv = _mm256_set1_epi64x(m_rest as i64);
+    let sh_s = _mm_cvtsi32_si128(s as i32); // CAST: s <= 7
+    let mu4 = _mm_set1_ps(mu);
+    let pool_ptr = pool.as_ptr();
+    let wptr = words.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 4 <= blen {
+        // SAFETY: i + 4 <= blen = offsets.len() bounds the 4-lane index
+        // load; each offset satisfies offset + 8 <= pool.len() (caller
+        // contract: prefix sums bounded by the validated total, 8 bytes of
+        // slack), so every scale-1 gather lane reads 8 in-bounds bytes.
+        let loaded = unsafe {
+            let off4 = _mm_loadu_si128(offsets.as_ptr().add(i).cast::<__m128i>());
+            _mm256_i32gather_epi64::<1>(pool_ptr.cast::<i64>(), off4)
+        };
+        let be = bswap64(loaded);
+        // Widen the 4 lead bytes to per-lane shift counts of 8·lead bits.
+        let l4 = u32::from_le_bytes([leads[i], leads[i + 1], leads[i + 2], leads[i + 3]]);
+        let lead4 = _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(l4 as i32)); // CAST: widening
+        let a = _mm256_srlv_epi64(be, _mm256_slli_epi64::<3>(lead4));
+        // SAFETY: the 4-lane store at i + 1 ends at i + 5 <= blen + 1 =
+        // words.len(). It MUST precede the provider gathers below, which
+        // may index these very lanes.
+        unsafe { _mm256_storeu_si256(wptr.add(i + 1).cast::<__m256i>(), a) };
+        // SAFETY: i + 4 <= blen bounds the three 4-lane index loads;
+        // provider indices are <= i + 4 < words.len() (caller contract),
+        // so every scale-8 gather lane reads one in-bounds u64.
+        let (w0, w1, w2) = unsafe {
+            let base = wptr.cast::<i64>();
+            let p0 = _mm_loadu_si128(prov0.as_ptr().add(i).cast::<__m128i>());
+            let p1 = _mm_loadu_si128(prov1.as_ptr().add(i).cast::<__m128i>());
+            let p2 = _mm_loadu_si128(prov2.as_ptr().add(i).cast::<__m128i>());
+            (
+                _mm256_i32gather_epi64::<8>(base, p0),
+                _mm256_i32gather_epi64::<8>(base, p1),
+                _mm256_i32gather_epi64::<8>(base, p2),
+            )
+        };
+        let w = _mm256_or_si256(
+            _mm256_or_si256(_mm256_and_si256(w0, m0v), _mm256_and_si256(w1, m1v)),
+            _mm256_or_si256(_mm256_and_si256(w2, m2v), _mm256_and_si256(a, mrv)),
+        );
+        let w = _mm256_sll_epi64(w, sh_s);
+        // from_word for f32 takes bits 32..64 of each u64: shift down, then
+        // compact the four low dwords of the u64 lanes into one xmm.
+        let hi = _mm256_srli_epi64::<32>(w);
+        let packed = _mm256_permutevar8x32_epi32(hi, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+        let v = _mm_castsi128_ps(_mm256_castsi256_si128(packed));
+        let v = if raw { v } else { _mm_add_ps(v, mu4) };
+        // SAFETY: i + 4 <= blen = out.len(), matching the 4-lane store.
+        unsafe { _mm_storeu_ps(out.as_mut_ptr().add(i), v) };
+        i += 4;
+    }
+    // Scalar tail — identical to the portable kernel's reconstruction.
+    while i < blen {
+        let off = offsets[i] as usize;
+        // PANIC-OK: off + 8 <= pool.len() (caller contract, 8-byte slack);
+        // the unwrap is an infallible 8-byte slice -> array conversion.
+        let loaded = u64::from_be_bytes(pool[off..off + 8].try_into().unwrap());
+        let a = loaded >> (8 * leads[i] as u32); // CAST: leads[i] <= 8
+        words[i + 1] = a;
+        let w = (words[prov0[i] as usize] & m0) // PANIC-OK: providers <= i + 1
+            | (words[prov1[i] as usize] & m1) // PANIC-OK: as above
+            | (words[prov2[i] as usize] & m2) // PANIC-OK: as above
+            | (a & m_rest);
+        let v = f32::from_word(w << s);
+        out[i] = if raw { v } else { v + mu };
+        i += 1;
+    }
+}
+
+/// Decode pass 2 for `f64`; see [`decode_pass2_f32`] — the word *is* the
+/// value's bit pattern, so the epilogue is a cast and an `addpd`.
+#[expect(clippy::too_many_arguments, reason = "flat hot-path ABI, no struct")]
+#[target_feature(enable = "avx2")]
+pub(super) fn decode_pass2_f64(
+    pool: &[u8],
+    leads: &[u8],
+    offsets: &[u32],
+    prov0: &[u32],
+    prov1: &[u32],
+    prov2: &[u32],
+    words: &mut [u64],
+    out: &mut [f64],
+    nb: usize,
+    s: u32,
+    raw: bool,
+    mu: f64,
+) {
+    let blen = out.len();
+    debug_assert_eq!(words.len(), blen + 1);
+    debug_assert!(leads.len() == blen && offsets.len() == blen);
+    debug_assert!(prov0.len() == blen && prov1.len() == blen && prov2.len() == blen);
+    words[0] = 0;
+    let m0 = crate::dekernels::byte_mask(0, nb);
+    let m1 = crate::dekernels::byte_mask(1, nb);
+    let m2 = crate::dekernels::byte_mask(2, nb);
+    let top = (!0u64) << (64 - 8 * nb as u32); // CAST: nb <= 8
+    let m_rest = top & !(m0 | m1 | m2);
+    let m0v = _mm256_set1_epi64x(m0 as i64);
+    let m1v = _mm256_set1_epi64x(m1 as i64);
+    let m2v = _mm256_set1_epi64x(m2 as i64);
+    let mrv = _mm256_set1_epi64x(m_rest as i64);
+    let sh_s = _mm_cvtsi32_si128(s as i32); // CAST: s <= 7
+    let mu4 = _mm256_set1_pd(mu);
+    let pool_ptr = pool.as_ptr();
+    let wptr = words.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 4 <= blen {
+        // SAFETY: i + 4 <= blen = offsets.len() bounds the 4-lane index
+        // load; each offset satisfies offset + 8 <= pool.len() (caller
+        // contract), so every scale-1 gather lane reads 8 in-bounds bytes.
+        let loaded = unsafe {
+            let off4 = _mm_loadu_si128(offsets.as_ptr().add(i).cast::<__m128i>());
+            _mm256_i32gather_epi64::<1>(pool_ptr.cast::<i64>(), off4)
+        };
+        let be = bswap64(loaded);
+        let l4 = u32::from_le_bytes([leads[i], leads[i + 1], leads[i + 2], leads[i + 3]]);
+        let lead4 = _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(l4 as i32)); // CAST: widening
+        let a = _mm256_srlv_epi64(be, _mm256_slli_epi64::<3>(lead4));
+        // SAFETY: the 4-lane store at i + 1 ends at i + 5 <= words.len();
+        // it must precede the provider gathers below.
+        unsafe { _mm256_storeu_si256(wptr.add(i + 1).cast::<__m256i>(), a) };
+        // SAFETY: i + 4 <= blen bounds the index loads; provider indices
+        // are <= i + 4 < words.len() (caller contract).
+        let (w0, w1, w2) = unsafe {
+            let base = wptr.cast::<i64>();
+            let p0 = _mm_loadu_si128(prov0.as_ptr().add(i).cast::<__m128i>());
+            let p1 = _mm_loadu_si128(prov1.as_ptr().add(i).cast::<__m128i>());
+            let p2 = _mm_loadu_si128(prov2.as_ptr().add(i).cast::<__m128i>());
+            (
+                _mm256_i32gather_epi64::<8>(base, p0),
+                _mm256_i32gather_epi64::<8>(base, p1),
+                _mm256_i32gather_epi64::<8>(base, p2),
+            )
+        };
+        let w = _mm256_or_si256(
+            _mm256_or_si256(_mm256_and_si256(w0, m0v), _mm256_and_si256(w1, m1v)),
+            _mm256_or_si256(_mm256_and_si256(w2, m2v), _mm256_and_si256(a, mrv)),
+        );
+        let v = _mm256_castsi256_pd(_mm256_sll_epi64(w, sh_s));
+        let v = if raw { v } else { _mm256_add_pd(v, mu4) };
+        // SAFETY: i + 4 <= blen = out.len(), matching the 4-lane store.
+        unsafe { _mm256_storeu_pd(out.as_mut_ptr().add(i), v) };
+        i += 4;
+    }
+    while i < blen {
+        let off = offsets[i] as usize;
+        // PANIC-OK: off + 8 <= pool.len() (caller contract, 8-byte slack);
+        // the unwrap is an infallible 8-byte slice -> array conversion.
+        let loaded = u64::from_be_bytes(pool[off..off + 8].try_into().unwrap());
+        let a = loaded >> (8 * leads[i] as u32); // CAST: leads[i] <= 8
+        words[i + 1] = a;
+        let w = (words[prov0[i] as usize] & m0) // PANIC-OK: providers <= i + 1
+            | (words[prov1[i] as usize] & m1) // PANIC-OK: as above
+            | (words[prov2[i] as usize] & m2) // PANIC-OK: as above
+            | (a & m_rest);
+        let v = f64::from_word(w << s);
+        out[i] = if raw { v } else { v + mu };
+        i += 1;
+    }
+}

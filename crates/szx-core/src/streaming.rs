@@ -242,7 +242,7 @@ impl<'a> FrameReader<'a> {
         crate::decode::decompress_with_index(
             &index,
             &mut out,
-            self.kernel.use_kernel(),
+            self.kernel.resolve(),
             &mut self.scratch.borrow_mut(),
         )?;
         if let Some(start) = started {

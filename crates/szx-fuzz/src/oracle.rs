@@ -1,14 +1,17 @@
 //! The differential decode oracle.
 //!
 //! Every fuzz input that looks like (or mutated away from) a compressed
-//! stream is pushed through **all five decode paths** the workspace ships:
+//! stream is pushed through **all six decode paths** the workspace ships:
 //!
 //! 1. serial scalar (`decompress_with(…, Scalar)`) — the reference,
 //! 2. serial branch-free kernel (`decompress_with(…, Kernel)`),
-//! 3. parallel (`parallel::decompress_with`, scalar and kernel),
-//! 4. random access (`RandomAccess::decode_range` over the whole stream,
+//! 3. serial explicit SIMD (`decompress_with(…, Simd)` — resolves to the
+//!    portable kernel when the CPU lacks the ISA, so the path is always
+//!    exercised and always held to the contract),
+//! 4. parallel (`parallel::decompress_with`, scalar and kernel),
+//! 5. random access (`RandomAccess::decode_range` over the whole stream,
 //!    scalar and kernel),
-//! 5. streaming (`FrameReader::frame` on the input wrapped as a
+//! 6. streaming (`FrameReader::frame` on the input wrapped as a
 //!    single-frame container, scalar and kernel).
 //!
 //! The contract checked on *every* input, hostile or well-formed:
@@ -128,7 +131,7 @@ pub struct DecodeReport {
     pub reference: Outcome,
 }
 
-/// Run all five decode paths for element type `F` and check the
+/// Run all six decode paths for element type `F` and check the
 /// differential contract. `Err` means a *harness finding* (panic or
 /// divergence) — an input that merely fails to decode everywhere is `Ok`.
 pub fn differential_decode_typed<F: SzxFloat>(bytes: &[u8]) -> Result<DecodeReport, Failure> {
@@ -182,6 +185,13 @@ pub fn differential_decode_typed<F: SzxFloat>(bytes: &[u8]) -> Result<DecodeRepo
         szx_core::decompress_with::<F>(bytes, KernelSelect::Kernel)
     })?;
     check("serial-kernel", kernel, true)?;
+
+    // The SIMD decoder shares the serial index + validation layer, so its
+    // errors must match the reference verbatim, like the kernel's.
+    let simd = run_path("serial-simd", || {
+        szx_core::decompress_with::<F>(bytes, KernelSelect::Simd)
+    })?;
+    check("serial-simd", simd, true)?;
 
     for (path, sel) in [
         ("parallel-scalar", KernelSelect::Scalar),

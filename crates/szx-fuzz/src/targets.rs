@@ -15,7 +15,7 @@ use crate::oracle::{differential_decode, differential_decode_typed, Failure, Out
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FuzzTarget {
     /// Mutated/truncated/bit-flipped archive bytes → every decode entry
-    /// point; error-not-panic + five-path differential agreement.
+    /// point; error-not-panic + six-path differential agreement.
     DecodeArbitrary,
     /// Bytes decoded as a [`Spec`] (config + synthetic field) → compress on
     /// every encode path, assert bitwise stream identity, the header error
@@ -106,17 +106,19 @@ fn roundtrip_typed<F: SzxFloat>(spec: &Spec) -> Result<u64, Failure> {
     let data: Vec<F> = spec.generate();
     let cfg = spec.config();
 
-    // Encode-path identity: scalar, kernel, and parallel compressors must
-    // emit byte-identical archives — or reject the input with identical
-    // errors. (Rejection is legitimate: e.g. a relative bound over data
-    // containing ±inf resolves to an unusable infinite absolute bound.)
+    // Encode-path identity: scalar, kernel, simd, and parallel compressors
+    // must emit byte-identical archives — or reject the input with
+    // identical errors. (Rejection is legitimate: e.g. a relative bound
+    // over data containing ±inf resolves to an unusable infinite absolute
+    // bound.)
     let scalar = szx_core::compress(&data, &cfg);
     let kernel = szx_core::compress(&data, &cfg.with_kernel(KernelSelect::Kernel));
+    let simd = szx_core::compress(&data, &cfg.with_kernel(KernelSelect::Simd));
     let par = szx_core::parallel::compress(&data, &cfg.with_kernel(KernelSelect::Kernel));
     let archive = match scalar {
         Err(e) => {
             let expected = e.to_string();
-            for (path, r) in [("kernel", &kernel), ("parallel", &par)] {
+            for (path, r) in [("kernel", &kernel), ("simd", &simd), ("parallel", &par)] {
                 match r {
                     Err(other) if other.to_string() == expected => {}
                     Err(other) => {
@@ -146,6 +148,15 @@ fn roundtrip_typed<F: SzxFloat>(spec: &Spec) -> Result<u64, Failure> {
         _ => {
             return Err(Failure::new(
                 "roundtrip:stream-identity:kernel",
+                format!("{spec:?}"),
+            ));
+        }
+    }
+    match simd {
+        Ok(simd) if archive == simd => {}
+        _ => {
+            return Err(Failure::new(
+                "roundtrip:stream-identity:simd",
                 format!("{spec:?}"),
             ));
         }
@@ -188,7 +199,7 @@ fn roundtrip_typed<F: SzxFloat>(spec: &Spec) -> Result<u64, Failure> {
         ));
     }
 
-    // Full five-path differential decode on the fresh archive; it must
+    // Full six-path differential decode on the fresh archive; it must
     // decode everywhere.
     let report = differential_decode_typed::<F>(&archive)?;
     let words = match report.reference {
@@ -239,7 +250,11 @@ fn roundtrip_typed<F: SzxFloat>(spec: &Spec) -> Result<u64, Failure> {
 
     // Buffer-reuse decode paths: a right-sized buffer must reproduce the
     // reference bits, a wrong-sized one must error (never write OOB).
-    for sel in [KernelSelect::Scalar, KernelSelect::Kernel] {
+    for sel in [
+        KernelSelect::Scalar,
+        KernelSelect::Kernel,
+        KernelSelect::Simd,
+    ] {
         let mut out = vec![F::ZERO; data.len()];
         szx_core::decompress_into_with(&archive, &mut out, sel)
             .map_err(|e| Failure::new("roundtrip:decode-error", format!("into: {e}")))?;
@@ -266,7 +281,7 @@ fn roundtrip_typed<F: SzxFloat>(spec: &Spec) -> Result<u64, Failure> {
 /// Cap on frames examined per container input (mutations can forge huge
 /// frame counts out of tiny containers).
 const MAX_FRAMES: usize = 64;
-/// Cap on frames pushed through the full five-path oracle.
+/// Cap on frames pushed through the full six-path oracle.
 const MAX_DEEP_FRAMES: usize = 8;
 
 /// Target 3: header/TOC/frame-index torture for the streaming reader.
@@ -301,7 +316,7 @@ fn stream_torture(input: &[u8]) -> Result<u64, Failure> {
         // Scalar/kernel frame decode parity, both element types.
         features ^= frame_parity::<f32>(&scalar, &kernel, i)?;
         features ^= frame_parity::<f64>(&scalar, &kernel, i)?;
-        // The first few frames additionally run the complete five-path
+        // The first few frames additionally run the complete six-path
         // differential oracle over their raw stream bytes.
         if i < MAX_DEEP_FRAMES {
             if let Some(frame) = scalar.frame_bytes(i) {

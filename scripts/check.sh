@@ -100,8 +100,11 @@ run_profile_smoke() {
     cargo run -q --release -p szx-cli -- gen cesm "$dir/fields" --scale large >/dev/null \
         || prof_fail "generating large CESM fields"
     # One large field is ~6.5 MB; concatenate to cross 8 MB so the compress
-    # spans dozens of sampler ticks.
-    cat "$dir"/fields/*.f32 | head -c 16000000 > "$dir/big.f32" \
+    # spans dozens of sampler ticks. head reads from a process substitution
+    # rather than a pipeline: the suite is far bigger than 16 MB, so a
+    # `cat | head -c` pipeline always ends in cat taking SIGPIPE, which
+    # `set -o pipefail` (correctly) reports as failure.
+    head -c 16000000 <(cat "$dir"/fields/*.f32) > "$dir/big.f32" \
         || prof_fail "assembling 16 MB input"
     SZX_PROFILE_HZ=4000 cargo run -q --release -p szx-cli -- \
         compress "$dir/big.f32" "$dir/out.szx" --abs 1e-3 \
@@ -116,12 +119,69 @@ run_profile_smoke() {
     fi
     grep -q '</svg>' "$dir/p.svg" \
         || prof_fail "SVG flamegraph is truncated"
+    # On hosts with the ISA extension the explicit SIMD path must show up
+    # in the profile under its own zone — that attribution is how a perf
+    # regression in dispatch (silently falling back to the portable kernel)
+    # becomes visible. Skipped elsewhere: Auto resolves to the portable
+    # kernel there and no simd zone can exist.
+    if grep -q '^flags.* avx2' /proc/cpuinfo 2>/dev/null; then
+        SZX_PROFILE_HZ=4000 cargo run -q --release -p szx-cli -- \
+            compress "$dir/big.f32" "$dir/out2.szx" --abs 1e-3 \
+            --kernel simd --profile "$dir/ps.folded" >/dev/null \
+            || prof_fail "compress with --kernel simd --profile"
+        grep -q 'compress\.simd' "$dir/ps.folded" \
+            || prof_fail "no compress.simd zone in the folded profile (simd dispatch fell back?)"
+    fi
+    rm -rf "$dir"
+}
+
+# SIMD equivalence gate: the explicit AVX2/NEON path must be byte-identical
+# to the portable kernel and the scalar oracle — same compressed stream,
+# same decode bits, same error messages. Release mode only: the intrinsic
+# kernels and the autovectorized portable kernels both need optimizations
+# to exercise their real codegen. Also proves the CLI-level plumbing end to
+# end with a stream `cmp` across --kernel selections.
+run_simd_equivalence() {
+    echo "==> SIMD equivalence (scalar vs kernel vs simd, release)"
+    cargo test -q --release -p szx-core simd \
+        || { echo "==> FAIL szx-core simd equivalence tests" >&2; exit 1; }
+    cargo test -q --release -p szx-integration-tests --test simd_dispatch \
+        || { echo "==> FAIL simd dispatch integration tests" >&2; exit 1; }
+    local dir
+    dir="$(mktemp -d)"
+    simd_fail() {
+        echo "==> FAIL simd equivalence: $1" >&2
+        rm -rf "$dir"
+        exit 1
+    }
+    cargo build -q --release -p szx-cli \
+        || simd_fail "building szx-cli"
+    cargo run -q --release -p szx-cli -- gen cesm "$dir/fields" --scale small >/dev/null \
+        || simd_fail "generating small CESM fields"
+    local field
+    field="$(find "$dir/fields" -name '*.f32' | sort | head -1)"
+    [[ -n "$field" ]] || simd_fail "no .f32 field generated"
+    local sel
+    for sel in scalar kernel simd; do
+        cargo run -q --release -p szx-cli -- compress "$field" \
+            "$dir/$sel.szx" --abs 1e-3 --kernel "$sel" >/dev/null \
+            || simd_fail "compress --kernel $sel"
+        cargo run -q --release -p szx-cli -- decompress "$dir/$sel.szx" \
+            "$dir/$sel.f32" --kernel "$sel" >/dev/null \
+            || simd_fail "decompress --kernel $sel"
+    done
+    cmp -s "$dir/scalar.szx" "$dir/kernel.szx" \
+        || simd_fail "scalar and kernel streams differ"
+    cmp -s "$dir/scalar.szx" "$dir/simd.szx" \
+        || simd_fail "scalar and simd streams differ"
+    cmp -s "$dir/scalar.f32" "$dir/simd.f32" \
+        || simd_fail "scalar and simd decodes differ bitwise"
     rm -rf "$dir"
 }
 
 # Bounded differential fuzz smoke (fixed seed, deterministic): replay the
 # committed corpus, then a short mutation campaign per target. Any finding
-# — panic, five-path divergence, or bound violation — exits nonzero.
+# — panic, six-path divergence, or bound violation — exits nonzero.
 run_fuzz_smoke() {
     echo "==> szx-fuzz differential smoke (fixed seed, bounded)"
     cargo run -q --release -p szx-fuzz -- smoke --corpus tests/corpus \
@@ -164,6 +224,16 @@ if [[ "${1:-}" == "--sanitize" ]]; then
     fi
     target="$(rustc -vV | sed -n 's/^host: //p')"
     # --lib --tests: doctest binaries fail to link the sanitizer runtime.
+    #
+    # The SIMD module is the workspace's largest unsafe surface — raw
+    # intrinsic loads/stores, overlapping 8-byte commits, gather-style
+    # provider reconstruction — so it gets a dedicated focused pass first
+    # (fast signal, precise attribution), then the broad crate run covers
+    # everything else.
+    echo "==> AddressSanitizer over the SIMD kernels (nightly, ${target})"
+    RUSTFLAGS="-Zsanitizer=address" \
+        cargo +nightly test -q --target "$target" --lib \
+        -p szx-core simd
     echo "==> AddressSanitizer (nightly, ${target})"
     RUSTFLAGS="-Zsanitizer=address" \
         cargo +nightly test -q --target "$target" --lib --tests \
@@ -195,6 +265,7 @@ if [[ "${1:-}" == "--fast" || "${1:-}" == "--quick" ]]; then
     cargo test -q --release -p szx-core dekernels
     cargo test -q --release -p szx-integration-tests \
         --test roundtrip_properties --test fuzz_regressions
+    run_simd_equivalence
     run_audit
     run_obs_smoke
     run_profile_smoke
@@ -213,6 +284,8 @@ cargo test -q --release -p szx-integration-tests \
     --test roundtrip_properties --test edge_cases \
     --test corrupt_archive --test scratch_allocation \
     --test fuzz_regressions
+
+run_simd_equivalence
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

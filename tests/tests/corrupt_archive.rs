@@ -6,21 +6,29 @@
 use szx_core::stream::HEADER_LEN;
 use szx_core::{KernelSelect, SzxConfig};
 
-/// Decode `bytes` with both the scalar oracle and the branch-free kernel;
-/// assert they agree on whether the stream is decodable, and — when it is —
-/// on every reconstructed bit. Returns whether decoding succeeded.
+/// Decode `bytes` with the scalar oracle, the branch-free kernel, and the
+/// explicit SIMD path; assert they agree on whether the stream is
+/// decodable, and — when it is — on every reconstructed bit. Returns
+/// whether decoding succeeded.
 fn scalar_kernel_parity(bytes: &[u8], what: &str) -> bool {
     let s = szx_core::decompress_with::<f32>(bytes, KernelSelect::Scalar);
     let k = szx_core::decompress_with::<f32>(bytes, KernelSelect::Kernel);
+    let v = szx_core::decompress_with::<f32>(bytes, KernelSelect::Simd);
     assert_eq!(
         s.is_ok(),
         k.is_ok(),
         "{what}: scalar/kernel decoders disagree on decodability"
     );
-    match (s, k) {
-        (Ok(a), Ok(b)) => {
-            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+    assert_eq!(
+        s.is_ok(),
+        v.is_ok(),
+        "{what}: scalar/simd decoders disagree on decodability"
+    );
+    match (s, k, v) {
+        (Ok(a), Ok(b), Ok(c)) => {
+            for (i, ((x, y), z)) in a.iter().zip(&b).zip(&c).enumerate() {
                 assert_eq!(x.to_bits(), y.to_bits(), "{what}: bit mismatch at {i}");
+                assert_eq!(x.to_bits(), z.to_bits(), "{what}: simd bit mismatch at {i}");
             }
             true
         }
@@ -64,6 +72,10 @@ fn every_truncation_point_is_a_clean_error() {
         assert!(r.is_err(), "kernel truncation at {cut} decoded");
         let r = szx_core::parallel::decompress_with::<f32>(&bytes[..cut], KernelSelect::Kernel);
         assert!(r.is_err(), "parallel kernel truncation at {cut} decoded");
+        // The SIMD decoder validates payloads before its gather pass; it
+        // must reject exactly what the scalar decoder rejects.
+        let r = szx_core::decompress_with::<f32>(&bytes[..cut], KernelSelect::Simd);
+        assert!(r.is_err(), "simd truncation at {cut} decoded");
     }
 }
 

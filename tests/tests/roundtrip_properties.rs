@@ -97,6 +97,8 @@ fn check_case<F: SzxFloat>(seed: u64) {
     let scalar = szx_core::compress(&data, &cfg).unwrap_or_else(|e| panic!("{ctx}: {e}"));
     let kernel = szx_core::compress(&data, &cfg.with_kernel(KernelSelect::Kernel)).unwrap();
     assert_eq!(scalar, kernel, "{ctx}: scalar vs kernel archives differ");
+    let simd = szx_core::compress(&data, &cfg.with_kernel(KernelSelect::Simd)).unwrap();
+    assert_eq!(scalar, simd, "{ctx}: scalar vs simd archives differ");
     let par = szx_core::parallel::compress(&data, &cfg.with_kernel(KernelSelect::Kernel)).unwrap();
     assert_eq!(scalar, par, "{ctx}: serial vs parallel archives differ");
 
@@ -114,16 +116,18 @@ fn check_case<F: SzxFloat>(seed: u64) {
         );
     }
 
-    // Decode-path equivalence: the kernel decoder (and both parallel
-    // decode paths) must reconstruct *bit-identical* outputs to the scalar
-    // oracle — same NaN payloads included.
+    // Decode-path equivalence: the kernel and simd decoders (and both
+    // parallel decode paths) must reconstruct *bit-identical* outputs to
+    // the scalar oracle — same NaN payloads included.
     let kback: Vec<F> = szx_core::decompress_with(&scalar, KernelSelect::Kernel).unwrap();
+    let vback: Vec<F> = szx_core::decompress_with(&scalar, KernelSelect::Simd).unwrap();
     let pback: Vec<F> = szx_core::parallel::decompress_with(&scalar, KernelSelect::Kernel).unwrap();
     let psback: Vec<F> =
         szx_core::parallel::decompress_with(&scalar, KernelSelect::Scalar).unwrap();
     for (i, x) in back.iter().enumerate() {
         let b = x.to_word();
         assert_eq!(b, kback[i].to_word(), "{ctx}: kernel decode differs at {i}");
+        assert_eq!(b, vback[i].to_word(), "{ctx}: simd decode differs at {i}");
         assert_eq!(
             b,
             pback[i].to_word(),
@@ -209,7 +213,11 @@ fn lossless_when_bound_is_zero() {
     const N: usize = if cfg!(miri) { 300 } else { 5_000 };
     let mut rng = SmallRng::seed_from_u64(99);
     let data: Vec<f32> = (0..N).map(|_| (rng.gen::<f32>() - 0.5) * 1e6).collect();
-    for sel in [KernelSelect::Scalar, KernelSelect::Kernel] {
+    for sel in [
+        KernelSelect::Scalar,
+        KernelSelect::Kernel,
+        KernelSelect::Simd,
+    ] {
         let cfg = SzxConfig::absolute(0.0).with_kernel(sel);
         let bytes = szx_core::compress(&data, &cfg).unwrap();
         let back: Vec<f32> = szx_core::decompress(&bytes).unwrap();
@@ -227,7 +235,11 @@ fn streaming_frames_match_serial_per_frame() {
         .map(|i| (i as f32 * 0.01).sin() + rng.gen::<f32>() * 0.01)
         .collect();
     let mut streams = Vec::new();
-    for sel in [KernelSelect::Scalar, KernelSelect::Kernel] {
+    for sel in [
+        KernelSelect::Scalar,
+        KernelSelect::Kernel,
+        KernelSelect::Simd,
+    ] {
         let cfg = SzxConfig::absolute(1e-4).with_kernel(sel);
         let mut w = szx_core::FrameWriter::new(cfg).unwrap();
         for chunk in data.chunks(if cfg!(miri) { 300 } else { 3_000 }) {
