@@ -1,19 +1,24 @@
 //! szx-audit: in-tree static analysis for the szx-rs workspace.
 //!
 //! Zero dependencies, same ethos as `szx_telemetry::json`: a small,
-//! hand-rolled lexer ([`source`]) feeds project-specific rules ([`rules`])
-//! that enforce the invariants the hot paths rely on — the unsafe
-//! allowlist, the trace publish protocol, panic-freedom on the untrusted
-//! decode path, and annotated narrowing casts in kernel arithmetic.
-//! See DESIGN.md §10 for the safety model these rules encode.
+//! hand-rolled lexer ([`source`]) feeds an item parser ([`parse`]) and a
+//! workspace call graph ([`callgraph`]), over which project-specific rules
+//! ([`rules`]) enforce the invariants the hot paths rely on — the unsafe
+//! allowlist, the trace publish protocol, transitive panic-freedom from
+//! the decode entry points, allocation-free hot loops, checked arithmetic
+//! on the parse paths, and annotated narrowing casts in kernel
+//! arithmetic. See DESIGN.md §10 for the safety model these rules encode.
 //!
 //! Run it as `cargo run -p szx-audit` (or `scripts/check.sh --audit`);
 //! the committed `results/AUDIT.json` must stay clean and fresh.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 
 use std::fs;
@@ -23,8 +28,10 @@ use std::path::{Path, PathBuf};
 use report::Report;
 use source::SourceFile;
 
-/// Directories never descended into.
-const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+/// Directories never descended into. `fixtures` holds szx-audit's own
+/// seeded-violation test tree — auditing it would report its violations
+/// as the workspace's.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
 
 /// Collect every `*.rs` file under `root`, sorted by workspace-relative
 /// path so reports are deterministic regardless of filesystem order.
@@ -61,20 +68,32 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Run the full audit over the workspace rooted at `root`.
+/// Run the full audit over the workspace rooted at `root`: lexical rules
+/// per file, then the item parser and call graph feed the transitive rule
+/// families.
 pub fn run_audit(root: &Path) -> io::Result<Report> {
     let mut report = Report::default();
-    let mut parsed: Vec<SourceFile> = Vec::new();
+    let mut files: Vec<SourceFile> = Vec::new();
     for path in collect_sources(root)? {
         let text = fs::read_to_string(&path)?;
         let file = source::parse_source(&rel_path(root, &path), &text);
         report.counts.files_scanned += 1;
         report.counts.lines_scanned += file.lines.len();
         rules::check_file(&file, &mut report.findings, &mut report.counts);
-        parsed.push(file);
+        files.push(file);
     }
-    rules::check_crate_attrs(&parsed, &mut report.findings);
-    rules::check_target_feature_guards(&parsed, &mut report.findings, &mut report.counts);
+    rules::check_crate_attrs(&files, &mut report.findings);
+    rules::check_target_feature_guards(&files, &mut report.findings, &mut report.counts);
+
+    let parsed: Vec<(String, parse::ParsedFile)> = files
+        .iter()
+        .map(|f| (f.rel_path.clone(), parse::parse_items(f)))
+        .collect();
+    let graph = callgraph::CallGraph::build(&parsed);
+    report.counts.fns_indexed = graph.nodes.len();
+    report.counts.call_edges = graph.edge_count;
+    rules::check_graph(&files, &graph, &mut report.findings, &mut report.counts);
+
     report.findings.sort();
     report.findings.dedup();
     Ok(report)
@@ -109,6 +128,13 @@ mod tests {
             "the SIMD dispatch layer's guarded #[target_feature] calls must be seen: {:?}",
             report.counts
         );
+        // The call-graph stage actually ran: the item parser indexed the
+        // workspace fns, resolution produced edges, and both transitive
+        // rule families found their entry-point sets.
+        assert!(report.counts.fns_indexed > 200, "{:?}", report.counts);
+        assert!(report.counts.call_edges > 100, "{:?}", report.counts);
+        assert!(report.counts.decode_entries > 10, "{:?}", report.counts);
+        assert!(report.counts.hot_entries > 10, "{:?}", report.counts);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! The `hot-loop-alloc` rule: loop bodies of functions reachable from the
+//! kernel/SIMD entry points must not allocate.
+//!
+//! The paper's throughput claim rests on the block loops being
+//! allocation-free: encode and decode reuse the `EncodeScratch` /
+//! `DecodeScratch` arenas instead of allocating per block. The
+//! `scratch.grows` telemetry test checks this dynamically for the paths a
+//! test happens to drive; this rule pins it statically for every loop the
+//! kernel entry points can reach. `// ALLOC-OK:` on or above the site is
+//! the escape hatch (e.g. a cold error path inside a hot loop).
+
+use super::has_macro;
+use crate::callgraph::CallGraph;
+use crate::report::{Counts, Finding};
+use crate::source::SourceFile;
+use std::collections::HashSet;
+
+/// The kernel/SIMD modules: every non-test `fn` defined here is a hot
+/// entry point, and everything they reach inherits the discipline.
+pub const HOT_ENTRY_FILES: &[&str] = &[
+    "crates/szx-core/src/kernels.rs",
+    "crates/szx-core/src/dekernels.rs",
+    "crates/szx-core/src/simd/mod.rs",
+    "crates/szx-core/src/simd/x86.rs",
+    "crates/szx-core/src/simd/neon.rs",
+];
+
+/// Allocation vectors flagged inside hot loop bodies. Substring patterns
+/// are matched against the code channel (strings already blanked).
+const CALL_PATTERNS: &[(&str, &str)] = &[
+    ("Vec::new(", "`Vec::new`"),
+    (".to_vec(", "`.to_vec()`"),
+    (".clone(", "`.clone()`"),
+    (".collect(", "`.collect()`"),
+    (".collect::", "`.collect()`"),
+    ("Box::new(", "`Box::new`"),
+    ("String::new(", "`String::new`"),
+    (".to_string(", "`.to_string()`"),
+    (".to_owned(", "`.to_owned()`"),
+];
+
+const MACRO_PATTERNS: &[(&str, &str)] = &[("vec!", "`vec![]`"), ("format!", "`format!`")];
+
+/// Scan loop bodies of every function reachable from the kernel entry
+/// points for allocation, honoring `// ALLOC-OK:` on or above the site.
+pub fn check_hot_loop_allocs(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    findings: &mut Vec<Finding>,
+    counts: &mut Counts,
+) {
+    let entries: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| {
+            let n = &graph.nodes[i];
+            !n.item.is_test && HOT_ENTRY_FILES.contains(&n.rel_path.as_str())
+        })
+        .collect();
+    counts.hot_entries = entries.len();
+    let reach = graph.reach(&entries);
+
+    // Nested loops record overlapping ranges; report each line once.
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    let mut suppressed: HashSet<(usize, usize)> = HashSet::new();
+    let mut order: Vec<usize> = reach.keys().copied().collect();
+    order.sort_by_key(|&i| (reach[&i].len(), graph.nodes[i].item.sym.clone()));
+
+    for ni in order {
+        let node = &graph.nodes[ni];
+        if super::is_test_context(&node.rel_path) {
+            continue;
+        }
+        let file = &files[node.file];
+        let chain: Vec<String> = reach[&ni]
+            .iter()
+            .map(|s| format!("{} ({}:{})", s.sym, s.rel_path, s.line))
+            .collect();
+        for &(lo, hi) in &node.item.loops {
+            for i in lo..=hi.min(file.lines.len().saturating_sub(1)) {
+                if file.in_test[i] {
+                    continue;
+                }
+                let code = &file.lines[i].code;
+                let mut hits: Vec<&str> = Vec::new();
+                for &(pat, label) in CALL_PATTERNS {
+                    if code.contains(pat) && !hits.contains(&label) {
+                        hits.push(label);
+                    }
+                }
+                for &(mac, label) in MACRO_PATTERNS {
+                    if has_macro(code, mac) && !hits.contains(&label) {
+                        hits.push(label);
+                    }
+                }
+                if hits.is_empty() || !seen.insert((node.file, i)) {
+                    continue;
+                }
+                if file.annotated(i, "ALLOC-OK:") {
+                    if suppressed.insert((node.file, i)) {
+                        counts.alloc_ok += hits.len();
+                    }
+                    continue;
+                }
+                for h in hits {
+                    findings.push(
+                        Finding::in_symbol(
+                            "hot-loop-alloc",
+                            &file.rel_path,
+                            i + 1,
+                            &node.item.sym,
+                            code.trim(),
+                            &format!(
+                                "{h} in a loop body reachable from kernel entry points \
+                                 (no `// ALLOC-OK:` note) — use the scratch arenas"
+                            ),
+                        )
+                        .with_chain(chain.clone()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_graph;
+
+    #[test]
+    fn allocation_in_kernel_loop_is_flagged() {
+        let src = "pub fn encode_nonconstant(d: &[f32]) {\n\
+                   for b in d.chunks(128) {\n\
+                   let tmp = b.to_vec();\n\
+                   }\n\
+                   }\n";
+        let (f, c) = run_graph(&[("crates/szx-core/src/kernels.rs", src)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "hot-loop-alloc");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("to_vec"));
+        assert_eq!(c.hot_entries, 1);
+    }
+
+    #[test]
+    fn allocation_outside_loops_is_not_flagged() {
+        let src = "pub fn encode_nonconstant(d: &[f32]) {\n\
+                   let scratch = d.to_vec();\n\
+                   for b in d.chunks(128) {\n\
+                   let n = b.len();\n\
+                   }\n\
+                   }\n";
+        let (f, _) = run_graph(&[("crates/szx-core/src/kernels.rs", src)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allocation_in_helper_reached_from_kernel_loop_is_flagged_with_chain() {
+        let kernel = "pub fn encode_nonconstant(d: &[f32]) {\n\
+                      helper(d);\n\
+                      }\n";
+        let helper = "pub fn helper(d: &[f32]) {\n\
+                      while d.len() > 0 {\n\
+                      let s = format!(\"x\");\n\
+                      }\n\
+                      }\n";
+        let (f, _) = run_graph(&[
+            ("crates/szx-core/src/kernels.rs", kernel),
+            ("crates/szx-core/src/block.rs", helper),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].path, "crates/szx-core/src/block.rs");
+        assert_eq!(f[0].chain.len(), 2, "{:?}", f[0].chain);
+        assert!(f[0].chain[0].contains("szx_core::kernels::encode_nonconstant"));
+    }
+
+    #[test]
+    fn alloc_ok_note_suppresses_and_counts() {
+        let src = "pub fn decode_nonconstant_block(d: &[u8]) {\n\
+                   loop {\n\
+                   // ALLOC-OK: cold error path, taken at most once per stream.\n\
+                   let msg = format!(\"bad\");\n\
+                   break;\n\
+                   }\n\
+                   }\n";
+        let (f, c) = run_graph(&[("crates/szx-core/src/dekernels.rs", src)]);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(c.alloc_ok, 1);
+    }
+
+    #[test]
+    fn non_kernel_loops_are_exempt() {
+        let src = "pub fn cli_main(args: &[String]) {\n\
+                   for a in args {\n\
+                   let s = a.clone();\n\
+                   }\n\
+                   }\n";
+        let (f, _) = run_graph(&[("crates/szx-cli/src/main.rs", src)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

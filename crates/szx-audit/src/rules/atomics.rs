@@ -1,0 +1,295 @@
+//! The `atomics-protocol` rule: publish fields in the lock-free modules
+//! follow the release/acquire protocol (seqlock-aware).
+
+use super::{leading_ident, trailing_ident};
+use crate::report::{Counts, Finding};
+use crate::source::SourceFile;
+
+#[derive(Debug, PartialEq, Clone, Copy)]
+enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// One atomic operation found in the trace module.
+#[derive(Debug)]
+struct AtomicOp {
+    field: String,
+    kind: OpKind,
+    ordering: String,
+    line: usize,
+}
+
+/// The lock-free publish protocol: `fields` guard other state (trace slot
+/// contents, profiler stack frames) and must release-store and
+/// acquire-load; a relaxed store would let readers observe torn data, and
+/// a relaxed cross-thread load would read state before its writes are
+/// visible. Two justified exceptions, both requiring an `// ORDERING:`
+/// note: owner-thread relaxed *loads* (a thread always sees its own
+/// stores), and relaxed *stores* in a module carrying a release `fence`
+/// (the seqlock write-entry pattern — the fence, not the store, does the
+/// publishing, as in the zone slot's odd-generation store).
+pub(super) fn atomics_protocol(
+    file: &SourceFile,
+    fields: &[&str],
+    findings: &mut Vec<Finding>,
+    counts: &mut Counts,
+) {
+    let has_release_fence = file
+        .lines
+        .iter()
+        .enumerate()
+        .any(|(i, l)| !file.in_test[i] && l.code.contains("fence(Ordering::Release)"));
+    let mut ops: Vec<AtomicOp> = Vec::new();
+    const METHODS: &[(&str, OpKind)] = &[
+        (".load(", OpKind::Load),
+        (".store(", OpKind::Store),
+        (".swap(", OpKind::Rmw),
+        (".fetch_add(", OpKind::Rmw),
+        (".fetch_sub(", OpKind::Rmw),
+        (".compare_exchange(", OpKind::Rmw),
+    ];
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        for &(pat, kind) in METHODS {
+            let mut from = 0usize;
+            while let Some(at) = line.code[from..].find(pat) {
+                let abs = from + at;
+                // When rustfmt wraps the receiver onto its own line
+                // (`self.len\n    .store(...)`), the field identifier sits
+                // on the nearest preceding non-blank code line.
+                let mut field = trailing_ident(line.code[..abs].trim_end());
+                if field.is_empty() {
+                    for j in (i.saturating_sub(3)..i).rev() {
+                        let t = file.lines[j].code.trim_end();
+                        if !t.is_empty() {
+                            field = trailing_ident(t);
+                            break;
+                        }
+                    }
+                }
+                // The Ordering argument may sit on a continuation line when
+                // rustfmt wraps the call.
+                let ordering = (i..file.lines.len().min(i + 4))
+                    .find_map(|j| {
+                        let code = &file.lines[j].code;
+                        let start = if j == i { abs } else { 0 };
+                        code[start..]
+                            .find("Ordering::")
+                            .map(|o| leading_ident(&code[start + o + "Ordering::".len()..]))
+                    })
+                    .unwrap_or_default();
+                ops.push(AtomicOp {
+                    field,
+                    kind,
+                    ordering,
+                    line: i + 1,
+                });
+                from = abs + pat.len();
+            }
+        }
+    }
+
+    let snippet = |line: usize| file.lines[line - 1].code.trim().to_string();
+    for field in fields {
+        let field_ops: Vec<&AtomicOp> = ops.iter().filter(|o| &o.field == field).collect();
+        if field_ops.is_empty() {
+            continue;
+        }
+        for op in &field_ops {
+            match op.kind {
+                OpKind::Store | OpKind::Rmw if op.ordering == "Relaxed" => {
+                    if has_release_fence && file.annotated(op.line - 1, "ORDERING:") {
+                        counts.ordering_notes += 1;
+                    } else {
+                        findings.push(Finding::in_symbol(
+                            "atomics-protocol",
+                            &file.rel_path,
+                            op.line,
+                            &file.rel_path,
+                            &snippet(op.line),
+                            &format!(
+                                "relaxed store to publish field `{field}` — contents \
+                                 published without release ordering (a seqlock-style \
+                                 store needs both a release fence in the module and an \
+                                 `// ORDERING:` note)"
+                            ),
+                        ));
+                    }
+                }
+                OpKind::Load if op.ordering == "Relaxed" => {
+                    if file.annotated(op.line - 1, "ORDERING:") {
+                        counts.ordering_notes += 1;
+                    } else {
+                        findings.push(Finding::in_symbol(
+                            "atomics-protocol",
+                            &file.rel_path,
+                            op.line,
+                            &file.rel_path,
+                            &snippet(op.line),
+                            &format!(
+                                "relaxed load of publish field `{field}` without an \
+                                 `// ORDERING:` note (owner-thread reads must be justified)"
+                            ),
+                        ));
+                    }
+                }
+                _ if op.ordering.is_empty() => {
+                    findings.push(Finding::in_symbol(
+                        "atomics-protocol",
+                        &file.rel_path,
+                        op.line,
+                        &file.rel_path,
+                        &snippet(op.line),
+                        &format!("atomic op on `{field}` without an explicit Ordering"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        let has_release_store = field_ops
+            .iter()
+            .any(|o| o.kind != OpKind::Load && (o.ordering == "Release" || o.ordering == "SeqCst"));
+        let has_acquire_load = field_ops
+            .iter()
+            .any(|o| o.kind == OpKind::Load && (o.ordering == "Acquire" || o.ordering == "SeqCst"));
+        if !(has_release_store && has_acquire_load) {
+            findings.push(Finding::in_symbol(
+                "atomics-protocol",
+                &file.rel_path,
+                field_ops[0].line,
+                &file.rel_path,
+                &snippet(field_ops[0].line),
+                &format!(
+                    "publish field `{field}` lacks a release-store/acquire-load pair \
+                     (stores: {}, loads: {})",
+                    field_ops.iter().filter(|o| o.kind != OpKind::Load).count(),
+                    field_ops.iter().filter(|o| o.kind == OpKind::Load).count(),
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_on;
+
+    #[test]
+    fn relaxed_publish_store_is_flagged() {
+        let src = "fn push(&self) {\n\
+                   let n = self.len.load(Ordering::Acquire);\n\
+                   self.len.store(n + 1, Ordering::Relaxed);\n\
+                   }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/trace.rs", src);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "atomics-protocol" && x.line == 3),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn release_acquire_pair_passes() {
+        let src = "fn push(&self) {\n\
+                   // ORDERING: owner-thread read; only this thread stores len.\n\
+                   let n = self.len.load(Ordering::Relaxed);\n\
+                   self.len.store(n + 1, Ordering::Release);\n\
+                   }\n\
+                   fn drain(&self) {\n\
+                   let n = self.len.load(Ordering::Acquire);\n\
+                   self.len.store(0, Ordering::Release);\n\
+                   }\n";
+        let (f, c) = run_on("crates/szx-telemetry/src/trace.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(c.ordering_notes, 1);
+    }
+
+    #[test]
+    fn seqlock_gen_protocol_passes_with_fence_and_notes() {
+        // The zone-slot pattern: relaxed odd store justified by a release
+        // fence + note, even store Release, reader Acquire + fenced
+        // relaxed re-read. Zero findings, every relaxed op counted.
+        let src = "fn publish(&self) {\n\
+                   // ORDERING: owner-thread read of its own last value.\n\
+                   let g = self.gen.load(Ordering::Relaxed);\n\
+                   // ORDERING: odd store published by the fence below.\n\
+                   self.gen.store(g + 1, Ordering::Relaxed);\n\
+                   fence(Ordering::Release);\n\
+                   self.gen.store(g + 2, Ordering::Release);\n\
+                   }\n\
+                   fn snapshot(&self) {\n\
+                   let g1 = self.gen.load(Ordering::Acquire);\n\
+                   fence(Ordering::Acquire);\n\
+                   // ORDERING: re-read ordered by the fence above.\n\
+                   let _ = self.gen.load(Ordering::Relaxed);\n\
+                   }\n";
+        let (f, c) = run_on("crates/szx-telemetry/src/zones.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(c.ordering_notes, 3);
+    }
+
+    #[test]
+    fn seqlock_relaxed_store_needs_both_fence_and_note() {
+        // A note without any release fence in the module: the store is
+        // not actually published by anything — flagged.
+        let noteless_fence = "fn f(&self) {\n\
+                              self.gen.store(1, Ordering::Relaxed);\n\
+                              fence(Ordering::Release);\n\
+                              self.gen.store(2, Ordering::Release);\n\
+                              let _ = self.gen.load(Ordering::Acquire);\n\
+                              }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/zones.rs", noteless_fence);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "atomics-protocol" && x.line == 2),
+            "{f:?}"
+        );
+        let fenceless_note = "fn f(&self) {\n\
+                              // ORDERING: claims a fence that is not there.\n\
+                              self.gen.store(1, Ordering::Relaxed);\n\
+                              self.gen.store(2, Ordering::Release);\n\
+                              let _ = self.gen.load(Ordering::Acquire);\n\
+                              }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/zones.rs", fenceless_note);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "atomics-protocol" && x.line == 3),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn missing_acquire_load_breaks_the_pair() {
+        let src = "fn f(&self) {\n\
+                   self.len.store(1, Ordering::Release);\n\
+                   let _ = self.len.load(Ordering::Acquire);\n\
+                   }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/trace.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        let src = "fn f(&self) { self.len.store(1, Ordering::Release); }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/trace.rs", src);
+        assert!(
+            f.iter()
+                .any(|x| x.message.contains("release-store/acquire-load")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn wrapped_ordering_argument_is_found_on_continuation_line() {
+        let src = "fn f(&self) {\n\
+                   self.len\n\
+                   .store(\n\
+                   n + 1,\n\
+                   Ordering::Release,\n\
+                   );\n\
+                   let _ = self.len.load(Ordering::Acquire);\n\
+                   }\n";
+        let (f, _) = run_on("crates/szx-telemetry/src/trace.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

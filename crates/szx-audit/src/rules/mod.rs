@@ -1,0 +1,301 @@
+//! The audit rules: project-specific invariants phrased over the lexical
+//! source model of [`crate::source`] and the call graph of
+//! [`crate::callgraph`].
+//!
+//! | rule id                | invariant                                                        |
+//! |------------------------|------------------------------------------------------------------|
+//! | `unsafe-allowlist`     | `unsafe` appears only in the allowlisted unsafe surfaces         |
+//! | `unsafe-safety`        | every allowlisted `unsafe` site carries a `// SAFETY:` comment   |
+//! | `forbid-unsafe`        | safe crates declare `#![forbid(unsafe_code)]` at the crate root  |
+//! | `deny-unsafe-op`       | unsafe-bearing crates deny `unsafe_op_in_unsafe_fn`              |
+//! | `deny-unsafe-code`     | opt-in crates deny `unsafe_code` at the root (files re-allow)    |
+//! | `target-feature-guard` | `#[target_feature]` backends are only called behind a `SAFETY:`  |
+//! |                        | note naming the runtime feature-detection guard                  |
+//! | `panic-reach`          | no panic vector transitively reachable from a decode entry       |
+//! |                        | point without `// PANIC-OK:` (call-graph rule)                   |
+//! | `hot-loop-alloc`       | no allocation in loop bodies reachable from kernel/SIMD entry    |
+//! |                        | points without `// ALLOC-OK:` (call-graph rule)                  |
+//! | `checked-arith`        | `+`/`*`/`<<` on length/offset locals on parse paths must be      |
+//! |                        | `checked_*`/`saturating_*` (or `// ARITH-OK:` with proof)        |
+//! | `atomics-protocol`     | publish fields in the lock-free modules follow release/acquire   |
+//! | `cast-note`            | narrowing `as` casts in the kernels carry a `// CAST:` note      |
+//!
+//! The first six and the last two are lexical (per-file or per-attribute);
+//! `panic-reach` and `hot-loop-alloc` traverse the workspace call graph
+//! from their entry-point sets, and `checked-arith` runs over the parsed
+//! arithmetic sites of parse-path functions. PR-5's file-allowlist
+//! `panic-path` rule is replaced by `panic-reach`: instead of trusting a
+//! list of decode-side *files*, the analyzer walks every function the
+//! decode entry points can actually reach, in any file, and reports the
+//! full offending call chain.
+
+mod allocs;
+mod arith;
+mod atomics;
+mod lexical;
+mod panics;
+
+pub use allocs::{check_hot_loop_allocs, HOT_ENTRY_FILES};
+pub use arith::{check_parse_arith, PARSE_PATH_FILES};
+pub use lexical::{check_crate_attrs, check_target_feature_guards};
+pub use panics::{check_panic_reach, is_decode_entry};
+
+use crate::callgraph::CallGraph;
+use crate::report::{Counts, Finding};
+use crate::source::SourceFile;
+
+/// Files allowed to contain `unsafe` (each site still needs `// SAFETY:`).
+pub const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/szx-telemetry/src/trace.rs",
+    "crates/szx-telemetry/src/json.rs",
+];
+
+/// Directory prefixes allowed to contain `unsafe` (same `// SAFETY:`
+/// obligation as [`UNSAFE_ALLOWLIST`]). The explicit SIMD backends live
+/// here: the szx-core crate root carries `#![deny(unsafe_code)]` and only
+/// these files opt back in with an inner `#![allow(unsafe_code)]`, so the
+/// crate's entire unsafe surface is this directory.
+pub const UNSAFE_ALLOWLIST_PREFIXES: &[&str] = &["crates/szx-core/src/simd/"];
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`. (szx-core moved
+/// to [`DENY_UNSAFE_OP_ROOTS`] when the SIMD backends landed: `forbid`
+/// cannot be overridden by a module, `deny` can — see
+/// [`UNSAFE_ALLOWLIST_PREFIXES`].)
+pub const FORBID_UNSAFE_ROOTS: &[&str] = &[
+    "crates/szx-data/src/lib.rs",
+    "crates/szx-cli/src/main.rs",
+    "crates/szx-metrics/src/lib.rs",
+    "crates/szx-baselines/src/lib.rs",
+    "crates/szx-gpu-sim/src/lib.rs",
+    "crates/szx-io-sim/src/lib.rs",
+    "crates/bench/src/lib.rs",
+    "crates/szx-audit/src/lib.rs",
+    "crates/szx-fuzz/src/lib.rs",
+    "crates/szx-profile/src/lib.rs",
+    "tests/src/lib.rs",
+];
+
+/// Crate roots that must carry `#![deny(unsafe_op_in_unsafe_fn)]` — the
+/// crates allowed to hold unsafe code at all.
+pub const DENY_UNSAFE_OP_ROOTS: &[&str] = &[
+    "crates/szx-telemetry/src/lib.rs",
+    "crates/szx-core/src/lib.rs",
+];
+
+/// Crate roots that must carry `#![deny(unsafe_code)]`: crates whose unsafe
+/// surface is confined to allowlisted files via per-file
+/// `#![allow(unsafe_code)]` opt-ins.
+pub const DENY_UNSAFE_CODE_ROOTS: &[&str] = &["crates/szx-core/src/lib.rs"];
+
+/// Kernel modules whose offset arithmetic must annotate narrowing casts.
+/// The SIMD dispatch layer and the x86 backend join the portable kernels:
+/// their shift/byte-count arithmetic narrows just the same.
+pub const CAST_FILES: &[&str] = &[
+    "crates/szx-core/src/kernels.rs",
+    "crates/szx-core/src/dekernels.rs",
+    "crates/szx-core/src/simd/mod.rs",
+    "crates/szx-core/src/simd/x86.rs",
+    "crates/szx-core/src/simd/neon.rs",
+];
+
+/// Lock-free modules and the atomic fields in them that publish other
+/// state: the trace buffer's `len` guards `UnsafeCell` slot contents, the
+/// zone slot's `gen` is the seqlock generation guarding the profiler's
+/// stack frames. Each must pair a release store with an acquire load; any
+/// relaxed operation on them needs an `// ORDERING:` justification (and,
+/// for relaxed *stores*, a release `fence` in the module — the seqlock
+/// write-entry pattern, where the fence does the publishing).
+pub const ATOMIC_PROTOCOL_MODULES: &[(&str, &[&str])] = &[
+    ("crates/szx-telemetry/src/trace.rs", &["len"]),
+    ("crates/szx-telemetry/src/zones.rs", &["gen"]),
+];
+
+/// Run every lexical per-file rule on `file`.
+pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>, counts: &mut Counts) {
+    lexical::unsafe_hygiene(file, findings, counts);
+    if CAST_FILES.contains(&file.rel_path.as_str()) {
+        lexical::cast_notes(file, findings, counts);
+    }
+    if let Some(&(_, fields)) = ATOMIC_PROTOCOL_MODULES
+        .iter()
+        .find(|(m, _)| *m == file.rel_path)
+    {
+        atomics::atomics_protocol(file, fields, findings, counts);
+    }
+}
+
+/// Run the call-graph rule families. `files` must be the same slice (same
+/// order) the graph was built from, so `Node::file` indexes into it.
+pub fn check_graph(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    findings: &mut Vec<Finding>,
+    counts: &mut Counts,
+) {
+    panics::check_panic_reach(files, graph, findings, counts);
+    allocs::check_hot_loop_allocs(files, graph, findings, counts);
+    arith::check_parse_arith(files, graph, findings, counts);
+}
+
+/// Files that are test, bench, or example context even though their items
+/// carry no `#[cfg(test)]`: integration-test trees, the shared `tests`
+/// harness crate, benches, and examples. The graph rules neither treat
+/// their fns as entry points nor scan their bodies — their callees are
+/// still checked when a real entry reaches them.
+pub(crate) fn is_test_context(rel_path: &str) -> bool {
+    rel_path.starts_with("examples/")
+        || rel_path.starts_with("benches/")
+        || rel_path.starts_with("tests/")
+        || rel_path.contains("/tests/")
+        || rel_path.contains("/benches/")
+        || rel_path.contains("/examples/")
+}
+
+pub(crate) fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Word-boundary search for an identifier-like token.
+pub(crate) fn has_word(code: &str, word: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(at) = code[from..].find(word) {
+        let abs = from + at;
+        let before = code[..abs].chars().next_back();
+        let after = code[abs + word.len()..].chars().next();
+        if !before.is_some_and(is_ident_char) && !after.is_some_and(is_ident_char) {
+            return true;
+        }
+        from = abs + word.len();
+    }
+    false
+}
+
+/// Macro-call search: `name` must not be preceded by an identifier char
+/// (so `assert!` does not match inside `debug_assert!`).
+pub(crate) fn has_macro(code: &str, name: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(at) = code[from..].find(name) {
+        let abs = from + at;
+        if !code[..abs].chars().next_back().is_some_and(is_ident_char) {
+            return true;
+        }
+        from = abs + name.len();
+    }
+    false
+}
+
+/// Does the line contain an index expression `expr[...]`? A `[` counts when
+/// the previous non-space character ends an expression (identifier, `)`,
+/// `]`), except when that identifier is a lifetime (`&'a [u8]`).
+pub(crate) fn has_index_expr(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && chars[j - 1] == ' ' {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let prev = chars[j - 1];
+        if prev == ')' || prev == ']' {
+            return true;
+        }
+        if is_ident_char(prev) {
+            // Walk back over the identifier; a leading `'` makes it a
+            // lifetime, and a keyword (`&mut [F]`, `dyn [..]`, `x in [..]`)
+            // starts a type or expression — neither is an indexable value.
+            let mut k = j - 1;
+            while k > 0 && is_ident_char(chars[k - 1]) {
+                k -= 1;
+            }
+            if k > 0 && chars[k - 1] == '\'' {
+                continue;
+            }
+            const KEYWORDS: &[&str] = &[
+                "mut", "dyn", "in", "as", "return", "break", "else", "match", "if", "while",
+                "impl", "where", "move", "ref", "const", "static", "let", "loop",
+            ];
+            let ident: String = chars[k..j].iter().collect();
+            if !KEYWORDS.contains(&ident.as_str()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The identifier ending `s` (e.g. `"self.len"` → `"len"`).
+pub(crate) fn trailing_ident(s: &str) -> String {
+    s.chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect()
+}
+
+/// The identifier starting `s`.
+pub(crate) fn leading_ident(s: &str) -> String {
+    s.chars().take_while(|&c| is_ident_char(c)).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::source::parse_source;
+
+    /// Lexical-rule harness: run [`check_file`] on one synthetic source.
+    pub(crate) fn run_on(rel_path: &str, src: &str) -> (Vec<Finding>, Counts) {
+        let file = parse_source(rel_path, src);
+        let mut findings = Vec::new();
+        let mut counts = Counts::default();
+        check_file(&file, &mut findings, &mut counts);
+        (findings, counts)
+    }
+
+    /// Graph-rule harness: lex + parse + build the call graph over a
+    /// synthetic workspace, then run [`check_graph`].
+    pub(crate) fn run_graph(sources: &[(&str, &str)]) -> (Vec<Finding>, Counts) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| parse_source(rel, src))
+            .collect();
+        let parsed: Vec<(String, crate::parse::ParsedFile)> = files
+            .iter()
+            .map(|f| (f.rel_path.clone(), crate::parse::parse_items(f)))
+            .collect();
+        let graph = CallGraph::build(&parsed);
+        let mut findings = Vec::new();
+        let mut counts = Counts::default();
+        check_graph(&files, &graph, &mut findings, &mut counts);
+        findings.sort();
+        (findings, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_expr_heuristic_edges() {
+        assert!(has_index_expr("let x = data[i];"));
+        assert!(has_index_expr("f()[0]"));
+        assert!(!has_index_expr("let a: [u8; 8] = x;"));
+        assert!(!has_index_expr("fn f(b: &'a [u8]) {}"));
+        assert!(!has_index_expr("let v = vec![0; 4];"));
+    }
+
+    #[test]
+    fn word_and_macro_helpers() {
+        assert!(has_word("unsafe { x }", "unsafe"));
+        assert!(!has_word("unsafe_code", "unsafe"));
+        assert!(has_macro("assert!(x)", "assert!"));
+        assert!(!has_macro("debug_assert!(x)", "assert!"));
+    }
+}

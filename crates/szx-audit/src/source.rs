@@ -163,11 +163,21 @@ pub fn parse_source(rel_path: &str, text: &str) -> SourceFile {
                         if next == Some('\\') {
                             code.push_str("''");
                             i += 2; // consume '\
-                                    // Skip the escape body up to the closing quote.
+                                    // Consume the escaped character itself first
+                                    // (`'\''` escapes a quote), then skip the rest
+                                    // of the escape body up to the closing quote.
+                            if i < chars.len() && chars[i] != '\n' {
+                                i += 1;
+                            }
                             while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
                                 i += 1;
                             }
-                            i += 1; // closing quote
+                            // Closing quote — but never swallow a newline: a
+                            // malformed literal must still flush the line so
+                            // later line numbers stay aligned.
+                            if i < chars.len() && chars[i] == '\'' {
+                                i += 1;
+                            }
                         } else if next.is_some() && chars.get(i + 2).copied() == Some('\'') {
                             code.push_str("''");
                             i += 3;
@@ -205,7 +215,17 @@ pub fn parse_source(rel_path: &str, text: &str) -> SourceFile {
             }
             State::Str => {
                 if c == '\\' {
-                    i += 2; // skip the escaped character
+                    // Skip the escaped character — unless it is a newline
+                    // (the `\` line-continuation escape): consuming that
+                    // here would merge two physical lines and shift every
+                    // later line number, detaching `// SAFETY:`-style
+                    // annotations from their sites. Leave the newline for
+                    // the flush branch at the top of the loop.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
+                    } else {
+                        i += 2;
+                    }
                 } else if c == '"' {
                     state = State::Code;
                     code.push('"');
@@ -405,5 +425,95 @@ mod tests {
     fn cfg_test_inside_string_is_ignored() {
         let f = lex("let s = \"#[cfg(test)]\";\nfn prod() {}\n");
         assert!(!f.in_test[0] && !f.in_test[1]);
+    }
+
+    #[test]
+    fn string_line_continuation_does_not_drift_line_numbers() {
+        // `\` at end of line is a string line-continuation escape: the
+        // newline must still flush a (string-interior) line, or every
+        // later line number shifts and annotations detach from sites.
+        let src = "let s = \"abc\\\n   def\";\nx.unwrap();\n";
+        let f = lex(src);
+        assert_eq!(f.lines.len(), 3, "{:?}", f.lines);
+        assert!(f.lines[2].code.contains(".unwrap()"), "{:?}", f.lines);
+        assert!(
+            !f.lines.iter().any(|l| l.code.contains("def")),
+            "string contents leaked into the code channel: {:?}",
+            f.lines
+        );
+    }
+
+    #[test]
+    fn quote_char_literal_does_not_leak_a_tick() {
+        // `'\''` — the escaped character *is* a quote; the old skip logic
+        // treated it as the terminator and leaked the real closing quote
+        // into the code channel as a spurious lifetime tick.
+        let f = lex("let c = '\\''; let idx = v[0];\n");
+        assert!(f.lines[0].code.contains("v[0]"), "{:?}", f.lines[0].code);
+        assert!(
+            !f.lines[0].code.contains("'' '"),
+            "stray tick leaked: {:?}",
+            f.lines[0].code
+        );
+        // Malformed char literal at end of line: the newline still flushes.
+        let f = lex("let c = '\\\nx.unwrap();\n");
+        assert_eq!(f.lines.len(), 3.min(f.lines.len()).max(2));
+        assert!(
+            f.lines.iter().skip(1).any(|l| l.code.contains(".unwrap()")),
+            "{:?}",
+            f.lines
+        );
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_alignment_and_blank_contents() {
+        let src = "let s = r##\"line one \"# not closed\nline two .unwrap() [i]\ntail\"##; y.expect(\"m\");\n";
+        let f = lex(src);
+        assert_eq!(f.lines.len(), 3, "{:?}", f.lines);
+        // Interior lines carry no code and no comment.
+        assert!(f.lines[1].is_blank(), "{:?}", f.lines[1]);
+        assert!(!f.lines[1].code.contains("unwrap"));
+        // The close on line 3 returns to the code channel.
+        assert!(f.lines[2].code.contains(".expect("), "{:?}", f.lines[2]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let f = lex("let r#type = 1; x[r#type];\nlet b = r#fn();\n");
+        assert!(f.lines[0].code.contains("x[r#type]"), "{:?}", f.lines[0]);
+        assert!(f.lines[1].code.contains("r#fn()"), "{:?}", f.lines[1]);
+    }
+
+    #[test]
+    fn raw_strings_ignore_escapes_and_comment_openers() {
+        // `\` is not an escape inside a raw string: `r"C:\"` closes at the
+        // quote. `//` and `/*` inside raw strings are content, not comments.
+        let f = lex("let p = r\"C:\\\"; q.unwrap();\n");
+        assert!(f.lines[0].code.contains("q.unwrap()"), "{:?}", f.lines[0]);
+        let f = lex("let s = r\"// not a comment /* nor this\"; z[k];\n");
+        assert!(f.lines[0].code.contains("z[k]"), "{:?}", f.lines[0]);
+        assert!(f.lines[0].comment.is_empty(), "{:?}", f.lines[0]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_track_depth() {
+        let src = "a(); /* 1 /* 2 /* 3 */ 2 */ 1 */ b();\n/* /* */ still */ c();\n";
+        let f = lex(src);
+        assert!(f.lines[0].code.contains("a()") && f.lines[0].code.contains("b()"));
+        assert!(!f.lines[0].code.contains('1'), "{:?}", f.lines[0]);
+        assert!(f.lines[1].code.contains("c()"), "{:?}", f.lines[1]);
+        assert!(f.lines[1].comment.contains("still"));
+        // Unbalanced open comment swallows the rest of the file.
+        let f = lex("/* /* */ x();\ny();\n");
+        assert!(!f.lines[0].code.contains("x()"));
+        assert!(!f.lines[1].code.contains("y()"));
+    }
+
+    #[test]
+    fn quotes_inside_comments_do_not_open_strings() {
+        let src = "/* \"not a string */ let x = v[0]; // \"nor here\nlet y = 1;\n";
+        let f = lex(src);
+        assert!(f.lines[0].code.contains("v[0]"), "{:?}", f.lines[0]);
+        assert!(f.lines[1].code.contains("let y"), "{:?}", f.lines[1]);
     }
 }

@@ -1,0 +1,6 @@
+//! Seeded violation: unchecked add on length/offset locals on the cursor
+//! path — the `checked-arith` rule must flag `pos + len`.
+
+pub fn advance(pos: usize, len: usize) -> usize {
+    pos + len
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: `decompress` is a decode entry point whose call
+//! chain reaches unchecked indexing in `dekernels.rs` — the `panic-reach`
+//! rule must report the full chain.
+
+pub fn decompress(bytes: &[u8]) -> u8 {
+    middle(bytes)
+}

@@ -1,0 +1,10 @@
+//! Helpers on the decode path: `deep_index` panics on short input and
+//! carries no `// PANIC-OK:` proof.
+
+pub fn middle(bytes: &[u8]) -> u8 {
+    deep_index(bytes)
+}
+
+pub fn deep_index(bytes: &[u8]) -> u8 {
+    bytes[7]
+}

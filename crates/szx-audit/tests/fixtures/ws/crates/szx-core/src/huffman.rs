@@ -1,0 +1,7 @@
+//! Seeded violation: `unsafe` outside the allowlisted unsafe surfaces —
+//! the `unsafe-allowlist` rule must flag it even with a SAFETY note.
+
+// SAFETY: the pointer is valid — but this file has no unsafe allowance.
+pub fn init_tables(p: *mut u8) {
+    unsafe { p.write(0) }
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: a kernel entry point allocating inside its block
+//! loop — the `hot-loop-alloc` rule must flag the `.to_vec()`.
+
+pub fn encode_blocks(data: &[f32]) -> usize {
+    let mut total = 0;
+    for block in data.chunks(128) {
+        let tmp = block.to_vec();
+        total += tmp.len();
+    }
+    total
+}

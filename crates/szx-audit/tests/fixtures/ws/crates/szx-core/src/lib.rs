@@ -1,0 +1,12 @@
+//! Seeded violation: this crate root must carry `#![deny(unsafe_code)]`
+//! (per-file opt-ins re-allow it) — the `deny-unsafe-code` rule must
+//! report the missing attribute.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod cursor;
+mod decode;
+mod dekernels;
+mod huffman;
+mod kernels;
+mod simd;

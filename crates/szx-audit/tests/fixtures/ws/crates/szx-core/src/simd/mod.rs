@@ -1,0 +1,10 @@
+//! Seeded violation: a dispatch-layer call to a `#[target_feature]`
+//! backend whose SAFETY note never names the runtime detection guard —
+//! the `target-feature-guard` rule must flag it.
+
+mod x86;
+
+pub fn dispatch(d: &[f32]) -> f32 {
+    // SAFETY: trust me.
+    unsafe { x86::scan8(d) }
+}

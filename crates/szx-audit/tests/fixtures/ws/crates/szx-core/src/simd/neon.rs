@@ -1,0 +1,6 @@
+//! Seeded violation: a narrowing `as` cast in kernel arithmetic without
+//! a `// CAST:` note — the `cast-note` rule must flag it.
+
+pub fn lane_count(x: u64) -> u32 {
+    x as u32
+}

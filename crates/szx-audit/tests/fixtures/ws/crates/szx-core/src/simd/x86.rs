@@ -1,0 +1,6 @@
+//! Clean backend definition used by the target-feature-guard fixture.
+
+#[target_feature(enable = "avx2")]
+pub(super) fn scan8(_d: &[f32]) -> f32 {
+    0.0
+}

@@ -1,0 +1,2 @@
+//! Seeded violation: a safe crate root missing `#![forbid(unsafe_code)]`
+//! — the `forbid-unsafe` rule must report the missing attribute.

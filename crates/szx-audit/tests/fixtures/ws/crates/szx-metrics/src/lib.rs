@@ -1,0 +1,3 @@
+//! Clean fixture crate root.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,6 @@
+//! Seeded violation: an allowlisted unsafe site with no `// SAFETY:`
+//! justification — the `unsafe-safety` rule must flag it.
+
+pub fn scratch(p: *mut u8) {
+    unsafe { p.write(0) }
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: this crate holds unsafe code and must carry
+//! `#![deny(unsafe_op_in_unsafe_fn)]` — the `deny-unsafe-op` rule must
+//! report the missing attribute.
+
+mod json;
+mod trace;

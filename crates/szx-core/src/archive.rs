@@ -73,6 +73,8 @@ impl ArchiveWriter {
             out.extend_from_slice(name.as_bytes());
             out.extend_from_slice(&offset.to_le_bytes());
             out.extend_from_slice(&(stream.len() as u64).to_le_bytes());
+            // ARITH-OK: writer side — sums lengths of in-memory streams,
+            // bounded by the process address space, far below u64::MAX.
             offset += stream.len() as u64;
         }
         for (_, stream) in &self.entries {

@@ -215,9 +215,16 @@ fn decompress_with_index<F: SzxFloat>(
                 let b = first_block + j;
                 let mu = index.mu::<F>(b);
                 if index.states.get(b) {
+                    // PANIC-OK: `b < num_blocks` by the chunk split, so
+                    // `nc_before[b]` is in range and `nc < n_nonconstant`.
                     let nc = nc_before[b];
+                    // PANIC-OK: StreamIndex::build verified n_nonconstant
+                    // entries exist in both tables.
                     let off = index.payload_offsets[nc];
+                    // PANIC-OK: same `nc < n_nonconstant` bound as above.
                     let len = index.zsizes[nc] as usize;
+                    // PANIC-OK: build() verified `off + len <=
+                    // payloads.len()` for every nonconstant block.
                     let payload = &index.payloads[off..off + len];
                     decode_block_dispatch(payload, block_out, mu, strategy, path, &mut scratch)?;
                 } else {

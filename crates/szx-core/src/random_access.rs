@@ -87,6 +87,8 @@ impl<'a, F: SzxFloat> RandomAccess<'a, F> {
         if self.parsed.state(b) {
             let (off, len) = self.parsed.payload_span(b);
             decode_block_dispatch(
+                // PANIC-OK: parse() validated every payload span against
+                // `payloads.len()` when the stream was indexed.
                 &self.parsed.payloads[off..off + len],
                 out,
                 mu,
@@ -124,9 +126,12 @@ impl<'a, F: SzxFloat> RandomAccess<'a, F> {
         for b in first_block..=last_block {
             let blen = self.block_len(b);
             let block_start = b * self.block_size;
+            // PANIC-OK: `blen <= block_size` and scratch holds block_size
+            // elements.
             self.decode_block(b, &mut scratch[..blen])?;
             let lo = start.max(block_start) - block_start;
             let hi = end.min(block_start + blen) - block_start;
+            // PANIC-OK: `lo <= hi <= blen` by the max/min clamps above.
             out.extend_from_slice(&scratch[lo..hi]);
         }
         Ok(out)
@@ -136,6 +141,8 @@ impl<'a, F: SzxFloat> RandomAccess<'a, F> {
     /// [`Self::decode_range`]).
     pub fn decode_at(&self, index: usize) -> Result<F> {
         let v = self.decode_range(index, index + 1)?;
+        // PANIC-OK: decode_range(i, i + 1) returns exactly one element when
+        // it returns Ok.
         Ok(v[0])
     }
 }

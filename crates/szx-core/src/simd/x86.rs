@@ -453,6 +453,7 @@ pub(super) fn decode_pass2_f32(
     debug_assert_eq!(words.len(), blen + 1);
     debug_assert!(leads.len() == blen && offsets.len() == blen);
     debug_assert!(prov0.len() == blen && prov1.len() == blen && prov2.len() == blen);
+    // PANIC-OK: words.len() = blen + 1 >= 1 (dispatch sizes the arena).
     words[0] = 0; // the implicit zero word `prev` starts from
     let m0 = crate::dekernels::byte_mask(0, nb);
     let m1 = crate::dekernels::byte_mask(1, nb);
@@ -479,6 +480,7 @@ pub(super) fn decode_pass2_f32(
         };
         let be = bswap64(loaded);
         // Widen the 4 lead bytes to per-lane shift counts of 8·lead bits.
+        // PANIC-OK: i + 4 <= blen = leads.len() on every loop iteration.
         let l4 = u32::from_le_bytes([leads[i], leads[i + 1], leads[i + 2], leads[i + 3]]);
         let lead4 = _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(l4 as i32)); // CAST: widening
         let a = _mm256_srlv_epi64(be, _mm256_slli_epi64::<3>(lead4));
@@ -517,18 +519,19 @@ pub(super) fn decode_pass2_f32(
     }
     // Scalar tail — identical to the portable kernel's reconstruction.
     while i < blen {
-        let off = offsets[i] as usize;
-        // PANIC-OK: off + 8 <= pool.len() (caller contract, 8-byte slack);
-        // the unwrap is an infallible 8-byte slice -> array conversion.
+        let off = offsets[i] as usize; // PANIC-OK: i < blen = offsets.len()
+                                       // PANIC-OK: off + 8 <= pool.len() (caller contract, 8-byte slack);
+                                       // the unwrap is an infallible 8-byte slice -> array conversion.
         let loaded = u64::from_be_bytes(pool[off..off + 8].try_into().unwrap());
+        // PANIC-OK: i < blen = leads.len().
         let a = loaded >> (8 * leads[i] as u32); // CAST: leads[i] <= 8
-        words[i + 1] = a;
+        words[i + 1] = a; // PANIC-OK: i + 1 <= blen < words.len()
         let w = (words[prov0[i] as usize] & m0) // PANIC-OK: providers <= i + 1
             | (words[prov1[i] as usize] & m1) // PANIC-OK: as above
             | (words[prov2[i] as usize] & m2) // PANIC-OK: as above
             | (a & m_rest);
         let v = f32::from_word(w << s);
-        out[i] = if raw { v } else { v + mu };
+        out[i] = if raw { v } else { v + mu }; // PANIC-OK: i < out.len()
         i += 1;
     }
 }
@@ -555,6 +558,7 @@ pub(super) fn decode_pass2_f64(
     debug_assert_eq!(words.len(), blen + 1);
     debug_assert!(leads.len() == blen && offsets.len() == blen);
     debug_assert!(prov0.len() == blen && prov1.len() == blen && prov2.len() == blen);
+    // PANIC-OK: words.len() = blen + 1 >= 1 (dispatch sizes the arena).
     words[0] = 0;
     let m0 = crate::dekernels::byte_mask(0, nb);
     let m1 = crate::dekernels::byte_mask(1, nb);
@@ -579,6 +583,7 @@ pub(super) fn decode_pass2_f64(
             _mm256_i32gather_epi64::<1>(pool_ptr.cast::<i64>(), off4)
         };
         let be = bswap64(loaded);
+        // PANIC-OK: i + 4 <= blen = leads.len() on every loop iteration.
         let l4 = u32::from_le_bytes([leads[i], leads[i + 1], leads[i + 2], leads[i + 3]]);
         let lead4 = _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(l4 as i32)); // CAST: widening
         let a = _mm256_srlv_epi64(be, _mm256_slli_epi64::<3>(lead4));
@@ -609,18 +614,19 @@ pub(super) fn decode_pass2_f64(
         i += 4;
     }
     while i < blen {
-        let off = offsets[i] as usize;
-        // PANIC-OK: off + 8 <= pool.len() (caller contract, 8-byte slack);
-        // the unwrap is an infallible 8-byte slice -> array conversion.
+        let off = offsets[i] as usize; // PANIC-OK: i < blen = offsets.len()
+                                       // PANIC-OK: off + 8 <= pool.len() (caller contract, 8-byte slack);
+                                       // the unwrap is an infallible 8-byte slice -> array conversion.
         let loaded = u64::from_be_bytes(pool[off..off + 8].try_into().unwrap());
+        // PANIC-OK: i < blen = leads.len().
         let a = loaded >> (8 * leads[i] as u32); // CAST: leads[i] <= 8
-        words[i + 1] = a;
+        words[i + 1] = a; // PANIC-OK: i + 1 <= blen < words.len()
         let w = (words[prov0[i] as usize] & m0) // PANIC-OK: providers <= i + 1
             | (words[prov1[i] as usize] & m1) // PANIC-OK: as above
             | (words[prov2[i] as usize] & m2) // PANIC-OK: as above
             | (a & m_rest);
         let v = f64::from_word(w << s);
-        out[i] = if raw { v } else { v + mu };
+        out[i] = if raw { v } else { v + mu }; // PANIC-OK: i < out.len()
         i += 1;
     }
 }

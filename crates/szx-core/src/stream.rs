@@ -49,6 +49,8 @@ impl Header {
     /// Number of blocks the stream describes. Written to avoid the
     /// `n + bs - 1` overflow a forged header could trigger.
     pub fn num_blocks(&self) -> usize {
+        // ARITH-OK: `n / block_size < usize::MAX` and the rounding term is
+        // 0 or 1, so the sum cannot wrap for any forged header value.
         self.n / self.block_size + usize::from(!self.n.is_multiple_of(self.block_size))
     }
 

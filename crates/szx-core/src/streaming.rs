@@ -163,7 +163,8 @@ impl FrameWriter {
 
 /// Reads frames back out of a container.
 pub struct FrameReader<'a> {
-    /// (offset, length) of each frame's SZx stream.
+    /// (start, end) byte range of each frame's SZx stream, validated
+    /// against the container length when the index was built.
     index: Vec<(usize, usize)>,
     bytes: &'a [u8],
     kernel: KernelSelect,
@@ -185,12 +186,13 @@ impl<'a> FrameReader<'a> {
         let mut index = Vec::new();
         let mut pos = 4usize;
         while pos < bytes.len() {
-            if pos + 8 > bytes.len() {
+            let Some(hdr_end) = pos.checked_add(8).filter(|&e| e <= bytes.len()) else {
                 return Err(SzxError::CorruptStream("truncated frame length".into()));
-            }
-            // PANIC-OK: the `pos + 8 > len` guard above proves the range.
-            let len64 = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
-            pos += 8;
+            };
+            // PANIC-OK: `hdr_end <= bytes.len()` established by the
+            // checked_add/filter above.
+            let len64 = u64::from_le_bytes(bytes[pos..hdr_end].try_into().unwrap());
+            pos = hdr_end;
             // Compare in u64: a hostile length near u64::MAX would make
             // `pos + len` wrap on 64-bit targets (overflow panic in debug,
             // silent false pass in release).
@@ -200,9 +202,11 @@ impl<'a> FrameReader<'a> {
                     bytes.len() - pos
                 )));
             }
-            let len = len64 as usize;
-            index.push((pos, len));
-            pos += len;
+            let start = pos;
+            // ARITH-OK: `len64 <= bytes.len() - pos` was just checked, so
+            // the sum stays <= bytes.len() and cannot wrap.
+            pos += len64 as usize;
+            index.push((start, pos));
         }
         Ok(FrameReader {
             index,
@@ -224,13 +228,14 @@ impl<'a> FrameReader<'a> {
 
     /// Decompress frame `i`.
     pub fn frame<F: SzxFloat>(&self, i: usize) -> Result<Vec<F>> {
-        let &(off, len) = self
+        let &(off, end) = self
             .index
             .get(i)
             .ok_or_else(|| SzxError::InvalidConfig(format!("frame {i} out of range")))?;
-        // PANIC-OK: every index entry was validated against the container
+        // PANIC-OK: every index range was validated against the container
         // length when `new` built it.
-        let stream = &self.bytes[off..off + len];
+        let stream = &self.bytes[off..end];
+        let len = end - off;
         // Clock read only when somebody is listening on the event sink.
         let started = szx_telemetry::event_sink_installed().then(std::time::Instant::now);
         let _total = szx_telemetry::span("decompress.total");
@@ -264,8 +269,8 @@ impl<'a> FrameReader<'a> {
     pub fn frame_bytes(&self, i: usize) -> Option<&'a [u8]> {
         self.index
             .get(i)
-            // PANIC-OK: index entries were bounds-checked by `new`.
-            .map(|&(off, len)| &self.bytes[off..off + len])
+            // PANIC-OK: index ranges were bounds-checked by `new`.
+            .map(|&(off, end)| &self.bytes[off..end])
     }
 
     /// Iterate all frames, decompressing lazily.

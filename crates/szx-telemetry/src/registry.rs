@@ -112,9 +112,12 @@ impl Registry {
         name: &'static str,
         make: impl FnOnce() -> T,
     ) -> Arc<T> {
+        // PANIC-OK: lock poisoning is not data-dependent — it only occurs
+        // after another thread has already panicked while registering.
         if let Some(v) = map.read().expect("registry poisoned").get(name) {
             return Arc::clone(v);
         }
+        // PANIC-OK: as above — poisoning, not untrusted input.
         let mut w = map.write().expect("registry poisoned");
         Arc::clone(w.entry(name).or_insert_with(|| Arc::new(make())))
     }
@@ -158,9 +161,12 @@ impl Registry {
                 .map(|&(k, v)| (k.to_string(), v.to_string()))
                 .collect(),
         );
+        // PANIC-OK: lock poisoning is not data-dependent — it only occurs
+        // after another thread has already panicked while registering.
         if let Some(g) = self.gauges.read().expect("registry poisoned").get(&key) {
             return Arc::clone(g);
         }
+        // PANIC-OK: as above — poisoning, not untrusted input.
         let mut w = self.gauges.write().expect("registry poisoned");
         Arc::clone(w.entry(key).or_default())
     }

@@ -90,6 +90,8 @@ fn intern(name: &'static str) -> u32 {
     if let Some(&id) = i.by_name.get(name) {
         return id;
     }
+    // PANIC-OK: zone names are static program strings, not stream data;
+    // 2^32 of them cannot exist in a real binary.
     let id = u32::try_from(i.names.len()).expect("fewer than 2^32 zone names");
     i.names.push(name);
     i.by_name.insert(name, id);
@@ -138,6 +140,7 @@ impl ZoneSlot {
             if i < MAX_STACK_DEPTH {
                 // ORDERING: relaxed — consistency is guarded by `gen`, and
                 // the value itself is always a valid interned id.
+                // PANIC-OK: `i < MAX_STACK_DEPTH` = frames.len() just above.
                 self.frames[i].store(id, Ordering::Relaxed);
             }
         }

@@ -25,13 +25,17 @@ cd "$(dirname "$0")/.."
 # dependency to a local path shim, so an offline build must succeed.
 export CARGO_NET_OFFLINE=true
 
-# In-tree static analysis (crates/szx-audit): unsafe hygiene, decode-path
-# panic freedom, and the trace-buffer atomics protocol. Exits non-zero on
-# any finding and refreshes the committed report (CI diffs it for
-# freshness).
+# In-tree static analysis (crates/szx-audit): unsafe hygiene, call-graph
+# panic reachability from the decode entry points (full call chains in the
+# output), hot-loop allocation, checked parse-path arithmetic, and the
+# trace-buffer atomics protocol. Prints per-rule finding counts, exits
+# non-zero on any finding, refreshes the committed report (CI diffs it for
+# freshness), and writes a SARIF 2.1.0 report for code-scanning upload.
 run_audit() {
-    echo "==> szx-audit (unsafe/panic/atomics audit)"
-    cargo run -q --release -p szx-audit -- --json results/AUDIT.json
+    echo "==> szx-audit (unsafe/panic-reach/alloc/arith/atomics audit)"
+    mkdir -p target
+    cargo run -q --release -p szx-audit -- \
+        --json results/AUDIT.json --sarif target/AUDIT.sarif
 }
 
 # Metrics-exposition smoke: one tiny compress with every observability

@@ -57,6 +57,8 @@ fn par_apply<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<
             .collect();
         let mut out = Vec::with_capacity(n);
         for h in handles {
+            // PANIC-OK: join() only fails if the worker closure itself
+            // panicked — this re-raises, it cannot originate a panic.
             out.extend(h.join().expect("rayon-shim worker panicked"));
         }
         out
@@ -214,6 +216,8 @@ pub trait ParallelSlice<T: Sync> {
 
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_chunks(&self, size: usize) -> Chunks<'_, T> {
+        // PANIC-OK: programmer contract on chunk size (mirrors rayon and
+        // std::slice::chunks_mut) — callers pass compile-time group sizes.
         assert!(size > 0, "chunk size must be non-zero");
         Chunks { slice: self, size }
     }
@@ -225,6 +229,8 @@ pub trait ParallelSliceMut<T: Send> {
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        // PANIC-OK: programmer contract on chunk size (mirrors rayon and
+        // std::slice::chunks_mut) — callers pass compile-time group sizes.
         assert!(size > 0, "chunk size must be non-zero");
         ChunksMut { slice: self, size }
     }
